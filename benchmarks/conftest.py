@@ -1,0 +1,38 @@
+"""Shared fixtures and reporting helpers for the experiment benches.
+
+Every experiment writes its result table both to stdout and to
+``benchmarks/results/<experiment>.txt``, so the tables survive pytest's
+output capturing; EXPERIMENTS.md records the reference numbers.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import NL2CM
+from repro.data.ontologies import load_merged_ontology
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ontology():
+    return load_merged_ontology()
+
+
+@pytest.fixture(scope="session")
+def nl2cm(ontology):
+    return NL2CM(ontology=ontology)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """``writer(name, text)`` prints and persists an experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print(f"\n===== {name} =====")
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", "utf-8")
+
+    return write

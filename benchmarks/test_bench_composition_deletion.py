@@ -1,0 +1,122 @@
+"""E8b: ablation of composition's IX-overlap deletion strategy.
+
+The paper (Section 3) has FREyA process the *full* request and lets
+Query Composition "delete generated SPARQL triples that correspond to
+detected IXs".  This bench makes the hazard concrete: an ontology that
+happens to contain entities named like opinion words ("Interesting",
+a gallery) and habit verbs ("Visit", a magazine) — exactly the
+KB-coincidences that make FREyA mis-translate IXs into general triples.
+With deletion on, the composed queries stay correct; with deletion off
+(ablated), spurious WHERE triples leak into the output.
+"""
+
+from repro.core.compose import QueryComposer
+from repro.core.ixdetect import IXDetector
+from repro.core.triples import IndividualTripleCreator
+from repro.data.ontologies import load_merged_ontology
+from repro.eval.harness import format_table
+from repro.freya.generator import GeneralQueryGenerator
+from repro.nlp.depparse import DependencyParser
+from repro.rdf.ontology import Ontology
+from repro.rdf.turtle import serialize_turtle
+from repro.ui.interaction import AutoInteraction
+
+# Classes whose labels collide with the *participants* of habit IXs.
+# A KB that knows about "teenagers" or "people" as concepts makes the
+# IX-blind generator type the habit's subject — a spurious WHERE triple
+# about a participant the query projects out as "[]".
+POISON_TTL = """
+@prefix kb: <http://repro.example/kb/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+kb:Teenager rdfs:label "teenager" ;
+    kb:alias "teenagers" .
+kb:Some_Teen kb:instanceOf kb:Teenager ;
+    rdfs:label "Some Teen" .
+kb:Person_Class rdfs:label "person" ;
+    kb:alias "people" ;
+    kb:alias "locals" .
+kb:Some_Person kb:instanceOf kb:Person_Class ;
+    rdfs:label "Someone" .
+kb:Kid_Class rdfs:label "kid" ;
+    kb:alias "kids" .
+kb:Some_Kid kb:instanceOf kb:Kid_Class ;
+    rdfs:label "Some Kid" .
+"""
+
+QUESTIONS = [
+    "Where do teenagers hang out?",
+    "Do people eat oatmeal for breakfast?",
+    "What places do your kids love in Buffalo?",
+]
+
+
+class _NoDeletionComposer(QueryComposer):
+    """The ablated composer: keeps every general triple."""
+
+    def _delete_overlaps(self, general, ixs):
+        return list(general), []
+
+
+def _translate(question, ontology, composer):
+    parser = DependencyParser()
+    detector = IXDetector(ontology=ontology)
+    generator = GeneralQueryGenerator(ontology)
+    creator = IndividualTripleCreator()
+    provider = AutoInteraction()
+
+    graph = parser.parse(question)
+    ixs = detector.detect(graph)
+    general = generator.generate(graph, provider)
+    individual = creator.create(graph, ixs)
+    return composer.compose(graph, ixs, individual, general, provider)
+
+
+def test_bench_deletion_strategy(report_writer):
+    poisoned = Ontology.from_turtle(
+        serialize_turtle(load_merged_ontology().store) + POISON_TTL
+    )
+
+    rows = []
+    leaked_without = 0
+    deleted_with = 0
+    for question in QUESTIONS:
+        with_deletion = _translate(question, poisoned, QueryComposer())
+        without = _translate(question, poisoned, _NoDeletionComposer())
+        leak = len(without.query.where) - len(with_deletion.query.where)
+        leaked_without += leak
+        deleted_with += len(with_deletion.deleted_general)
+        rows.append([
+            question[:44] + ("..." if len(question) > 44 else ""),
+            len(with_deletion.query.where),
+            len(without.query.where),
+            len(with_deletion.deleted_general),
+        ])
+
+    table = format_table(
+        ["question", "WHERE (deletion on)", "WHERE (ablated)",
+         "deleted triples"],
+        rows,
+    )
+    report_writer("E8b-composition-deletion", table)
+
+    # The strategy matters: the poisoned KB makes FREyA produce triples
+    # for IX words, and only deletion removes them.
+    assert deleted_with > 0
+    assert leaked_without > 0
+
+
+def test_deletion_is_noop_on_clean_corpus(nl2cm, report_writer):
+    """On the real snapshots, deletion rarely fires — IX words simply
+    do not match the KB, which is why the paper's strategy is safe."""
+    from repro.data.corpus import supported_questions
+
+    total_deleted = 0
+    for question in supported_questions():
+        result = nl2cm.translate(question.text)
+        total_deleted += len(result.composed.deleted_general)
+    report_writer(
+        "E8b-deletion-on-clean-kb",
+        f"general triples deleted across the corpus: {total_deleted}",
+    )
+    assert total_deleted <= 2

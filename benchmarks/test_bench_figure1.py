@@ -1,0 +1,29 @@
+"""E1: the running example translates to the paper's Figure 1, exactly.
+
+Regenerates Figure 1 — the only query artifact printed in the paper —
+and benchmarks the end-to-end translation latency of that question.
+"""
+
+from repro.data.corpus import CORPUS
+
+FIGURE1_QUESTION = next(q for q in CORPUS if q.id == "travel-01")
+
+
+def test_bench_figure1_translation(benchmark, nl2cm, report_writer):
+    result = benchmark(nl2cm.translate, FIGURE1_QUESTION.text)
+
+    assert result.query_text == FIGURE1_QUESTION.gold_query
+    report_writer(
+        "E1-figure1",
+        f"question: {FIGURE1_QUESTION.text}\n\n"
+        f"{result.query_text}\n\n"
+        "exact match with the paper's Figure 1: YES",
+    )
+
+
+def test_bench_figure1_is_stable_across_runs(nl2cm):
+    texts = {
+        nl2cm.translate(FIGURE1_QUESTION.text).query_text
+        for _ in range(3)
+    }
+    assert len(texts) == 1

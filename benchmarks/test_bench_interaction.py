@@ -1,0 +1,26 @@
+"""E4: user-interaction points and FREyA-style feedback learning.
+
+Counts how often each interaction point fires across the corpus (the
+paper: interaction is *optional* — most questions translate with no
+user effort), and shows the feedback effect: disambiguation dialogues
+disappear on the second pass because first-pass choices are remembered.
+"""
+
+from repro.eval.harness import evaluate_interaction
+
+
+def test_bench_interaction_counts(benchmark, report_writer):
+    report = benchmark(evaluate_interaction)
+
+    report_writer("E4-interaction", report.format())
+
+    # Most questions need at most the LIMIT/THRESHOLD defaults — the
+    # verify/disambiguate dialogs fire on a minority.
+    verify = report.counts_by_type.get("VerifyIXRequest", 0)
+    disamb = report.counts_by_type.get("DisambiguationRequest", 0)
+    assert verify + disamb < report.questions
+
+    # Feedback learning: strictly fewer dialogs on the second pass.
+    assert (report.disambiguations_second_pass
+            < report.disambiguations_first_pass)
+    assert report.disambiguations_second_pass == 0

@@ -1,0 +1,100 @@
+"""E5: end-to-end query execution via the OASSIS engine (demo stage ii).
+
+Runs the translated Figure 1 query against simulated crowds, sweeping
+crowd size and answer noise, and reports support-estimation error,
+top-k precision against the ground truth, and the number of crowd tasks
+spent.  The shapes to hold: error shrinks with crowd size, grows with
+noise; task counts stay well under exhaustive polling thanks to the
+sequential test.
+"""
+
+import pytest
+
+from repro import EngineConfig, OassisEngine, SimulatedCrowd
+from repro.crowd.scenarios import buffalo_travel_truth, opinion_fact_set
+from repro.data.corpus import CORPUS
+from repro.eval.harness import format_table
+from repro.rdf.ontology import KB
+
+FIGURE1_QUERY = next(q for q in CORPUS if q.id == "travel-01").gold_query
+
+# Ground-truth top-3 "interesting" places near Forest Hotel.
+TRUE_TOP3 = {"Delaware_Park", "Buffalo_Zoo", "Albright_Knox_Art_Gallery"}
+
+
+def run_once(ontology, nl2cm, size, noise, seed):
+    from repro.oassisql import parse_oassisql
+
+    truth = buffalo_travel_truth()
+    crowd = SimulatedCrowd(truth, size=size, noise=noise, seed=seed)
+    # Sampling budgets scale with the population: a larger crowd lets
+    # the engine average over more members.
+    engine = OassisEngine(ontology, crowd, EngineConfig(
+        topk_sample=size, max_sample=size,
+    ))
+    result = engine.evaluate(parse_oassisql(FIGURE1_QUERY))
+
+    errors = []
+    top_places = []
+    for outcome in result.outcomes:
+        place = outcome.binding["x"]
+        estimate = outcome.supports.get(0)
+        if estimate is None:
+            continue
+        true_support = truth.support(
+            opinion_fact_set(place, "interesting")
+        )
+        errors.append(abs(estimate - true_support))
+    for binding in result.bindings()[:3]:
+        top_places.append(binding["x"].local_name)
+    mae = sum(errors) / len(errors) if errors else 0.0
+    top3_precision = len(set(top_places) & TRUE_TOP3) / 3.0
+    return mae, top3_precision, result.tasks_used
+
+
+def test_bench_crowd_size_sweep(ontology, nl2cm, report_writer):
+    rows = []
+    maes = {}
+    for size in (25, 50, 100, 200, 400):
+        mae, precision, tasks = run_once(ontology, nl2cm, size,
+                                         noise=0.1, seed=17)
+        maes[size] = mae
+        rows.append([size, f"{mae:.3f}", f"{precision:.2f}", tasks])
+    table = format_table(
+        ["crowd size", "support MAE", "top-3 precision", "tasks"], rows
+    )
+    report_writer("E5-crowd-size-sweep", table)
+
+    # Shape: more members -> better estimates.
+    assert maes[400] <= maes[25]
+
+
+def test_bench_noise_sweep(ontology, nl2cm, report_writer):
+    rows = []
+    precisions = {}
+    for noise in (0.0, 0.05, 0.1, 0.2, 0.3):
+        mae, precision, tasks = run_once(ontology, nl2cm, 200, noise,
+                                         seed=23)
+        precisions[noise] = precision
+        rows.append([noise, f"{mae:.3f}", f"{precision:.2f}", tasks])
+    table = format_table(
+        ["noise", "support MAE", "top-3 precision", "tasks"], rows
+    )
+    report_writer("E5-noise-sweep", table)
+
+    # Shape: noiseless crowd recovers the exact ground-truth ranking.
+    assert precisions[0.0] == 1.0
+
+
+def test_bench_engine_latency(benchmark, ontology):
+    from repro.oassisql import parse_oassisql
+
+    truth = buffalo_travel_truth()
+    query = parse_oassisql(FIGURE1_QUERY)
+
+    def evaluate():
+        crowd = SimulatedCrowd(truth, size=100, noise=0.1, seed=3)
+        return OassisEngine(ontology, crowd).evaluate(query)
+
+    result = benchmark(evaluate)
+    assert result.accepted

@@ -1,0 +1,32 @@
+"""E3: the verification step (demo stage iii).
+
+Measures acceptance of supported questions, rejection of the
+descriptive forms the paper lists ("How...?", "Why...?", "For what
+purpose...?"), correctness of the rejection reason, and tip coverage —
+plus the latency of a verification pass over the corpus.
+"""
+
+from repro.core.verification import Verifier
+from repro.data.corpus import CORPUS
+from repro.eval.harness import evaluate_verification
+
+
+def test_bench_verification_quality(report_writer):
+    report = evaluate_verification()
+    assert report.accuracy == 1.0
+    assert report.false_accepts == 0
+    assert report.false_rejects == 0
+    assert report.reason_correct == report.reject_total
+    assert report.tips_covered == report.reject_total
+    report_writer("E3-verification", report.format())
+
+
+def test_bench_verification_latency(benchmark):
+    verifier = Verifier()
+    texts = [q.text for q in CORPUS]
+
+    def verify_all():
+        return [verifier.verify(t) for t in texts]
+
+    results = benchmark(verify_all)
+    assert len(results) == len(CORPUS)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""The administrator-mode monitor: intermediate outputs of every module.
+
+The demo's third monitor "display[s] the intermediate outputs passed
+between the NL2CM modules" (Section 4.2) to give the audience a peek
+under the hood.  This script prints exactly that trace — verification,
+POS tags + dependency graph, partial and completed IXs, the general
+SPARQL triples, the individual OASSIS-QL triples, and the composed
+query — with per-stage timings.
+
+Run:  python examples/admin_mode.py ["your question"]
+"""
+
+import sys
+
+from repro import NL2CM
+
+DEFAULT_QUESTION = (
+    "What are the most interesting places near Forest Hotel, Buffalo, "
+    "we should visit in the fall?"
+)
+
+
+def main() -> None:
+    question = (
+        " ".join(sys.argv[1:]) if len(sys.argv) > 1 else DEFAULT_QUESTION
+    )
+    nl2cm = NL2CM()
+    result = nl2cm.translate(question)
+
+    print(f"question: {question}")
+    print("#" * 72)
+    print(result.trace.render())
+    print("#" * 72)
+    total = sum(result.trace.timings().values())
+    print(f"total translation time: {total * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The dietician scenario, end to end: NL -> OASSIS-QL -> crowd answers.
+
+The paper's introduction motivates NL2CM with "a dietician wishing to
+study the culinary preferences in some population, focusing on food
+dishes rich in fiber": nutritional facts are general knowledge, eating
+habits are individual.  This script
+
+1. translates the dietician's question with NL2CM,
+2. executes the query with the OASSIS engine over a simulated crowd
+   whose ground truth we control, and
+3. compares the mined answer with that ground truth.
+
+Run:  python examples/dietician_study.py
+"""
+
+from repro import EngineConfig, NL2CM, OassisEngine, SimulatedCrowd
+from repro.crowd.scenarios import dietician_truth, habit_fact_set
+from repro.data import load_merged_ontology
+from repro.rdf.ontology import KB
+
+QUESTION = ("Which fiber-rich dishes do people like to eat for "
+            "breakfast?")
+
+
+def main() -> None:
+    ontology = load_merged_ontology()
+    nl2cm = NL2CM(ontology=ontology)
+
+    print(f"The dietician asks:\n  {QUESTION}\n")
+    result = nl2cm.translate(QUESTION)
+    print("NL2CM translates it to:")
+    print(result.query_text)
+    print()
+
+    truth = dietician_truth()
+    crowd = SimulatedCrowd(truth, size=200, noise=0.08, seed=42)
+    engine = OassisEngine(
+        ontology, crowd, EngineConfig(max_sample=50)
+    )
+
+    answers = engine.evaluate(result.query)
+    print(f"OASSIS asked the crowd {answers.tasks_used} questions, "
+          f"for example:")
+    for task in answers.tasks[:3]:
+        print(f"  member #{task.member_id}: {task.question}"
+              f"  -> {task.answer:.2f}")
+    print()
+
+    print("Mined result (fiber-rich dishes people eat for breakfast, "
+          "support >= 0.1):")
+    for outcome in answers.accepted:
+        dish = outcome.binding["x"]
+        estimate = max(outcome.supports.values())
+        true_value = truth.support(
+            habit_fact_set("eat", dish, ("for", KB.Breakfast))
+        )
+        print(f"  {ontology.label_of(dish):24s}"
+              f"  estimated {estimate:.2f}  (true {true_value:.2f})")
+    print()
+
+    rejected = [o for o in answers.outcomes if not o.accepted]
+    print("Below the threshold (correctly filtered out):")
+    for outcome in rejected:
+        dish = outcome.binding["x"]
+        print(f"  {ontology.label_of(dish)}")
+
+
+if __name__ == "__main__":
+    main()

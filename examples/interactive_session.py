@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Demo stage (ii)/(iii): the user-interaction points of Figures 3-6.
+
+Walks through every optional interaction point of the paper's Section
+4.1 with a scripted "user", printing what the web UI would show:
+
+* Figure 3 — entering the question (with a verification warning for an
+  unsupported one, including the rephrasing tips of stage (iii));
+* Figure 4 — verifying uncertain IXs;
+* the FREyA clarification dialogue ("which Buffalo did you mean?");
+* Figure 5 — choosing the LIMIT / THRESHOLD values;
+* Figure 6 — the final query.
+
+Pass ``--console`` to answer the prompts yourself instead.
+
+Run:  python examples/interactive_session.py [--console]
+"""
+
+import sys
+
+from repro import ConsoleInteraction, NL2CM, VerificationError
+from repro.ui.interaction import ScriptedInteraction
+
+
+def scripted_walkthrough() -> None:
+    nl2cm = NL2CM()
+
+    # --- stage (iii): an unsupported question first -----------------------
+    bad_question = "How should I store coffee?"
+    print(f"User types (Figure 3):\n  {bad_question}\n")
+    try:
+        nl2cm.translate(bad_question)
+    except VerificationError as err:
+        print(f"NL2CM warns: {err}")
+        for tip in err.tips:
+            print(f"  tip: {tip}")
+    print()
+
+    # --- the rephrased question, with every interaction point -------------
+    question = "Where do teenagers hang out in Buffalo?"
+    print(f"User rephrases and asks:\n  {question}\n")
+
+    # The scripted user: confirms the uncertain IX, picks Buffalo, NY,
+    # sets the habit-frequency threshold to 0.2.
+    user = ScriptedInteraction([[True], 0, 0.2])
+    result = nl2cm.translate(question, interaction=user)
+
+    for request, answer in user.transcript:
+        print(f"NL2CM asks (cf. Figures 4-5):")
+        print(f"  {request.prompt()}")
+        print(f"User answers: {answer}\n")
+
+    print("Final query (Figure 6):")
+    print(result.query_text)
+
+
+def console_walkthrough() -> None:
+    nl2cm = NL2CM(interaction=ConsoleInteraction())
+    print("Type a question (e.g. 'Where do you go hiking in the "
+          "winter?'):")
+    question = input("> ").strip()
+    try:
+        result = nl2cm.translate(question)
+    except VerificationError as err:
+        print(f"Not supported: {err}")
+        for tip in err.tips:
+            print(f"  tip: {tip}")
+        return
+    print("\nFinal query:")
+    print(result.query_text)
+
+
+if __name__ == "__main__":
+    if "--console" in sys.argv:
+        console_walkthrough()
+    else:
+        scripted_walkthrough()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: translate the paper's running example into OASSIS-QL.
+
+Reproduces the paper's Figure 1 exactly: the question "What are the most
+interesting places near Forest Hotel, Buffalo, we should visit in the
+fall?" becomes a crowd-mining query whose WHERE clause selects places
+from the geographic ontology and whose SATISFYING clause mines the
+crowd's opinions (top-5 "interesting") and habits (visiting in the fall,
+support >= 0.1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NL2CM
+
+QUESTION = (
+    "What are the most interesting places near Forest Hotel, Buffalo, "
+    "we should visit in the fall?"
+)
+
+
+def main() -> None:
+    nl2cm = NL2CM()
+
+    print(f"NL question:\n  {QUESTION}\n")
+
+    result = nl2cm.translate(QUESTION)
+
+    print("Detected individual expressions:")
+    for ix in result.ixs:
+        types = ", ".join(sorted(ix.types))
+        print(f"  [{ix.kind:7s}] {ix.span_text(result.graph)!r}"
+              f"  ({types})")
+    print()
+
+    print("Translated OASSIS-QL query (= the paper's Figure 1):")
+    print(result.query_text)
+    print()
+
+    print("Query variables stand for:")
+    for var, phrase in result.variable_phrases.items():
+        print(f"  ${var} -> {phrase!r}")
+
+
+if __name__ == "__main__":
+    main()

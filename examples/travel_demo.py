@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Demo stage (i): translate real-life forum questions, batch mode.
+
+The paper's first demonstration step translates a set of questions
+collected from question-and-answer platforms and shows "the
+correspondences between different query parts and parts of the original
+NL sentence".  This script runs every supported corpus question through
+NL2CM and prints those correspondences: IX spans, the general parts, and
+the resulting query.
+
+Run:  python examples/travel_demo.py [domain]
+      (domain: travel | shopping | health | food; default: travel)
+"""
+
+import sys
+
+from repro import NL2CM
+from repro.data.corpus import questions_by_domain
+
+
+def main() -> None:
+    domain = sys.argv[1] if len(sys.argv) > 1 else "travel"
+    questions = [
+        q for q in questions_by_domain(domain) if q.supported
+    ]
+    if not questions:
+        print(f"no supported questions in domain {domain!r}")
+        return
+
+    nl2cm = NL2CM()
+    for question in questions:
+        print("=" * 72)
+        print(f"[{question.id}] {question.text}")
+        result = nl2cm.translate(question.text)
+
+        print("\n  individual parts (to be mined from the crowd):")
+        if result.ixs:
+            for ix in result.ixs:
+                print(f"    - {ix.span_text(result.graph)!r}"
+                      f"  [{', '.join(sorted(ix.types))}]")
+        else:
+            print("    (none)")
+
+        general = [
+            t for t in result.query.where
+        ]
+        print("\n  general parts (answered from the ontology):")
+        if general:
+            for triple in general:
+                from repro.oassisql.printer import format_triple
+                print(f"    - {format_triple(triple)}")
+        else:
+            print("    (none)")
+
+        print("\n  OASSIS-QL query:")
+        for line in result.query_text.splitlines():
+            print(f"    {line}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

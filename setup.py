@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works in offline environments whose setuptools
+cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""NL2CM: A Natural Language Interface to Crowd Mining — reproduction.
+
+Reproduction of Amsterdamer, Kukliansky and Milo, SIGMOD 2015, with all
+substrates (NL parsing, RDF/SPARQL, OASSIS-QL, the OASSIS engine and a
+simulated crowd) implemented from scratch.  Quickstart::
+
+    from repro import NL2CM
+
+    nl2cm = NL2CM()
+    result = nl2cm.translate(
+        "What are the most interesting places near Forest Hotel, "
+        "Buffalo, we should visit in the fall?"
+    )
+    print(result.query_text)   # the paper's Figure 1 query, exactly
+
+Executing the translated query against a simulated crowd::
+
+    from repro import EngineConfig, OassisEngine, SimulatedCrowd
+    from repro.crowd.scenarios import buffalo_travel_truth
+    from repro.data import load_merged_ontology
+
+    crowd = SimulatedCrowd(buffalo_travel_truth(), size=150, seed=1)
+    engine = OassisEngine(load_merged_ontology(), crowd)
+    answers = engine.evaluate(result.query)
+    for binding in answers.bindings():
+        print(binding["x"].local_name)
+"""
+
+from repro.core.pipeline import NL2CM, TranslationResult
+from repro.core.verification import VerificationResult
+from repro.crowd.model import GroundTruth
+from repro.crowd.simulator import SimulatedCrowd
+from repro.errors import ReproError, TranslationError, VerificationError
+from repro.oassis.engine import EngineConfig, OassisEngine, QueryResult
+from repro.oassisql import OassisQuery, parse_oassisql, print_oassisql
+from repro.ui.interaction import (
+    AutoInteraction,
+    ConsoleInteraction,
+    ScriptedInteraction,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NL2CM",
+    "TranslationResult",
+    "VerificationResult",
+    "OassisQuery",
+    "parse_oassisql",
+    "print_oassisql",
+    "OassisEngine",
+    "EngineConfig",
+    "QueryResult",
+    "SimulatedCrowd",
+    "GroundTruth",
+    "AutoInteraction",
+    "ScriptedInteraction",
+    "ConsoleInteraction",
+    "ReproError",
+    "TranslationError",
+    "VerificationError",
+    "__version__",
+]

@@ -1,0 +1,131 @@
+"""Command-line interface: translate questions from the terminal.
+
+Usage::
+
+    python -m repro "Where do you go hiking in the winter?"
+    python -m repro --interactive           # prompt loop
+    python -m repro --admin "question"      # show the module trace
+    python -m repro --execute "question"    # also run it on the demo crowd
+
+The demo crowd merges the three packaged scenarios (Buffalo travel,
+Vegas rides, the dietician's study) with a small default support for
+everything else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    EngineConfig,
+    NL2CM,
+    OassisEngine,
+    SimulatedCrowd,
+    VerificationError,
+)
+from repro.crowd.model import GroundTruth
+from repro.crowd.scenarios import (
+    buffalo_travel_truth,
+    dietician_truth,
+    vegas_rides_truth,
+)
+from repro.data.ontologies import load_merged_ontology
+from repro.errors import ReproError
+from repro.ui.interaction import ConsoleInteraction
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NL2CM: translate NL questions into OASSIS-QL "
+                    "crowd-mining queries.",
+    )
+    parser.add_argument("question", nargs="*",
+                        help="the question to translate")
+    parser.add_argument("--interactive", action="store_true",
+                        help="answer clarification dialogs on stdin")
+    parser.add_argument("--admin", action="store_true",
+                        help="print the admin-mode module trace")
+    parser.add_argument("--execute", action="store_true",
+                        help="run the query on the packaged demo crowd")
+    parser.add_argument("--crowd-size", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def demo_engine(ontology, size: int, seed: int) -> OassisEngine:
+    truth = GroundTruth(default=0.05)
+    for scenario in (buffalo_travel_truth(), vegas_rides_truth(),
+                     dietician_truth()):
+        truth.supports.update(scenario.supports)
+    crowd = SimulatedCrowd(truth, size=size, noise=0.08, seed=seed)
+    return OassisEngine(ontology, crowd, EngineConfig())
+
+
+def run_question(nl2cm: NL2CM, args, question: str,
+                 engine: OassisEngine | None) -> int:
+    try:
+        result = nl2cm.translate(question)
+    except VerificationError as err:
+        print(f"not supported: {err}", file=sys.stderr)
+        for tip in err.tips:
+            print(f"  tip: {tip}", file=sys.stderr)
+        return 2
+    except ReproError as err:
+        print(f"translation failed: {err}", file=sys.stderr)
+        return 1
+
+    if args.admin:
+        print(result.trace.render())
+    else:
+        print(result.query_text)
+
+    if engine is not None:
+        print()
+        execution = engine.evaluate(result.query)
+        print(f"# crowd tasks: {execution.tasks_used}")
+        ontology = nl2cm.ontology
+        for outcome in execution.accepted:
+            rendered = ", ".join(
+                f"${name} = {ontology.label_of(term)}"
+                if hasattr(term, "local_name") else f"${name} = {term}"
+                for name, term in sorted(outcome.binding.items())
+            ) or "(boolean: pattern is significant)"
+            supports = ", ".join(
+                f"{s:.2f}" for s in outcome.supports.values()
+            )
+            print(f"  {rendered}  [support {supports}]")
+        if not execution.accepted:
+            print("  (no significant bindings)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    interaction = ConsoleInteraction() if args.interactive else None
+    ontology = load_merged_ontology()
+    nl2cm = NL2CM(ontology=ontology, interaction=interaction)
+    engine = (
+        demo_engine(ontology, args.crowd_size, args.seed)
+        if args.execute else None
+    )
+
+    if args.question:
+        return run_question(nl2cm, args, " ".join(args.question), engine)
+
+    print("NL2CM — type a question (empty line to quit)")
+    status = 0
+    while True:
+        try:
+            line = input("? ").strip()
+        except EOFError:
+            break
+        if not line:
+            break
+        status = run_question(nl2cm, args, line, engine)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

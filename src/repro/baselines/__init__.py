@@ -1,0 +1,26 @@
+"""Baselines the paper argues against (DESIGN.md S23).
+
+* :class:`GeneralOnlyTranslator` — an NL-to-SPARQL pipeline with no IX
+  detection at all: what the pre-NL2CM state of the art (FREyA, NaLIX,
+  DEANNA, ...) can do with a mixed question.  Used by experiment E7 to
+  quantify the fraction of information needs such tools cover.
+* :class:`SentimentOnlyDetector` — IX detection restricted to sentiment
+  words, modeling the related-work observation that "existing NL tools
+  can identify only individual expressions of sentiments and opinions,
+  but do not account, e.g., for individual habits" (Section 1).
+* :class:`KBMismatchDetector` — the "naïve approach" the introduction
+  dismisses: flag as individual whatever does not match the knowledge
+  base.  Fails because "most knowledge bases are incomplete".
+"""
+
+from repro.baselines.general_only import GeneralOnlyTranslator
+from repro.baselines.ix_baselines import (
+    KBMismatchDetector,
+    SentimentOnlyDetector,
+)
+
+__all__ = [
+    "GeneralOnlyTranslator",
+    "SentimentOnlyDetector",
+    "KBMismatchDetector",
+]

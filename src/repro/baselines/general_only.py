@@ -1,0 +1,91 @@
+"""Baseline B1: general-only translation (no crowd mining).
+
+Runs the same parsing and general-query-generation machinery as NL2CM
+but skips IX detection, individual triple creation and the SATISFYING
+clause entirely — producing the plain SPARQL-equivalent query an
+off-the-shelf NL interface would.  Individual information needs are
+silently dropped, which is exactly the gap experiment E7 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compose import _VariableAllocator
+from repro.core.verification import Verifier
+from repro.data.ontologies import load_merged_ontology
+from repro.errors import CompositionError, VerificationError
+from repro.freya.generator import GeneralQueryGenerator
+from repro.nlp.depparse import DependencyParser
+from repro.nlp.graph import DepGraph
+from repro.oassisql.ast import OassisQuery, QueryTriple, SelectClause
+from repro.oassisql.printer import print_oassisql
+from repro.rdf.ontology import Ontology
+from repro.ui.interaction import AutoInteraction, InteractionProvider
+
+__all__ = ["GeneralOnlyTranslator", "GeneralOnlyResult"]
+
+
+@dataclass
+class GeneralOnlyResult:
+    """The baseline's output."""
+
+    text: str
+    query: OassisQuery
+    query_text: str
+    graph: DepGraph
+
+
+class GeneralOnlyTranslator:
+    """NL-to-SPARQL with no notion of individual information needs."""
+
+    def __init__(
+        self,
+        ontology: Ontology | None = None,
+        interaction: InteractionProvider | None = None,
+    ):
+        self.ontology = ontology or load_merged_ontology()
+        self.interaction = interaction or AutoInteraction()
+        self.verifier = Verifier()
+        self.parser = DependencyParser()
+        self.generator = GeneralQueryGenerator(self.ontology)
+
+    def translate(self, text: str) -> GeneralOnlyResult:
+        """Translate the general parts only; SATISFYING is always empty.
+
+        Raises:
+            VerificationError: for unsupported question forms.
+            CompositionError: when not even a general query part can be
+                derived (common for habit-only questions — the baseline
+                has nothing to say about them).
+        """
+        verification = self.verifier.verify(text)
+        if not verification.ok:
+            raise VerificationError(
+                verification.message, tips=verification.tips
+            )
+        graph = self.parser.parse(text)
+        general = self.generator.generate(graph, self.interaction)
+        if not general.triples:
+            raise CompositionError(
+                "the general-only baseline derived no query parts"
+            )
+        allocator = _VariableAllocator(general)
+        where = tuple(
+            QueryTriple(
+                allocator.resolve(t.s),
+                allocator.resolve(t.p),
+                allocator.resolve(t.o),
+            )
+            for t in general.triples
+        )
+        query = OassisQuery(
+            select=SelectClause(), where=where, satisfying=()
+        )
+        query.validate()
+        return GeneralOnlyResult(
+            text=text,
+            query=query,
+            query_text=print_oassisql(query),
+            graph=graph,
+        )

@@ -1,0 +1,84 @@
+"""Baselines B2 and B3: weaker IX detectors.
+
+Both expose ``detect_anchors(graph) -> set[str]`` (lower-cased anchor
+words), the interface the IX-detection-quality experiment scores.
+"""
+
+from __future__ import annotations
+
+from repro.core.ixdetect import IXDetector, load_default_patterns
+from repro.data.ontologies import load_merged_ontology
+from repro.data.vocabularies import load_vocabularies
+from repro.nlp.graph import DepGraph, DepNode
+from repro.rdf.ontology import Ontology
+
+__all__ = ["SentimentOnlyDetector", "KBMismatchDetector",
+           "full_detector_anchors"]
+
+# Words that are never individual anchors regardless of KB coverage.
+_FUNCTION_TAGS = ("DT", "IN", "TO", "CC", "MD", "PRP", "PRP$", "WDT",
+                  "WP", "WRB", "EX", "POS", "RP", "UH", "PDT")
+
+
+def full_detector_anchors(graph: DepGraph,
+                          detector: IXDetector | None = None) -> set[str]:
+    """NL2CM's own anchors, for comparison."""
+    detector = detector or IXDetector()
+    return {ix.anchor.lower for ix in detector.detect(graph)}
+
+
+class SentimentOnlyDetector:
+    """B2: only sentiment/subjectivity words are individual.
+
+    Related work "considers identifying expressions of sentiment or
+    subjectivity in texts, but these expressions are only a subset of
+    individual expressions.  For instance, they do not capture
+    individual habits" (paper Section 2.3).  Implemented by running
+    only the ``lexical_opinion`` pattern.
+    """
+
+    def __init__(self):
+        patterns = [
+            p for p in load_default_patterns() if p.ix_type == "lexical"
+        ]
+        self._detector = IXDetector(
+            patterns=patterns, vocabularies=load_vocabularies()
+        )
+
+    def detect_anchors(self, graph: DepGraph) -> set[str]:
+        return {ix.anchor.lower for ix in self._detector.detect(graph)}
+
+
+class KBMismatchDetector:
+    """B3: whatever fails to match the knowledge base is individual.
+
+    The naïve strategy the introduction rules out: "checking which
+    parts of the query do not match to the knowledge base cannot
+    facilitate this task since most knowledge bases are incomplete."
+    Every content word without an ontology match is flagged — so
+    general words a finite KB happens to miss become false positives,
+    and individual words the KB happens to contain (e.g. a place called
+    "Fall") are missed.
+    """
+
+    def __init__(self, ontology: Ontology | None = None,
+                 threshold: float = 0.8):
+        self.ontology = ontology or load_merged_ontology()
+        self.threshold = threshold
+
+    def detect_anchors(self, graph: DepGraph) -> set[str]:
+        anchors: set[str] = set()
+        for node in graph.nodes():
+            if not node.is_word or node.tag in _FUNCTION_TAGS:
+                continue
+            if self._in_kb(node):
+                continue
+            anchors.add(node.lower)
+        return anchors
+
+    def _in_kb(self, node: DepNode) -> bool:
+        for phrase in (node.lower, node.lemma):
+            matches = self.ontology.lookup(phrase)
+            if matches and matches[0].score >= self.threshold:
+                return True
+        return False

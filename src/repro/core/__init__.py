@@ -1,0 +1,65 @@
+"""NL2CM core: the paper's primary contribution.
+
+The translation framework (paper Figure 2, top to bottom):
+
+* :mod:`repro.core.verification` — reject unsupported question forms;
+* :mod:`repro.core.ixpatterns` — the declarative IX detection pattern
+  language (SPARQL-like patterns over dependency graphs);
+* :mod:`repro.core.ixdetect` — IXFinder + IXCreator;
+* :mod:`repro.core.triples` — Individual Triple Creation;
+* :mod:`repro.core.compose` — Query Composition;
+* :mod:`repro.core.pipeline` — the NL2CM translator orchestrating all of
+  the above together with the general query generator
+  (:mod:`repro.freya`) and user interaction (:mod:`repro.ui`).
+
+Attribute access is lazy (PEP 562) so that sibling packages
+(:mod:`repro.freya` imports :mod:`repro.core.ir`) can be imported in any
+order without cycles.
+"""
+
+from importlib import import_module
+
+__all__ = [
+    "IXPattern",
+    "PatternMatcher",
+    "parse_patterns",
+    "IX",
+    "IXFinder",
+    "IXCreator",
+    "IXDetector",
+    "Verifier",
+    "VerificationResult",
+    "IndividualTripleCreator",
+    "QueryComposer",
+    "NL2CM",
+    "TranslationResult",
+    "TranslationTrace",
+]
+
+_LOCATIONS = {
+    "IXPattern": "repro.core.ixpatterns",
+    "PatternMatcher": "repro.core.ixpatterns",
+    "parse_patterns": "repro.core.ixpatterns",
+    "IX": "repro.core.ixdetect",
+    "IXFinder": "repro.core.ixdetect",
+    "IXCreator": "repro.core.ixdetect",
+    "IXDetector": "repro.core.ixdetect",
+    "Verifier": "repro.core.verification",
+    "VerificationResult": "repro.core.verification",
+    "IndividualTripleCreator": "repro.core.triples",
+    "QueryComposer": "repro.core.compose",
+    "NL2CM": "repro.core.pipeline",
+    "TranslationResult": "repro.core.pipeline",
+    "TranslationTrace": "repro.core.pipeline",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LOCATIONS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    return getattr(import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(__all__)

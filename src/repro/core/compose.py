@@ -1,0 +1,290 @@
+"""Query Composition (paper Sections 2.6 and 3).
+
+The last module of the architecture:
+
+1. **Deletion** — drop general triples that FREyA wrongly produced for
+   detected IXs (overlap with an IX's core nodes);
+2. **Variable alignment** — every reference to a particular term of the
+   sentence becomes an occurrence of the same variable (node references
+   are resolved through coreference links, entity bindings become IRIs,
+   everything else gets a fresh ``$x``-style variable, allocated in
+   sentence order so the wh-target is ``$x``);
+3. **Subclause creation** — individual triples of one IX unit share one
+   SATISFYING subclause (the visit and its season, Figure 1 lines
+   10-11);
+4. **Qualifiers** — a superlative opinion becomes top-k (``ORDER BY
+   DESC(SUPPORT) LIMIT k``, asking the user for k, Figure 5); other
+   units get a support threshold (asking for the minimal frequency);
+5. **SELECT** — by default no variable is projected out; with more than
+   one variable the user may choose a projection (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ir import NodeTerm, ProtoTriple
+from repro.core.ixdetect import IX
+from repro.errors import CompositionError
+from repro.freya.generator import GeneralQueryResult
+from repro.nlp.graph import DepGraph, DepNode
+from repro.oassisql.ast import (
+    ANYTHING,
+    Anything,
+    OassisQuery,
+    QueryTriple,
+    SatisfyingClause,
+    SelectClause,
+    SupportThreshold,
+    TopK,
+)
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.ui.interaction import (
+    InteractionProvider,
+    LimitRequest,
+    ProjectionRequest,
+    ThresholdRequest,
+)
+
+__all__ = ["QueryComposer", "ComposedQuery"]
+
+# Variable names handed out in order of first appearance.
+_VARIABLE_NAMES = "xyzwvutsrq"
+
+_SUPERLATIVE_ADVERBS = {"most", "least"}
+_ASCENDING_MARKERS = {"least", "bad", "worst"}
+
+
+@dataclass
+class ComposedQuery:
+    """The composed query plus the bookkeeping the UI shows."""
+
+    query: OassisQuery
+    variable_phrases: dict[str, str]
+    deleted_general: list[ProtoTriple]
+
+
+class QueryComposer:
+    """Combines general and individual proto-triples into OASSIS-QL."""
+
+    def compose(
+        self,
+        graph: DepGraph,
+        ixs: list[IX],
+        individual: list[ProtoTriple],
+        general: GeneralQueryResult,
+        interaction: InteractionProvider,
+    ) -> ComposedQuery:
+        """Build and validate the final query.
+
+        Raises:
+            CompositionError: if no query parts survive composition.
+        """
+        kept_general, deleted = self._delete_overlaps(
+            general.triples, ixs
+        )
+
+        allocator = _VariableAllocator(general)
+        where = tuple(
+            self._resolve(t, allocator) for t in kept_general
+        )
+        satisfying = self._build_satisfying(
+            graph, ixs, individual, allocator, interaction
+        )
+        if not where and not satisfying:
+            raise CompositionError(
+                "no query parts could be derived from the request"
+            )
+
+        select = self._build_select(graph, allocator, interaction)
+        query = OassisQuery(
+            select=select, where=where, satisfying=satisfying
+        )
+        query.validate()
+        return ComposedQuery(
+            query=query,
+            variable_phrases=allocator.phrases(),
+            deleted_general=deleted,
+        )
+
+    # -- deletion --------------------------------------------------------------
+
+    def _delete_overlaps(
+        self, general: list[ProtoTriple], ixs: list[IX]
+    ) -> tuple[list[ProtoTriple], list[ProtoTriple]]:
+        """Drop general triples built from an IX's core nodes.
+
+        Core nodes exclude the habit's object and the opinion's target:
+        those nouns legitimately appear in both query parts ("places" is
+        selected from the ontology *and* asked about).
+        """
+        core: set[int] = set()
+        for ix in ixs:
+            nodes = set(ix.nodes)
+            if ix.object is not None:
+                nodes.discard(ix.object.index)
+            if ix.modified is not None:
+                nodes.discard(ix.modified.index)
+            for _, pobj in ix.pps:
+                # PP objects are referenced, not consumed: the container
+                # in "[] at $x" still needs its instanceOf triple.
+                nodes.discard(pobj.index)
+            core |= nodes
+
+        kept: list[ProtoTriple] = []
+        deleted: list[ProtoTriple] = []
+        for triple in general:
+            if triple.source_nodes & core:
+                deleted.append(triple)
+            else:
+                kept.append(triple)
+        return kept, deleted
+
+    # -- resolution ---------------------------------------------------------------
+
+    def _resolve(
+        self, proto: ProtoTriple, allocator: "_VariableAllocator"
+    ) -> QueryTriple:
+        return QueryTriple(
+            s=allocator.resolve(proto.s),
+            p=allocator.resolve(proto.p),
+            o=allocator.resolve(proto.o),
+        )
+
+    # -- SATISFYING ------------------------------------------------------------------
+
+    def _build_satisfying(
+        self,
+        graph: DepGraph,
+        ixs: list[IX],
+        individual: list[ProtoTriple],
+        allocator: "_VariableAllocator",
+        interaction: InteractionProvider,
+    ) -> tuple[SatisfyingClause, ...]:
+        by_unit: dict[int, list[ProtoTriple]] = {}
+        for triple in individual:
+            by_unit.setdefault(triple.unit, []).append(triple)
+
+        clauses: list[SatisfyingClause] = []
+        for unit_id in sorted(by_unit):
+            ix = ixs[unit_id]
+            triples = tuple(
+                self._resolve(t, allocator) for t in by_unit[unit_id]
+            )
+            qualifier = self._qualifier(graph, ix, interaction)
+            clauses.append(
+                SatisfyingClause(triples=triples, qualifier=qualifier)
+            )
+        return tuple(clauses)
+
+    def _qualifier(
+        self, graph: DepGraph, ix: IX, interaction: InteractionProvider
+    ):
+        description = self._unit_description(graph, ix)
+        if ix.kind == "opinion" and self._is_superlative(graph, ix.anchor):
+            k = int(interaction.ask(LimitRequest(description=description)))
+            descending = not self._is_ascending(graph, ix.anchor)
+            return TopK(k=k, descending=descending)
+        threshold = float(
+            interaction.ask(ThresholdRequest(description=description))
+        )
+        return SupportThreshold(threshold=threshold)
+
+    @staticmethod
+    def _unit_description(graph: DepGraph, ix: IX) -> str:
+        span = ix.span_text(graph)
+        if ix.kind == "opinion":
+            return f'the "{span}" opinion'
+        return f'the "{span}" habit'
+
+    @staticmethod
+    def _is_superlative(graph: DepGraph, anchor: DepNode) -> bool:
+        if anchor.tag in ("JJS", "RBS"):
+            return True
+        return any(
+            adv.lower in _SUPERLATIVE_ADVERBS
+            for adv in graph.children(anchor, "advmod")
+        )
+
+    @staticmethod
+    def _is_ascending(graph: DepGraph, anchor: DepNode) -> bool:
+        if anchor.lower in _ASCENDING_MARKERS or (
+            anchor.lemma in _ASCENDING_MARKERS
+        ):
+            return True
+        return any(
+            adv.lower == "least"
+            for adv in graph.children(anchor, "advmod")
+        )
+
+    # -- SELECT ------------------------------------------------------------------------
+
+    def _build_select(
+        self,
+        graph: DepGraph,
+        allocator: "_VariableAllocator",
+        interaction: InteractionProvider,
+    ) -> SelectClause:
+        phrases = allocator.phrases()
+        if len(phrases) <= 1:
+            return SelectClause(variables=None)
+        request = ProjectionRequest(
+            variables=tuple(sorted(phrases.items(),
+                                   key=lambda kv: kv[0])),
+        )
+        chosen = list(interaction.ask(request))
+        if set(chosen) >= set(phrases):
+            return SelectClause(variables=None)
+        unknown = set(chosen) - set(phrases)
+        if unknown:
+            raise CompositionError(
+                f"projection over unknown variables: {sorted(unknown)}"
+            )
+        ordered = tuple(v for v in phrases if v in set(chosen))
+        if not ordered:
+            return SelectClause(variables=None)
+        return SelectClause(variables=ordered)
+
+
+class _VariableAllocator:
+    """Allocates aligned variables for node references.
+
+    Node indexes are first resolved through the general result's
+    coreference links; entity-pinned nodes render as IRIs; the rest get
+    stable variable names in order of first allocation.
+    """
+
+    def __init__(self, general: GeneralQueryResult):
+        self._general = general
+        self._by_index: dict[int, Variable] = {}
+        self._phrases: dict[str, str] = {}
+
+    def resolve(self, term):
+        if isinstance(term, (IRI, Literal, Anything)):
+            return term
+        if isinstance(term, NodeTerm):
+            if term.entity is not None:
+                return term.entity
+            index = self._general.resolve_index(term.index)
+            entity = self._general.entity_bindings.get(index)
+            if entity is not None:
+                return entity
+            return self._variable_for(index, term.node)
+        raise CompositionError(f"cannot resolve term {term!r}")
+
+    def _variable_for(self, index: int, node: DepNode) -> Variable:
+        var = self._by_index.get(index)
+        if var is None:
+            position = len(self._by_index)
+            if position < len(_VARIABLE_NAMES):
+                name = _VARIABLE_NAMES[position]
+            else:
+                name = f"x{position - len(_VARIABLE_NAMES) + 1}"
+            var = Variable(name)
+            self._by_index[index] = var
+            self._phrases[name] = node.text
+        return var
+
+    def phrases(self) -> dict[str, str]:
+        """Variable name -> the sentence phrase it stands for."""
+        return dict(self._phrases)

@@ -1,0 +1,360 @@
+"""IX detection: IXFinder + IXCreator (paper Sections 2.3 and 3).
+
+The detector is split exactly as in the paper's Figure 2:
+
+* :class:`IXFinder` runs the declarative detection patterns over the
+  dependency graph and returns raw matches ("partial IXs");
+* :class:`IXCreator` completes each match into a full semantic unit
+  ("completed IXs"): for a verb anchor it gathers the auxiliaries,
+  negation, subject, objects and temporal modifiers that describe the
+  same habit; for an adjective anchor it gathers the degree adverbs and
+  the noun the opinion is about.
+
+:class:`IXDetector` is the façade combining both, returning :class:`IX`
+units ready for Individual Triple Creation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from importlib import resources
+
+from repro.data.vocabularies import VocabularyRegistry, load_vocabularies
+from repro.core.ixpatterns import (
+    IXPattern,
+    PatternMatch,
+    PatternMatcher,
+    parse_patterns,
+)
+from repro.nlp.depparse import TEMPORAL_NOUNS
+from repro.nlp.graph import DepGraph, DepNode
+
+__all__ = ["IX", "IXFinder", "IXCreator", "IXDetector",
+           "load_default_patterns"]
+
+
+def load_default_patterns() -> list[IXPattern]:
+    """The default pattern set from ``repro/data/ix_patterns.txt``."""
+    text = (
+        resources.files("repro.data")
+        .joinpath("ix_patterns.txt")
+        .read_text("utf-8")
+    )
+    return parse_patterns(text)
+
+
+@dataclass(frozen=True)
+class IX:
+    """A completed Individual eXpression: one semantic unit.
+
+    Attributes:
+        anchor: the node the detection pattern anchored on (a verb for
+            habit-like IXs, an adjective/adverb for opinion-like ones).
+        kind: ``"habit"`` (verb anchor) or ``"opinion"`` (adjective).
+        nodes: every node belonging to the unit (used for highlighting
+            in the UI and for composition's overlap deletion).
+        types: the individuality types that fired (lexical /
+            participant / syntactic).
+        patterns: names of the detection patterns that fired.
+        uncertain: True if any contributing pattern was marked
+            UNCERTAIN — the user is asked to confirm (Figure 4).
+        subject: the unit's grammatical subject (None for gaps).
+        object: the noun the habit/opinion is about, if any — for
+            "places we should visit", the antecedent "places".
+        pps: temporal/participant PPs of the unit as (prep, object
+            head) pairs — "in the fall" becomes a fact-set triple.
+        negated: True if the verb carries a ``neg`` modifier.
+    """
+
+    anchor: DepNode
+    kind: str
+    nodes: frozenset[int]
+    types: frozenset[str]
+    patterns: tuple[str, ...]
+    uncertain: bool
+    subject: DepNode | None = None
+    object: DepNode | None = None
+    pps: tuple[tuple[DepNode, DepNode], ...] = ()
+    modified: DepNode | None = None
+    negated: bool = False
+
+    def span_text(self, graph: DepGraph) -> str:
+        """The surface text of the unit, for UI highlighting."""
+        nodes = [graph.node(i) for i in sorted(self.nodes)]
+        return graph.text_span(nodes)
+
+
+class IXFinder:
+    """Runs the IX detection patterns over a dependency graph."""
+
+    def __init__(
+        self,
+        patterns: list[IXPattern] | None = None,
+        vocabularies: VocabularyRegistry | None = None,
+    ):
+        self.patterns = (
+            list(patterns) if patterns is not None
+            else load_default_patterns()
+        )
+        self.vocabularies = vocabularies or load_vocabularies()
+        self._matcher = PatternMatcher(self.vocabularies)
+
+    def find(self, graph: DepGraph) -> list[PatternMatch]:
+        """All pattern matches ("partial IXs")."""
+        return self._matcher.match_all(self.patterns, graph)
+
+
+class IXCreator:
+    """Completes pattern matches into full IX semantic units.
+
+    Matches sharing an anchor node merge into one unit (the running
+    example's "we should visit" fires both the participant-subject and
+    the syntactic-modal pattern on the same verb).  A lexical match
+    whose anchor modifies the object of a habit unit stays separate —
+    opinions and habits are distinct fact-sets (Figure 1 has one
+    subclause for "interesting" and one for "visit ... in fall").
+
+    When built with an ontology, PP inclusion is knowledge-aware: a
+    verb PP over a *location* entity ("visit in Buffalo") stays general
+    while one over a non-location entity ("serve with coffee") joins the
+    habit's fact-set.
+    """
+
+    def __init__(self, ontology=None, vocabularies=None):
+        self._ontology = ontology
+        self._vocabularies = vocabularies
+
+    def create(self, graph: DepGraph, matches: list[PatternMatch]) -> list[IX]:
+        by_anchor: dict[int, list[PatternMatch]] = {}
+        for match in matches:
+            by_anchor.setdefault(match.anchor_node.index, []).append(match)
+
+        units: list[IX] = []
+        deferred: list[tuple[DepNode, list[PatternMatch]]] = []
+        for anchor_index in sorted(by_anchor):
+            group = by_anchor[anchor_index]
+            anchor = graph.node(anchor_index)
+            if anchor.is_verb:
+                units.append(self._complete_verb(graph, anchor, group))
+            elif anchor.is_adjective or anchor.tag.startswith("R"):
+                units.append(self._complete_lexical(graph, anchor, group))
+            else:
+                # Noun anchors ("my kids' favorite dishes" anchors on
+                # the possessed noun) merge into the unit that talks
+                # about the same noun; only standalone ones form a
+                # fresh unit.
+                deferred.append((anchor, group))
+        for anchor, group in deferred:
+            merged = self._merge_into_existing(units, anchor, group)
+            if not merged:
+                units.append(self._complete_lexical(graph, anchor, group))
+        return units
+
+    @staticmethod
+    def _merge_into_existing(
+        units: list[IX], anchor: DepNode, group: list[PatternMatch]
+    ) -> bool:
+        for i, unit in enumerate(units):
+            related = (
+                anchor.index in unit.nodes
+                or (unit.modified is not None
+                    and unit.modified.index == anchor.index)
+                or (unit.object is not None
+                    and unit.object.index == anchor.index)
+                or (unit.subject is not None
+                    and unit.subject.index == anchor.index)
+            )
+            if not related:
+                continue
+            extra_nodes = set()
+            for match in group:
+                extra_nodes |= {
+                    n.index for n in match.nodes() if not n.is_root
+                }
+            units[i] = replace(
+                unit,
+                nodes=unit.nodes | frozenset(extra_nodes),
+                types=unit.types | frozenset(
+                    m.pattern.ix_type for m in group
+                ),
+                patterns=tuple(sorted(
+                    set(unit.patterns) | {m.pattern.name for m in group}
+                )),
+                uncertain=unit.uncertain and all(
+                    m.pattern.uncertain for m in group
+                ),
+            )
+            return True
+        return False
+
+    # -- completion rules ------------------------------------------------------
+
+    def _complete_verb(
+        self, graph: DepGraph, verb: DepNode, group: list[PatternMatch]
+    ) -> IX:
+        nodes: set[int] = {verb.index}
+        for match in group:
+            nodes |= {n.index for n in match.nodes() if not n.is_root}
+
+        subject = self._first(graph.children(verb, "nsubj"))
+        negated = bool(graph.children(verb, "neg"))
+        for label in ("aux", "auxpass", "neg", "prt"):
+            nodes |= {n.index for n in graph.children(verb, label)}
+        if subject is not None:
+            nodes.add(subject.index)
+
+        obj = self._first(graph.children(verb, "dobj"))
+        if obj is None:
+            # Relative-clause gap: "places we should visit" — the
+            # antecedent is the verb's understood object.
+            parent_edge = graph.parent_edge(verb)
+            if parent_edge is not None and parent_edge.label == "rcmod":
+                obj = parent_edge.head
+        if obj is None:
+            # Open wh-question: "Where do you visit?" — the wh adverb
+            # stands for the asked-about object.
+            wh = next(
+                (n for n in graph.children(verb, "advmod")
+                 if n.tag == "WRB" and n.lemma in ("where", "what")),
+                None,
+            )
+            if wh is not None:
+                obj = wh
+                nodes.add(wh.index)
+        if obj is not None:
+            nodes.add(obj.index)
+
+        pps: list[tuple[DepNode, DepNode]] = []
+        for prep in graph.children(verb, "prep"):
+            pobj = self._first(graph.children(prep, "pobj"))
+            if pobj is None:
+                continue
+            if self._pp_belongs_to_unit(graph, pobj):
+                pps.append((prep, pobj))
+                nodes.add(prep.index)
+                nodes.add(pobj.index)
+                nodes |= {
+                    n.index for n in graph.children(pobj, "det")
+                }
+        # An xcomp activity joins the unit: "go hiking".
+        for xcomp in graph.children(verb, "xcomp"):
+            if xcomp.tag == "VBG":
+                nodes.add(xcomp.index)
+                for prep in graph.children(xcomp, "prep"):
+                    pobj = self._first(graph.children(prep, "pobj"))
+                    if pobj is not None and self._pp_belongs_to_unit(
+                        graph, pobj
+                    ):
+                        pps.append((prep, pobj))
+                        nodes.add(prep.index)
+                        nodes.add(pobj.index)
+
+        return IX(
+            anchor=verb,
+            kind="habit",
+            nodes=frozenset(nodes),
+            types=frozenset(m.pattern.ix_type for m in group),
+            patterns=tuple(sorted({m.pattern.name for m in group})),
+            uncertain=all(m.pattern.uncertain for m in group),
+            subject=subject,
+            object=obj,
+            pps=tuple(pps),
+            negated=negated,
+        )
+
+    def _complete_lexical(
+        self, graph: DepGraph, anchor: DepNode, group: list[PatternMatch]
+    ) -> IX:
+        nodes: set[int] = {anchor.index}
+        for match in group:
+            nodes |= {n.index for n in match.nodes() if not n.is_root}
+        # Degree adverbs: "most interesting", "really good".
+        for adv in graph.children(anchor, "advmod"):
+            nodes.add(adv.index)
+
+        # What is the opinion about?  amod parent ("interesting places")
+        # or copular subject ("chocolate milk is good").
+        modified: DepNode | None = None
+        parent_edge = graph.parent_edge(anchor)
+        if parent_edge is not None and parent_edge.label == "amod":
+            modified = parent_edge.head
+        else:
+            modified = self._first(graph.children(anchor, "nsubj"))
+
+        # Participant PPs qualify the opinion: "good for kids".
+        pps: list[tuple[DepNode, DepNode]] = []
+        for prep in graph.children(anchor, "prep"):
+            pobj = self._first(graph.children(prep, "pobj"))
+            if pobj is not None:
+                pps.append((prep, pobj))
+                nodes.add(prep.index)
+                nodes.add(pobj.index)
+
+        return IX(
+            anchor=anchor,
+            kind="opinion",
+            nodes=frozenset(nodes),
+            types=frozenset(m.pattern.ix_type for m in group),
+            patterns=tuple(sorted({m.pattern.name for m in group})),
+            uncertain=all(m.pattern.uncertain for m in group),
+            modified=modified,
+            pps=tuple(pps),
+        )
+
+    def _pp_belongs_to_unit(self, graph: DepGraph, pobj: DepNode) -> bool:
+        """Which verb PPs join the habit's fact-set.
+
+        Temporal PPs do ("visit ... in the fall" -> ``[] in Fall``,
+        Figure 1); a wh-questioned PP does — "At what container should
+        I store coffee?" asks about the container *of the storing
+        habit* (``[] at $x``); a participant PP does ("with your kids");
+        and, with an ontology, a PP over a non-location entity does
+        ("serve with coffee").  Locative PPs over known places ("visit
+        in Buffalo") stay general: the place is ontology data.
+        """
+        if pobj.lemma in TEMPORAL_NOUNS:
+            return True
+        if any(det.tag in ("WDT", "WP")
+               for det in graph.children(pobj, "det")):
+            return True
+        if self._vocabularies is not None and (
+            pobj.lemma in self._vocabularies["V_participant"]
+        ):
+            return True
+        if self._ontology is not None:
+            from repro.rdf.ontology import KB  # local: avoid cycles
+            match = None
+            for phrase in (pobj.lower, pobj.lemma):
+                match = self._ontology.best_match(
+                    phrase, kinds=("entity",), threshold=0.9
+                )
+                if match is not None:
+                    break
+            if match is not None:
+                types = set(self._ontology.types_of(match.iri))
+                if not types & {KB.Place, KB.City}:
+                    return True
+        return False
+
+    @staticmethod
+    def _first(nodes: list[DepNode]) -> DepNode | None:
+        return nodes[0] if nodes else None
+
+
+class IXDetector:
+    """Facade: find partial IXs, then complete them into units."""
+
+    def __init__(
+        self,
+        patterns: list[IXPattern] | None = None,
+        vocabularies: VocabularyRegistry | None = None,
+        ontology=None,
+    ):
+        self.finder = IXFinder(patterns, vocabularies)
+        self.creator = IXCreator(
+            ontology=ontology, vocabularies=self.finder.vocabularies
+        )
+
+    def detect(self, graph: DepGraph) -> list[IX]:
+        """All completed IX units of ``graph``."""
+        return self.creator.create(graph, self.finder.find(graph))

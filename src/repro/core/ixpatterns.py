@@ -1,0 +1,494 @@
+"""The declarative IX detection pattern language (paper Section 2.3).
+
+Patterns are written "in a SPARQL-like syntax, in terms of the POS tags;
+the dependency graph edges; and dedicated vocabularies".  The paper's
+own example pattern is::
+
+    $x subject $y
+    filter(POS($x) = "verb" && $y in V_participant)
+
+A pattern definition in our concrete syntax adds a header line carrying
+its metadata::
+
+    PATTERN participant_subject TYPE participant ANCHOR $x
+    $x subject $y
+    filter(POS($x) = "verb" && $y in V_participant)
+
+* ``TYPE`` — the individuality type: ``lexical``, ``participant`` or
+  ``syntactic``;
+* ``ANCHOR`` — the variable whose binding anchors the detected IX (the
+  node the IXCreator completes into a full semantic unit);
+* optional ``UNCERTAIN`` — ask the user to verify matches of this
+  pattern (paper Section 4.1, Figure 4).
+
+Edge lines use the dependency labels of
+:data:`repro.nlp.graph.DEPENDENCY_LABELS`; ``subject`` and ``object``
+are accepted as aliases for ``nsubj`` and ``dobj`` to match the paper's
+surface syntax.  Filters support ``&&``, ``||``, ``!``, ``=``/``!=``
+comparisons over the node functions ``POS($x)``, ``LEMMA($x)`` and
+``TEXT($x)``, and vocabulary membership ``$x in V_name`` /
+``LEMMA($x) in V_name``.
+
+Patterns are *data*, not code: the default set lives in
+``repro/data/ix_patterns.txt`` and an administrator can edit it without
+touching the matcher — the transparency/extensibility argument the paper
+makes for pattern matching over machine learning.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.data.vocabularies import VocabularyRegistry
+from repro.errors import PatternSyntaxError
+from repro.nlp.graph import DEPENDENCY_LABELS, DepGraph, DepNode
+
+__all__ = ["IXPattern", "PatternEdge", "PatternFilter", "PatternMatcher",
+           "parse_patterns", "IX_TYPES"]
+
+IX_TYPES = ("lexical", "participant", "syntactic")
+
+_LABEL_ALIASES = {
+    "subject": "nsubj",
+    "object": "dobj",
+    "modifier": "amod",
+    "auxiliary": "aux",
+}
+
+# A special pattern-edge label matching any dependency label.
+_ANY_LABEL = "*"
+
+
+@dataclass(frozen=True, slots=True)
+class PatternEdge:
+    """One edge constraint: ``head_var --label--> dep_var``."""
+
+    head: str
+    label: str
+    dependent: str
+
+
+@dataclass(frozen=True)
+class PatternFilter:
+    """A boolean condition over the variable bindings.
+
+    ``op``: ``and``, ``or``, ``not``, ``cmp`` (with comparator and two
+    operand sub-expressions), ``in`` (function expr + vocabulary name),
+    ``func`` (POS/LEMMA/TEXT of a variable) or ``const``.
+    """
+
+    op: str
+    args: tuple = ()
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        if self.op == "func":
+            out.add(self.args[1])
+        else:
+            for arg in self.args:
+                if isinstance(arg, PatternFilter):
+                    out |= arg.variables()
+        return out
+
+    def evaluate(
+        self,
+        binding: dict[str, DepNode],
+        vocabularies: VocabularyRegistry,
+    ) -> bool | str:
+        if self.op == "const":
+            return self.args[0]
+        if self.op == "func":
+            fn, var = self.args
+            node = binding[var]
+            if fn == "POS":
+                return _pos_class(node)
+            if fn == "LEMMA":
+                return node.lemma
+            if fn == "TEXT":
+                return node.lower
+            raise PatternSyntaxError(f"unknown function {fn}()")
+        if self.op == "and":
+            return all(a.evaluate(binding, vocabularies) for a in self.args)
+        if self.op == "or":
+            return any(a.evaluate(binding, vocabularies) for a in self.args)
+        if self.op == "not":
+            return not self.args[0].evaluate(binding, vocabularies)
+        if self.op == "cmp":
+            comparator, left, right = self.args
+            lv = left.evaluate(binding, vocabularies)
+            rv = right.evaluate(binding, vocabularies)
+            return (lv == rv) if comparator == "=" else (lv != rv)
+        if self.op == "in":
+            expr, vocab_name = self.args
+            value = expr.evaluate(binding, vocabularies)
+            return str(value) in vocabularies[vocab_name]
+        raise PatternSyntaxError(f"unknown filter op {self.op!r}")
+
+
+def _pos_class(node: DepNode) -> str:
+    """Map a PTB tag to the coarse class names filters use.
+
+    Modal auxiliaries get their own class: a pattern anchored on a
+    "verb" must not fire on the bare modal ("should" is the *marker* of
+    syntactic individuality, not the habit verb).
+    """
+    tag = node.tag
+    if tag == "MD":
+        return "modal"
+    if tag.startswith("V"):
+        return "verb"
+    if tag.startswith("N") or tag in ("PRP", "WP"):
+        return "noun"
+    if tag.startswith("J"):
+        return "adjective"
+    if tag.startswith("R") or tag == "WRB":
+        return "adverb"
+    return tag.lower()
+
+
+@dataclass(frozen=True)
+class IXPattern:
+    """A parsed IX detection pattern."""
+
+    name: str
+    ix_type: str
+    anchor: str
+    edges: tuple[PatternEdge, ...]
+    filter: PatternFilter | None = None
+    uncertain: bool = False
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for edge in self.edges:
+            out.add(edge.head)
+            out.add(edge.dependent)
+        if self.filter is not None:
+            out |= self.filter.variables()
+        return out
+
+    def validate(self) -> None:
+        if self.ix_type not in IX_TYPES:
+            raise PatternSyntaxError(
+                f"pattern {self.name}: unknown TYPE {self.ix_type!r}"
+            )
+        if self.anchor not in self.variables():
+            raise PatternSyntaxError(
+                f"pattern {self.name}: ANCHOR ${self.anchor} is not used"
+            )
+        for edge in self.edges:
+            if edge.label not in DEPENDENCY_LABELS and edge.label != _ANY_LABEL:
+                raise PatternSyntaxError(
+                    f"pattern {self.name}: unknown edge label "
+                    f"{edge.label!r}"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Pattern text parsing
+# ---------------------------------------------------------------------------
+
+_HEADER_RE = re.compile(
+    r"^PATTERN\s+(?P<name>\w+)\s+TYPE\s+(?P<type>\w+)\s+"
+    r"ANCHOR\s+\$(?P<anchor>\w+)(?P<uncertain>\s+UNCERTAIN)?\s*$"
+)
+_EDGE_RE = re.compile(r"^\$(?P<head>\w+)\s+(?P<label>[\w*]+)\s+\$(?P<dep>\w+)\s*$")
+
+_FILTER_TOKEN_RE = re.compile(
+    r"""
+    (?P<func>POS|LEMMA|TEXT)
+  | (?P<var>\$\w+)
+  | (?P<vocab>V_\w+)
+  | (?P<string>"[^"]*")
+  | (?P<kw_in>\bin\b)
+  | (?P<op>&&|\|\||!=|[=!()])
+  | (?P<space>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+class _FilterParser:
+    """Recursive-descent parser for filter expressions."""
+
+    def __init__(self, text: str, pattern_name: str):
+        self.pattern_name = pattern_name
+        self.tokens: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            m = _FILTER_TOKEN_RE.match(text, pos)
+            if m is None:
+                raise PatternSyntaxError(
+                    f"pattern {pattern_name}: bad filter near "
+                    f"{text[pos:pos + 12]!r}"
+                )
+            if m.lastgroup != "space":
+                self.tokens.append((m.lastgroup, m.group()))
+            pos = m.end()
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self):
+        tok = self.peek()
+        if tok is None:
+            raise PatternSyntaxError(
+                f"pattern {self.pattern_name}: unexpected end of filter"
+            )
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        tok = self.peek()
+        if tok and tok[0] == kind and (value is None or tok[1] == value):
+            self.pos += 1
+            return True
+        return False
+
+    def parse(self) -> PatternFilter:
+        expr = self.parse_or()
+        if self.peek() is not None:
+            raise PatternSyntaxError(
+                f"pattern {self.pattern_name}: trailing filter tokens"
+            )
+        return expr
+
+    def parse_or(self) -> PatternFilter:
+        left = self.parse_and()
+        while self.accept("op", "||"):
+            left = PatternFilter("or", (left, self.parse_and()))
+        return left
+
+    def parse_and(self) -> PatternFilter:
+        left = self.parse_unary()
+        while self.accept("op", "&&"):
+            left = PatternFilter("and", (left, self.parse_unary()))
+        return left
+
+    def parse_unary(self) -> PatternFilter:
+        if self.accept("op", "!"):
+            return PatternFilter("not", (self.parse_unary(),))
+        if self.accept("op", "("):
+            inner = self.parse_or()
+            if not self.accept("op", ")"):
+                raise PatternSyntaxError(
+                    f"pattern {self.pattern_name}: missing ')'"
+                )
+            return self.parse_postfix(inner)
+        return self.parse_postfix(self.parse_primary())
+
+    def parse_postfix(self, left: PatternFilter) -> PatternFilter:
+        tok = self.peek()
+        if tok and tok[0] == "op" and tok[1] in ("=", "!="):
+            comparator = self.next()[1]
+            right = self.parse_primary()
+            return PatternFilter("cmp", (comparator, left, right))
+        if tok and tok[0] == "kw_in":
+            self.next()
+            kind, vocab = self.next()
+            if kind != "vocab":
+                raise PatternSyntaxError(
+                    f"pattern {self.pattern_name}: expected vocabulary "
+                    f"after 'in', got {vocab!r}"
+                )
+            return PatternFilter("in", (left, vocab))
+        return left
+
+    def parse_primary(self) -> PatternFilter:
+        kind, value = self.next()
+        if kind == "func":
+            if not self.accept("op", "("):
+                raise PatternSyntaxError(
+                    f"pattern {self.pattern_name}: expected '(' after "
+                    f"{value}"
+                )
+            var_kind, var = self.next()
+            if var_kind != "var":
+                raise PatternSyntaxError(
+                    f"pattern {self.pattern_name}: {value}() needs a "
+                    f"variable"
+                )
+            if not self.accept("op", ")"):
+                raise PatternSyntaxError(
+                    f"pattern {self.pattern_name}: missing ')' after "
+                    f"{value}()"
+                )
+            return PatternFilter("func", (value, var[1:]))
+        if kind == "var":
+            # Bare "$y in V_x" sugar: the node's lemma is tested.
+            return PatternFilter("func", ("LEMMA", value[1:]))
+        if kind == "string":
+            return PatternFilter("const", (value[1:-1],))
+        raise PatternSyntaxError(
+            f"pattern {self.pattern_name}: unexpected filter token "
+            f"{value!r}"
+        )
+
+
+def parse_patterns(text: str) -> list[IXPattern]:
+    """Parse a pattern definition file into validated patterns.
+
+    Blank lines separate patterns; ``#`` starts a comment line.
+    """
+    patterns: list[IXPattern] = []
+    blocks: list[list[str]] = [[]]
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("#"):
+            continue
+        if not line:
+            if blocks[-1]:
+                blocks.append([])
+            continue
+        blocks[-1].append(line)
+    if not blocks[-1]:
+        blocks.pop()
+
+    for block in blocks:
+        header = _HEADER_RE.match(block[0])
+        if header is None:
+            raise PatternSyntaxError(
+                f"bad pattern header: {block[0]!r}"
+            )
+        name = header.group("name")
+        edges: list[PatternEdge] = []
+        filter_expr: PatternFilter | None = None
+        for line in block[1:]:
+            if line.lower().startswith("filter"):
+                body = line[len("filter"):].strip()
+                if not (body.startswith("(") and body.endswith(")")):
+                    raise PatternSyntaxError(
+                        f"pattern {name}: filter must be parenthesised"
+                    )
+                if filter_expr is not None:
+                    raise PatternSyntaxError(
+                        f"pattern {name}: multiple filter lines"
+                    )
+                filter_expr = _FilterParser(body[1:-1], name).parse()
+                continue
+            edge = _EDGE_RE.match(line)
+            if edge is None:
+                raise PatternSyntaxError(
+                    f"pattern {name}: bad edge line {line!r}"
+                )
+            label = edge.group("label")
+            label = _LABEL_ALIASES.get(label, label)
+            edges.append(
+                PatternEdge(edge.group("head"), label, edge.group("dep"))
+            )
+        pattern = IXPattern(
+            name=name,
+            ix_type=header.group("type"),
+            anchor=header.group("anchor"),
+            edges=tuple(edges),
+            filter=filter_expr,
+            uncertain=bool(header.group("uncertain")),
+        )
+        pattern.validate()
+        patterns.append(pattern)
+    return patterns
+
+
+# ---------------------------------------------------------------------------
+# Matching
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One successful match: the pattern and its variable bindings."""
+
+    pattern: IXPattern
+    binding: dict[str, DepNode]
+
+    @property
+    def anchor_node(self) -> DepNode:
+        return self.binding[self.pattern.anchor]
+
+    def nodes(self) -> set[DepNode]:
+        return set(self.binding.values())
+
+
+class PatternMatcher:
+    """Matches IX patterns against dependency graphs.
+
+    Matching a pattern means finding every assignment of its variables
+    to graph nodes such that each pattern edge maps to a graph edge with
+    the required label and the filter evaluates to true — subgraph
+    matching restricted to connected patterns, which the paper's
+    patterns always are.
+    """
+
+    def __init__(self, vocabularies: VocabularyRegistry):
+        self._vocabularies = vocabularies
+
+    def match(
+        self, pattern: IXPattern, graph: DepGraph
+    ) -> list[PatternMatch]:
+        """All matches of ``pattern`` in ``graph``."""
+        matches: list[PatternMatch] = []
+        variables = sorted(pattern.variables())
+
+        if not pattern.edges:
+            # Node-only pattern: try every node as the single variable.
+            if len(variables) != 1:
+                raise PatternSyntaxError(
+                    f"pattern {pattern.name}: edge-free patterns must use "
+                    f"exactly one variable"
+                )
+            var = variables[0]
+            for node in graph.nodes():
+                binding = {var: node}
+                if self._filter_ok(pattern, binding):
+                    matches.append(PatternMatch(pattern, binding))
+            return matches
+
+        def backtrack(edge_idx: int, binding: dict[str, DepNode]) -> None:
+            if edge_idx == len(pattern.edges):
+                if self._filter_ok(pattern, binding):
+                    matches.append(PatternMatch(pattern, dict(binding)))
+                return
+            edge = pattern.edges[edge_idx]
+            for graph_edge in graph.edges():
+                if edge.label != _ANY_LABEL and (
+                    graph_edge.label != edge.label
+                ):
+                    continue
+                head, dep = graph_edge.head, graph_edge.dependent
+                if head.is_root:
+                    continue
+                bound_head = binding.get(edge.head)
+                bound_dep = binding.get(edge.dependent)
+                if bound_head is not None and bound_head.index != head.index:
+                    continue
+                if bound_dep is not None and bound_dep.index != dep.index:
+                    continue
+                added = []
+                if bound_head is None:
+                    binding[edge.head] = head
+                    added.append(edge.head)
+                if bound_dep is None:
+                    binding[edge.dependent] = dep
+                    added.append(edge.dependent)
+                backtrack(edge_idx + 1, binding)
+                for var in added:
+                    del binding[var]
+
+        backtrack(0, {})
+        return matches
+
+    def match_all(
+        self, patterns: list[IXPattern], graph: DepGraph
+    ) -> list[PatternMatch]:
+        """All matches of all patterns, in pattern order."""
+        out: list[PatternMatch] = []
+        for pattern in patterns:
+            out.extend(self.match(pattern, graph))
+        return out
+
+    def _filter_ok(
+        self, pattern: IXPattern, binding: dict[str, DepNode]
+    ) -> bool:
+        if pattern.filter is None:
+            return True
+        return bool(pattern.filter.evaluate(binding, self._vocabularies))

@@ -1,0 +1,256 @@
+"""The NL2CM translator: orchestration of the full pipeline (Figure 2).
+
+The stages run top-down exactly as the architecture figure draws them:
+
+1. verification;
+2. NL parsing (POS tags + dependency graph);
+3. IX detection (IXFinder -> user verification of uncertain IXs ->
+   IXCreator);
+4. general query generation (FREyA stand-in, may ask disambiguation);
+5. individual triple creation;
+6. query composition (may ask LIMIT/THRESHOLD/projection).
+
+Every stage deposits its intermediate output into a
+:class:`TranslationTrace` — the admin-mode monitor of the demo
+(Section 4.2) prints these to give "a peek under the hood".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.compose import ComposedQuery, QueryComposer
+from repro.core.ixdetect import IX, IXCreator, IXFinder
+from repro.core.ixpatterns import IXPattern
+from repro.core.triples import IndividualTripleCreator
+from repro.core.verification import VerificationResult, Verifier
+from repro.data.ontologies import load_merged_ontology
+from repro.data.vocabularies import VocabularyRegistry
+from repro.errors import VerificationError
+from repro.freya.generator import FeedbackStore, GeneralQueryGenerator
+from repro.nlp.depparse import DependencyParser
+from repro.nlp.graph import DepGraph
+from repro.oassisql.ast import OassisQuery
+from repro.oassisql.printer import print_oassisql
+from repro.rdf.ontology import Ontology
+from repro.ui.interaction import (
+    AutoInteraction,
+    InteractionProvider,
+    VerifyIXRequest,
+)
+
+__all__ = ["NL2CM", "TranslationResult", "TranslationTrace"]
+
+
+@dataclass
+class TraceEntry:
+    """One admin-mode record: stage name, artifact, elapsed seconds."""
+
+    stage: str
+    artifact: Any
+    elapsed: float
+
+    def render(self) -> str:
+        """Human-readable rendering for the admin monitor."""
+        body = (
+            self.artifact if isinstance(self.artifact, str)
+            else repr(self.artifact)
+        )
+        return f"== {self.stage} ({self.elapsed * 1000:.1f} ms) ==\n{body}"
+
+
+@dataclass
+class TranslationTrace:
+    """Ordered intermediate outputs passed between the modules."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def add(self, stage: str, artifact: Any, elapsed: float) -> None:
+        self.entries.append(TraceEntry(stage, artifact, elapsed))
+
+    def stages(self) -> list[str]:
+        return [e.stage for e in self.entries]
+
+    def render(self) -> str:
+        return "\n\n".join(e.render() for e in self.entries)
+
+    def timings(self) -> dict[str, float]:
+        """Stage -> elapsed seconds (for the latency experiments)."""
+        return {e.stage: e.elapsed for e in self.entries}
+
+
+@dataclass
+class TranslationResult:
+    """Everything a translation produced."""
+
+    text: str
+    query: OassisQuery
+    query_text: str
+    graph: DepGraph
+    ixs: list[IX]
+    composed: ComposedQuery
+    trace: TranslationTrace
+
+    @property
+    def variable_phrases(self) -> dict[str, str]:
+        """Which sentence phrase each query variable stands for."""
+        return self.composed.variable_phrases
+
+
+class NL2CM:
+    """The NL-to-crowd-mining translator.
+
+    Args:
+        ontology: the general-knowledge ontology; defaults to the merged
+            LinkedGeoData/DBpedia/food snapshots, the demo configuration.
+        interaction: default answer provider; :class:`AutoInteraction`
+            (administrator defaults, no user) if omitted.  Can be
+            overridden per call.
+        patterns: IX detection patterns; the packaged defaults if
+            omitted.
+        vocabularies: vocabulary registry for the patterns.
+        feedback: FREyA-style disambiguation feedback store, shared
+            across translations.
+    """
+
+    def __init__(
+        self,
+        ontology: Ontology | None = None,
+        interaction: InteractionProvider | None = None,
+        patterns: list[IXPattern] | None = None,
+        vocabularies: VocabularyRegistry | None = None,
+        feedback: FeedbackStore | None = None,
+    ):
+        self.ontology = ontology or load_merged_ontology()
+        self.interaction = interaction or AutoInteraction()
+        self.verifier = Verifier()
+        self.parser = DependencyParser()
+        self.finder = IXFinder(patterns, vocabularies)
+        self.creator = IXCreator(
+            ontology=self.ontology,
+            vocabularies=self.finder.vocabularies,
+        )
+        self.generator = GeneralQueryGenerator(
+            self.ontology, feedback or FeedbackStore()
+        )
+        self.triple_creator = IndividualTripleCreator(
+            vocabularies=self.finder.vocabularies
+        )
+        self.composer = QueryComposer()
+
+    # -- public API ------------------------------------------------------------
+
+    def verify(self, text: str) -> VerificationResult:
+        """Run only the verification step (used by the UI upfront)."""
+        return self.verifier.verify(text)
+
+    def translate(
+        self,
+        text: str,
+        interaction: InteractionProvider | None = None,
+    ) -> TranslationResult:
+        """Translate an NL request into a well-formed OASSIS-QL query.
+
+        Raises:
+            VerificationError: for unsupported question forms (carries
+                the rephrasing tips).
+            TranslationError: when no query can be composed.
+        """
+        provider = interaction or self.interaction
+        trace = TranslationTrace()
+
+        verification = self._timed(
+            trace, "verification", lambda: self.verifier.verify(text)
+        )
+        if not verification.ok:
+            raise VerificationError(
+                verification.message, tips=verification.tips
+            )
+
+        graph = self._timed(
+            trace, "nl-parsing", lambda: self.parser.parse(text)
+        )
+        trace.entries[-1].artifact = graph.pretty()
+
+        matches = self._timed(
+            trace, "ix-finder", lambda: self.finder.find(graph)
+        )
+        ixs = self._timed(
+            trace, "ix-creator", lambda: self.creator.create(graph, matches)
+        )
+        ixs = self._verify_uncertain(graph, ixs, provider)
+        trace.add(
+            "ix-detection",
+            "\n".join(
+                f"{ix.kind}[{','.join(sorted(ix.types))}] "
+                f"{ix.span_text(graph)!r}"
+                for ix in ixs
+            ) or "(no individual expressions)",
+            0.0,
+        )
+
+        general = self._timed(
+            trace, "general-query-generator",
+            lambda: self.generator.generate(graph, provider),
+        )
+        trace.entries[-1].artifact = "\n".join(
+            str(t) for t in general.triples
+        ) or "(no general triples)"
+
+        individual = self._timed(
+            trace, "individual-triple-creation",
+            lambda: self.triple_creator.create(graph, ixs),
+        )
+        trace.entries[-1].artifact = "\n".join(
+            str(t) for t in individual
+        ) or "(no individual triples)"
+
+        composed = self._timed(
+            trace, "query-composition",
+            lambda: self.composer.compose(
+                graph, ixs, individual, general, provider
+            ),
+        )
+        query_text = print_oassisql(composed.query)
+        trace.add("final-query", query_text, 0.0)
+
+        return TranslationResult(
+            text=text,
+            query=composed.query,
+            query_text=query_text,
+            graph=graph,
+            ixs=ixs,
+            composed=composed,
+            trace=trace,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _verify_uncertain(
+        self,
+        graph: DepGraph,
+        ixs: list[IX],
+        provider: InteractionProvider,
+    ) -> list[IX]:
+        """Ask the user to confirm IXs found by uncertain patterns."""
+        uncertain = [ix for ix in ixs if ix.uncertain]
+        if not uncertain:
+            return ixs
+        request = VerifyIXRequest(
+            spans=tuple(ix.span_text(graph) for ix in uncertain),
+            sentence=graph.sentence,
+        )
+        answers = list(provider.ask(request))
+        rejected = {
+            id(ix) for ix, keep in zip(uncertain, answers) if not keep
+        }
+        return [ix for ix in ixs if id(ix) not in rejected]
+
+    @staticmethod
+    def _timed(trace: TranslationTrace, stage: str, thunk):
+        start = time.perf_counter()
+        result = thunk()
+        trace.add(stage, result, time.perf_counter() - start)
+        return result

@@ -1,0 +1,129 @@
+"""Individual Triple Creation (paper Sections 2.5 and 3).
+
+Maps completed IX units to OASSIS-QL proto-triples via grammatical
+patterns — not via ontology alignment, "since these parts do not
+correspond to an ontology":
+
+* a **habit** unit ("we should visit <places>") becomes
+  ``[] <verb> <object>`` — the individual participant is projected out
+  as ``[]`` "which is necessary for aggregating the answers of
+  different crowd members about the same habit", and the modal
+  auxiliary is dropped ("'should' does not appear in the query",
+  footnote 2).  Temporal PPs of the unit add ``[] <prep> <object>``
+  triples to the same fact-set (Figure 1 lines 10-11);
+* an **opinion** unit ("the most interesting <places>") becomes
+  ``<target> hasLabel "<opinion>"`` (Figure 1 line 6), where the label
+  collects the opinion lemma plus any participant qualifier
+  ("good for kids").
+"""
+
+from __future__ import annotations
+
+from repro.core.ir import NodeTerm, ProtoTriple
+from repro.core.ixdetect import IX
+from repro.nlp.graph import DepGraph, DepNode
+from repro.oassisql.ast import ANYTHING
+from repro.rdf.ontology import KB
+from repro.rdf.terms import Literal
+
+__all__ = ["IndividualTripleCreator"]
+
+
+class IndividualTripleCreator:
+    """Turns IX units into proto-triples for the SATISFYING clause."""
+
+    def __init__(self, vocabularies=None):
+        from repro.data.vocabularies import load_vocabularies
+        self._vocabularies = vocabularies or load_vocabularies()
+
+    def create(self, graph: DepGraph, ixs: list[IX]) -> list[ProtoTriple]:
+        """Proto-triples for all units; ``unit`` ids index into ``ixs``."""
+        triples: list[ProtoTriple] = []
+        for unit_id, ix in enumerate(ixs):
+            if ix.kind == "habit":
+                triples.extend(self._habit_triples(graph, ix, unit_id))
+            else:
+                triples.extend(self._opinion_triples(graph, ix, unit_id))
+        return triples
+
+    # -- habits -----------------------------------------------------------------
+
+    def _habit_triples(
+        self, graph: DepGraph, ix: IX, unit_id: int
+    ) -> list[ProtoTriple]:
+        predicate = KB[self._habit_predicate(graph, ix)]
+
+        obj = self._object_term(ix)
+        triples = [ProtoTriple(
+            s=ANYTHING,
+            p=predicate,
+            o=obj,
+            origin="individual",
+            source_nodes=ix.nodes,
+            unit=unit_id,
+        )]
+        for prep, pobj in ix.pps:
+            if pobj.lemma in self._vocabularies["V_participant"]:
+                # Participant context ("with your kids") is projected
+                # out like the subject — no triple, the habit is asked
+                # of each member directly.
+                continue
+            triples.append(ProtoTriple(
+                s=ANYTHING,
+                p=KB[prep.lemma],
+                o=NodeTerm(pobj),
+                origin="individual",
+                source_nodes=frozenset({prep.index, pobj.index}),
+                unit=unit_id,
+            ))
+        return triples
+
+    @staticmethod
+    def _habit_predicate(graph: DepGraph, ix: IX) -> str:
+        """The fact-set's verb: "go hiking" mines the hiking habit."""
+        verb = ix.anchor
+        if verb.lemma == "go":
+            for xcomp in graph.children(verb, "xcomp"):
+                if xcomp.tag == "VBG":
+                    return xcomp.lemma
+        return verb.lemma
+
+    @staticmethod
+    def _object_term(ix: IX):
+        if ix.object is None:
+            return ANYTHING
+        if ix.object.tag == "PRP":
+            # A pronominal object is another projected participant.
+            return ANYTHING
+        return NodeTerm(ix.object)
+
+    # -- opinions ----------------------------------------------------------------
+
+    def _opinion_triples(
+        self, graph: DepGraph, ix: IX, unit_id: int
+    ) -> list[ProtoTriple]:
+        label = self._opinion_label(ix)
+        target = (
+            NodeTerm(ix.modified) if ix.modified is not None else ANYTHING
+        )
+        return [ProtoTriple(
+            s=target,
+            p=KB.hasLabel,
+            o=Literal(label),
+            origin="individual",
+            source_nodes=ix.nodes,
+            unit=unit_id,
+        )]
+
+    @staticmethod
+    def _opinion_label(ix: IX) -> str:
+        """The mined label: opinion lemma + participant qualifiers.
+
+        "most interesting" -> "interesting" (the superlative moves into
+        the support qualifier); "good for kids" keeps its PP.
+        """
+        parts = [ix.anchor.lemma]
+        for prep, pobj in ix.pps:
+            parts.append(prep.lower)
+            parts.append(pobj.lower)
+        return " ".join(parts)

@@ -1,0 +1,20 @@
+"""Simulated crowd: the population OASSIS mines instead of web users.
+
+The paper's demo posts crowd tasks to real people through the OASSIS
+UI.  Offline, we simulate the crowd: a population of members, each with
+a latent personal frequency/agreement value for every fact-set, sampled
+around a configurable ground truth.  This preserves the engine-facing
+behaviour (ask a member about a fact-set, get a noisy answer) while
+making experiments deterministic and ground-truth-evaluable.
+"""
+
+from repro.crowd.model import FactSet, GroundTruth, verbalize_fact_set
+from repro.crowd.simulator import CrowdMember, SimulatedCrowd
+
+__all__ = [
+    "FactSet",
+    "GroundTruth",
+    "verbalize_fact_set",
+    "CrowdMember",
+    "SimulatedCrowd",
+]

@@ -1,0 +1,108 @@
+"""Ready-made crowd scenarios for the demo domains.
+
+Each scenario builds a :class:`~repro.crowd.model.GroundTruth` for one
+of the paper's settings — the Buffalo travelers, the Vegas thrill-ride
+question, the dietician's fiber study — so examples and benchmarks can
+run end-to-end with known right answers.
+"""
+
+from __future__ import annotations
+
+from repro.crowd.model import FactSet, GroundTruth
+from repro.oassisql.ast import ANYTHING, QueryTriple
+from repro.rdf.ontology import KB
+from repro.rdf.terms import IRI, Literal
+
+__all__ = [
+    "habit_fact_set",
+    "opinion_fact_set",
+    "buffalo_travel_truth",
+    "vegas_rides_truth",
+    "dietician_truth",
+]
+
+
+def habit_fact_set(
+    verb: str, target: IRI, context: tuple[str, IRI] | None = None
+) -> FactSet:
+    """``{[] <verb> <target> [. [] <prep> <context>]}``."""
+    triples = [QueryTriple(ANYTHING, KB[verb], target)]
+    if context is not None:
+        prep, entity = context
+        triples.append(QueryTriple(ANYTHING, KB[prep], entity))
+    return FactSet(tuple(triples))
+
+
+def opinion_fact_set(target: IRI, label: str) -> FactSet:
+    """``{<target> hasLabel "<label>"}``."""
+    return FactSet((QueryTriple(target, KB.hasLabel, Literal(label)),))
+
+
+def buffalo_travel_truth() -> GroundTruth:
+    """The running example's world: Buffalo sights in the fall.
+
+    Interestingness opinions and fall-visiting habits are set so that
+    the "most interesting places to visit in the fall" have a clear
+    ground-truth answer: Delaware Park and the Zoo lead, Anchor Bar
+    trails, Elmwood Village is liked but rarely visited in fall.
+    """
+    truth = GroundTruth(default=0.02)
+    interesting = {
+        "Delaware_Park": 0.82,
+        "Buffalo_Zoo": 0.74,
+        "Albright_Knox_Art_Gallery": 0.66,
+        "Buffalo_Museum_of_Science": 0.48,
+        "Elmwood_Village": 0.58,
+        "Anchor_Bar": 0.35,
+    }
+    fall_visit = {
+        "Delaware_Park": 0.55,
+        "Buffalo_Zoo": 0.38,
+        "Albright_Knox_Art_Gallery": 0.33,
+        "Buffalo_Museum_of_Science": 0.25,
+        # Clearly below the demo's 0.1 threshold even under answer
+        # noise (clipping at 0 inflates near-zero supports slightly).
+        "Elmwood_Village": 0.03,
+        "Anchor_Bar": 0.22,
+    }
+    for name, support in interesting.items():
+        truth.set(opinion_fact_set(KB[name], "interesting"), support)
+    for name, support in fall_visit.items():
+        truth.set(
+            habit_fact_set("visit", KB[name], ("in", KB.Fall)), support
+        )
+    return truth
+
+
+def vegas_rides_truth() -> GroundTruth:
+    """Goodness opinions about the Vegas thrill rides."""
+    truth = GroundTruth(default=0.05)
+    goodness = {
+        "Big_Shot": 0.78,
+        "X_Scream": 0.62,
+        "Big_Apple_Coaster": 0.70,
+        "Adventuredome_Canyon_Blaster": 0.44,
+    }
+    for name, support in goodness.items():
+        truth.set(opinion_fact_set(KB[name], "good"), support)
+    return truth
+
+
+def dietician_truth() -> GroundTruth:
+    """Eating habits for the dietician's fiber-rich-breakfast study."""
+    truth = GroundTruth(default=0.03)
+    breakfast = {
+        "Oatmeal": 0.62,
+        "Lentil_Soup": 0.07,
+        "Hummus": 0.18,
+        "Black_Bean_Burrito": 0.12,
+        "Quinoa_Salad": 0.09,
+        "Cheeseburger": 0.04,
+        "Sushi": 0.02,
+    }
+    for name, support in breakfast.items():
+        truth.set(
+            habit_fact_set("eat", KB[name], ("for", KB.Breakfast)),
+            support,
+        )
+    return truth

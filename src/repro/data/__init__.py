@@ -1,0 +1,30 @@
+"""Embedded data: vocabularies, ontology snapshots, question corpus.
+
+These replace the external resources the paper relies on:
+
+* the Hu-Liu Opinion Lexicon -> ``opinion_positive.txt`` /
+  ``opinion_negative.txt``;
+* the authors' own participant/syntactic vocabularies ->
+  ``participants.txt`` / ``modals.txt`` / ``habit_verbs.txt``;
+* LinkedGeoData and DBpedia -> ``geo.ttl`` / ``dbpedia.ttl`` /
+  ``food.ttl`` snapshots;
+* the Yahoo! Answers question set -> :mod:`repro.data.corpus`.
+"""
+
+from repro.data.vocabularies import Vocabulary, VocabularyRegistry, load_vocabularies
+from repro.data.ontologies import (
+    load_dbpedia,
+    load_food,
+    load_geo,
+    load_merged_ontology,
+)
+
+__all__ = [
+    "Vocabulary",
+    "VocabularyRegistry",
+    "load_vocabularies",
+    "load_geo",
+    "load_dbpedia",
+    "load_food",
+    "load_merged_ontology",
+]

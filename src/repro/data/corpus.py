@@ -1,0 +1,581 @@
+"""The annotated question corpus.
+
+Stands in for the Yahoo! Answers dataset the demo draws from (paper
+Section 4.2): forum-style questions across the demo's topics — travel,
+shopping, health, food — including **every concrete question quoted in
+the paper**.  Each entry carries gold annotations:
+
+* ``supported`` — whether the verification step should let it through
+  (with ``reject_reason`` naming the expected rejection);
+* ``gold_ix_anchors`` — the words that anchor Individual eXpressions
+  (the habit verb or opinion adjective), for IX-detection
+  precision/recall;
+* ``gold_general_entities`` — local names of ontology terms the WHERE
+  clause should reference, for general-part scoring;
+* ``gold_query`` — the exact expected OASSIS-QL text, where defined
+  (the exact-translation subset).
+
+The corpus is data, so experiment harnesses can iterate it without
+hard-coding questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CorpusQuestion", "CORPUS", "supported_questions",
+           "unsupported_questions", "questions_by_domain"]
+
+
+@dataclass(frozen=True)
+class CorpusQuestion:
+    """One annotated NL question."""
+
+    id: str
+    text: str
+    domain: str
+    supported: bool = True
+    reject_reason: str = ""
+    gold_ix_anchors: tuple[str, ...] = ()
+    gold_general_entities: tuple[str, ...] = ()
+    gold_query: str | None = None
+    from_paper: bool = False
+
+
+_FIGURE1_QUERY = """\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Place.
+$x near Forest_Hotel,_Buffalo,_NY}
+SATISFYING
+{$x hasLabel "interesting"}
+ORDER BY DESC(SUPPORT)
+LIMIT 5
+AND
+{[] visit $x.
+[] in Fall}
+WITH SUPPORT THRESHOLD = 0.1"""
+
+
+CORPUS: tuple[CorpusQuestion, ...] = (
+    # ------------------------------------------------------------------ travel
+    CorpusQuestion(
+        id="travel-01",
+        text="What are the most interesting places near Forest Hotel, "
+             "Buffalo, we should visit in the fall?",
+        domain="travel",
+        gold_ix_anchors=("interesting", "visit"),
+        gold_general_entities=("Place", "Forest_Hotel,_Buffalo,_NY"),
+        gold_query=_FIGURE1_QUERY,
+        from_paper=True,
+    ),
+    CorpusQuestion(
+        id="travel-02",
+        text="Which hotel in Vegas has the best thrill ride?",
+        domain="travel",
+        gold_ix_anchors=("best",),
+        gold_general_entities=("Hotel", "Las_Vegas", "ThrillRide"),
+        gold_query="""\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Hotel.
+$y instanceOf ThrillRide.
+$x locatedIn Las_Vegas.
+$x hasAttraction $y}
+SATISFYING
+{$y hasLabel "good"}
+ORDER BY DESC(SUPPORT)
+LIMIT 5""",
+        from_paper=True,
+    ),
+    CorpusQuestion(
+        id="travel-03",
+        text="Where do you visit in Buffalo?",
+        domain="travel",
+        gold_ix_anchors=("visit",),
+        gold_general_entities=("Place", "Buffalo,_NY"),
+        gold_query="""\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Place.
+$x locatedIn Buffalo,_NY}
+SATISFYING
+{[] visit $x}
+WITH SUPPORT THRESHOLD = 0.1""",
+        from_paper=True,
+    ),
+    CorpusQuestion(
+        id="travel-04",
+        text="Can you recommend a romantic restaurant in Paris?",
+        domain="travel",
+        gold_ix_anchors=("recommend", "romantic"),
+        gold_general_entities=("Restaurant", "Paris"),
+    ),
+    CorpusQuestion(
+        id="travel-05",
+        text="Where do you go hiking in the winter?",
+        domain="travel",
+        gold_ix_anchors=("go",),
+        gold_general_entities=("Place",),
+        gold_query="""\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Place}
+SATISFYING
+{[] hike $x.
+[] in Winter}
+WITH SUPPORT THRESHOLD = 0.1""",
+    ),
+    CorpusQuestion(
+        id="travel-06",
+        text="What are the least crowded museums in Paris?",
+        domain="travel",
+        gold_ix_anchors=("crowded",),
+        gold_general_entities=("Museum", "Paris"),
+    ),
+    CorpusQuestion(
+        id="travel-07",
+        text="Which museums are popular with locals?",
+        domain="travel",
+        gold_ix_anchors=("popular",),
+        gold_general_entities=("Museum",),
+    ),
+    CorpusQuestion(
+        id="travel-08",
+        text="What are the most beautiful parks near Delaware Park?",
+        domain="travel",
+        gold_ix_anchors=("beautiful",),
+        gold_general_entities=("Park", "Delaware_Park"),
+    ),
+    CorpusQuestion(
+        id="travel-09",
+        text="Where do teenagers hang out?",
+        domain="travel",
+        gold_ix_anchors=("hang",),
+        gold_general_entities=("Place",),
+    ),
+    CorpusQuestion(
+        id="travel-10",
+        text="Which hotel in Vegas should we stay at?",
+        domain="travel",
+        gold_ix_anchors=("stay",),
+        gold_general_entities=("Hotel", "Las_Vegas"),
+    ),
+    CorpusQuestion(
+        id="travel-11",
+        text="What are the best places we should see in Paris?",
+        domain="travel",
+        gold_ix_anchors=("best", "see"),
+        gold_general_entities=("Place", "Paris"),
+    ),
+    CorpusQuestion(
+        id="travel-12",
+        text="Do you like the Buffalo Zoo?",
+        domain="travel",
+        gold_ix_anchors=("like",),
+        gold_general_entities=("Buffalo_Zoo",),
+    ),
+    CorpusQuestion(
+        id="travel-13",
+        text="Is the Eiffel Tower beautiful in the winter?",
+        domain="travel",
+        gold_ix_anchors=("beautiful",),
+        gold_general_entities=("Eiffel_Tower",),
+    ),
+    CorpusQuestion(
+        id="travel-14",
+        text="What places do your kids love in Buffalo?",
+        domain="travel",
+        gold_ix_anchors=("love",),
+        gold_general_entities=("Place", "Buffalo,_NY"),
+    ),
+    CorpusQuestion(
+        id="travel-15",
+        text="Which beaches are good for families?",
+        domain="travel",
+        gold_ix_anchors=("good",),
+        gold_general_entities=("Beach",),
+    ),
+    CorpusQuestion(
+        id="travel-16",
+        text="Where should I celebrate my birthday in Paris?",
+        domain="travel",
+        gold_ix_anchors=("celebrate",),
+        gold_general_entities=("Place", "Paris"),
+    ),
+    CorpusQuestion(
+        id="travel-17",
+        text="Which parks in Buffalo are beautiful in the winter?",
+        domain="travel",
+        gold_ix_anchors=("beautiful",),
+        gold_general_entities=("Park",),
+    ),
+    CorpusQuestion(
+        id="travel-18",
+        text="What are the best hotels near the Eiffel Tower?",
+        domain="travel",
+        gold_ix_anchors=("best",),
+        gold_general_entities=("Hotel", "Eiffel_Tower"),
+        gold_query="""\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Hotel.
+$x near Eiffel_Tower}
+SATISFYING
+{$x hasLabel "good"}
+ORDER BY DESC(SUPPORT)
+LIMIT 5""",
+    ),
+    CorpusQuestion(
+        id="travel-19",
+        text="Do you take your dog to Delaware Park?",
+        domain="travel",
+        gold_ix_anchors=("take",),
+        gold_general_entities=("Dog",),
+    ),
+    CorpusQuestion(
+        id="travel-20",
+        text="Is the Big Apple Coaster exciting?",
+        domain="travel",
+        gold_ix_anchors=("exciting",),
+        gold_general_entities=("Big_Apple_Coaster",),
+        gold_query="""\
+SELECT VARIABLES
+SATISFYING
+{Big_Apple_Coaster hasLabel "exciting"}
+WITH SUPPORT THRESHOLD = 0.1""",
+    ),
+    CorpusQuestion(
+        id="travel-21",
+        text="Which museum in Paris is the most fascinating?",
+        domain="travel",
+        gold_ix_anchors=("fascinating",),
+        gold_general_entities=("Museum", "Paris"),
+        gold_query="""\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Museum.
+$x locatedIn Paris}
+SATISFYING
+{$x hasLabel "fascinating"}
+ORDER BY DESC(SUPPORT)
+LIMIT 5""",
+    ),
+    CorpusQuestion(
+        id="travel-22",
+        text="Where should we swim in the summer?",
+        domain="travel",
+        gold_ix_anchors=("swim",),
+        gold_general_entities=("Place", "Summer"),
+    ),
+    # ------------------------------------------------------------------ shopping
+    CorpusQuestion(
+        id="shopping-01",
+        text="What type of digital camera should I buy?",
+        domain="shopping",
+        gold_ix_anchors=("buy",),
+        gold_general_entities=("CameraType",),
+        gold_query="""\
+SELECT VARIABLES
+WHERE
+{$x instanceOf CameraType}
+SATISFYING
+{[] buy $x}
+WITH SUPPORT THRESHOLD = 0.1""",
+        from_paper=True,
+    ),
+    CorpusQuestion(
+        id="shopping-02",
+        text="At what container should I store coffee?",
+        domain="shopping",
+        gold_ix_anchors=("store",),
+        gold_general_entities=("Container",),
+        gold_query="""\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Container}
+SATISFYING
+{[] store Coffee.
+[] at $x}
+WITH SUPPORT THRESHOLD = 0.1""",
+        from_paper=True,
+    ),
+    CorpusQuestion(
+        id="shopping-03",
+        text="Which camera type is the most reliable?",
+        domain="shopping",
+        gold_ix_anchors=("reliable",),
+        gold_general_entities=("CameraType",),
+    ),
+    CorpusQuestion(
+        id="shopping-04",
+        text="What brand of camera do you use?",
+        domain="shopping",
+        gold_ix_anchors=("use",),
+        gold_general_entities=("Company",),
+    ),
+    CorpusQuestion(
+        id="shopping-05",
+        text="What are the best gifts we should bring from Paris?",
+        domain="shopping",
+        gold_ix_anchors=("best", "bring"),
+        gold_general_entities=("Paris",),
+    ),
+    CorpusQuestion(
+        id="shopping-06",
+        text="Is a mirrorless camera good for travel?",
+        domain="shopping",
+        gold_ix_anchors=("good",),
+        gold_general_entities=("Mirrorless_Camera",),
+    ),
+    CorpusQuestion(
+        id="shopping-07",
+        text="Which action camera should my kids use?",
+        domain="shopping",
+        gold_ix_anchors=("use",),
+        gold_general_entities=("Action_Camera",),
+    ),
+    CorpusQuestion(
+        id="shopping-08",
+        # Pure syntactic individuality: the subject is not a relative
+        # participant and "sell" is not a personal habit — only the
+        # modal marks the speaker's opinion (the paper's "Obama should
+        # visit Buffalo" case).
+        text="Should supermarkets sell beer on Sundays?",
+        domain="shopping",
+        gold_ix_anchors=("sell",),
+        gold_general_entities=(),
+    ),
+    # ------------------------------------------------------------------ health
+    CorpusQuestion(
+        id="health-01",
+        text="Is chocolate milk good for kids?",
+        domain="health",
+        gold_ix_anchors=("good",),
+        gold_general_entities=("Chocolate_Milk",),
+        gold_query="""\
+SELECT VARIABLES
+SATISFYING
+{Chocolate_Milk hasLabel "good for kids"}
+WITH SUPPORT THRESHOLD = 0.1""",
+        from_paper=True,
+    ),
+    CorpusQuestion(
+        id="health-02",
+        text="Do you drink green tea in the morning?",
+        domain="health",
+        gold_ix_anchors=("drink",),
+        gold_general_entities=("Green_Tea",),
+    ),
+    CorpusQuestion(
+        id="health-03",
+        text="Is orange juice healthy for kids?",
+        domain="health",
+        gold_ix_anchors=("healthy",),
+        gold_general_entities=("Orange_Juice",),
+    ),
+    CorpusQuestion(
+        id="health-04",
+        text="What exercises should I do in the morning?",
+        domain="health",
+        gold_ix_anchors=("do",),
+        gold_general_entities=(),
+    ),
+    CorpusQuestion(
+        id="health-05",
+        text="Do your kids drink chocolate milk for breakfast?",
+        domain="health",
+        gold_ix_anchors=("drink",),
+        gold_general_entities=("Chocolate_Milk",),
+    ),
+    CorpusQuestion(
+        id="health-06",
+        text="Is coffee bad for teenagers?",
+        domain="health",
+        gold_ix_anchors=("bad",),
+        gold_general_entities=("Coffee",),
+    ),
+    # ------------------------------------------------------------------ food
+    CorpusQuestion(
+        id="food-01",
+        text="Which fiber-rich dishes do people like to eat for "
+             "breakfast?",
+        domain="food",
+        gold_ix_anchors=("eat",),
+        gold_general_entities=("Dish", "Fiber"),
+        gold_query="""\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Dish.
+$x richIn Fiber}
+SATISFYING
+{[] eat $x.
+[] for Breakfast}
+WITH SUPPORT THRESHOLD = 0.1""",
+    ),
+    CorpusQuestion(
+        id="food-02",
+        text="What is your favorite dish?",
+        domain="food",
+        gold_ix_anchors=("favorite",),
+        gold_general_entities=("Dish",),
+    ),
+    CorpusQuestion(
+        id="food-03",
+        text="Do you cook lentil soup for dinner?",
+        domain="food",
+        gold_ix_anchors=("cook",),
+        gold_general_entities=("Lentil_Soup",),
+    ),
+    CorpusQuestion(
+        id="food-04",
+        text="What are the tastiest dishes with cheese?",
+        domain="food",
+        gold_ix_anchors=("tastiest",),
+        gold_general_entities=("Dish", "Cheese"),
+    ),
+    CorpusQuestion(
+        id="food-05",
+        text="Which dishes rich in protein do you eat after the gym?",
+        domain="food",
+        gold_ix_anchors=("eat",),
+        gold_general_entities=("Dish",),
+    ),
+    CorpusQuestion(
+        id="food-06",
+        text="Is sushi good for lunch?",
+        domain="food",
+        gold_ix_anchors=("good",),
+        gold_general_entities=("Sushi",),
+    ),
+    CorpusQuestion(
+        id="food-07",
+        text="What desserts should I serve with coffee?",
+        domain="food",
+        gold_ix_anchors=("serve",),
+        gold_general_entities=("Coffee",),
+    ),
+    CorpusQuestion(
+        id="food-08",
+        text="Do people eat oatmeal for breakfast?",
+        domain="food",
+        gold_ix_anchors=("eat",),
+        gold_general_entities=("Oatmeal",),
+    ),
+    CorpusQuestion(
+        id="food-09",
+        text="What do locals eat for lunch in Paris?",
+        domain="food",
+        gold_ix_anchors=("eat",),
+        gold_general_entities=("Lunch",),
+    ),
+    CorpusQuestion(
+        id="food-10",
+        text="Which ingredients do you cook with?",
+        domain="food",
+        gold_ix_anchors=("cook",),
+        gold_general_entities=("Ingredient",),
+        gold_query="""\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Ingredient}
+SATISFYING
+{[] cook $x}
+WITH SUPPORT THRESHOLD = 0.1""",
+    ),
+    CorpusQuestion(
+        id="health-07",
+        text="Which beverages do you drink after yoga?",
+        domain="health",
+        gold_ix_anchors=("drink",),
+        gold_general_entities=("Beverage", "Yoga"),
+    ),
+    CorpusQuestion(
+        id="general-01",
+        text="Do your friends play jazz?",
+        domain="general",
+        gold_ix_anchors=("play",),
+        gold_general_entities=("Jazz",),
+    ),
+    CorpusQuestion(
+        id="general-02",
+        text="What souvenirs should we buy in Las Vegas?",
+        domain="general",
+        gold_ix_anchors=("buy",),
+        gold_general_entities=(),
+    ),
+    # ------------------------------------------------- unsupported (stage iii)
+    CorpusQuestion(
+        id="unsupported-01",
+        text="How should I store coffee?",
+        domain="shopping",
+        supported=False,
+        reject_reason="descriptive-how",
+        from_paper=True,
+    ),
+    CorpusQuestion(
+        id="unsupported-02",
+        text="How to cook rice?",
+        domain="food",
+        supported=False,
+        reject_reason="descriptive-how",
+    ),
+    CorpusQuestion(
+        id="unsupported-03",
+        text="Why do people like jogging?",
+        domain="health",
+        supported=False,
+        reject_reason="descriptive-why",
+    ),
+    CorpusQuestion(
+        id="unsupported-04",
+        text="For what purpose is baking soda used?",
+        domain="food",
+        supported=False,
+        reject_reason="descriptive-purpose",
+        from_paper=True,
+    ),
+    CorpusQuestion(
+        id="unsupported-05",
+        text="Why is the Louvre so famous?",
+        domain="travel",
+        supported=False,
+        reject_reason="descriptive-why",
+    ),
+    CorpusQuestion(
+        id="unsupported-06",
+        text="I am going to Buffalo. What should I see?",
+        domain="travel",
+        supported=False,
+        reject_reason="multiple-sentences",
+    ),
+    CorpusQuestion(
+        id="unsupported-07",
+        text="Buffalo?",
+        domain="travel",
+        supported=False,
+        reject_reason="too-short",
+    ),
+    CorpusQuestion(
+        id="unsupported-08",
+        text="How many parks are in Buffalo?",
+        domain="travel",
+        supported=False,
+        reject_reason="descriptive-how",
+    ),
+)
+
+
+def supported_questions() -> list[CorpusQuestion]:
+    """Questions the verification step should accept."""
+    return [q for q in CORPUS if q.supported]
+
+
+def unsupported_questions() -> list[CorpusQuestion]:
+    """Questions the verification step should reject."""
+    return [q for q in CORPUS if not q.supported]
+
+
+def questions_by_domain(domain: str) -> list[CorpusQuestion]:
+    """All questions of one domain."""
+    return [q for q in CORPUS if q.domain == domain]

@@ -1,0 +1,48 @@
+"""Loaders for the embedded ontology snapshots.
+
+Each loader parses a Turtle file from the package data into an
+:class:`~repro.rdf.ontology.Ontology`.  ``load_merged_ontology`` unions
+all snapshots — the configuration the demo runs with ("the system will
+use the publicly available general data ontologies LinkedGeoData and
+DBpedia", paper Section 4.2).
+
+Results are cached: the snapshots are immutable package data, so one
+parse per process is enough.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from importlib import resources
+
+from repro.rdf.ontology import Ontology
+
+__all__ = ["load_geo", "load_dbpedia", "load_food", "load_merged_ontology"]
+
+
+def _read(filename: str) -> str:
+    return resources.files("repro.data").joinpath(filename).read_text("utf-8")
+
+
+@lru_cache(maxsize=None)
+def load_geo() -> Ontology:
+    """The LinkedGeoData-like snapshot (Buffalo, Las Vegas, Paris)."""
+    return Ontology.from_turtle(_read("geo.ttl"))
+
+
+@lru_cache(maxsize=None)
+def load_dbpedia() -> Ontology:
+    """The DBpedia-like snapshot (cameras, beverages, seasons, ...)."""
+    return Ontology.from_turtle(_read("dbpedia.ttl"))
+
+
+@lru_cache(maxsize=None)
+def load_food() -> Ontology:
+    """The nutrition snapshot (dishes, nutrients, ingredients)."""
+    return Ontology.from_turtle(_read("food.ttl"))
+
+
+@lru_cache(maxsize=None)
+def load_merged_ontology() -> Ontology:
+    """All snapshots merged — the demo configuration."""
+    return Ontology.merged(load_geo(), load_dbpedia(), load_food())

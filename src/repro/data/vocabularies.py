@@ -1,0 +1,103 @@
+"""Dedicated vocabularies for IX detection (paper Section 2.3).
+
+Each vocabulary is a named set of lemmas.  IX detection patterns refer
+to them by name (``$y in V_participant``); the registry resolves those
+references.  The paper stresses that an administrator can "easily
+manage, change or add" vocabularies — hence they are plain text files in
+the package data, reloaded on demand, and the registry accepts custom
+additions at run time.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from typing import Iterable, Iterator
+
+__all__ = ["Vocabulary", "VocabularyRegistry", "load_vocabularies"]
+
+
+class Vocabulary:
+    """A named set of lemmas with O(1) membership."""
+
+    def __init__(self, name: str, words: Iterable[str]):
+        self.name = name
+        self._words = frozenset(w.strip().lower() for w in words if w.strip())
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._words
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._words))
+
+    def union(self, other: "Vocabulary", name: str) -> "Vocabulary":
+        """A new vocabulary containing both word sets."""
+        return Vocabulary(name, self._words | other._words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Vocabulary({self.name!r}, {len(self)} words)"
+
+
+def _read_wordlist(filename: str) -> list[str]:
+    text = (
+        resources.files("repro.data").joinpath(filename).read_text("utf-8")
+    )
+    return [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+
+
+class VocabularyRegistry:
+    """Resolves vocabulary names used by IX detection patterns.
+
+    Standard names (the paper's three individuality types):
+
+    * ``V_opinion`` — sentiment/subjectivity lexicon (lexical);
+    * ``V_positive`` / ``V_negative`` — its polarity halves;
+    * ``V_participant`` — relative participants (participant);
+    * ``V_modal`` — opinion-marking auxiliaries (syntactic);
+    * ``V_habit`` — habit verbs.
+    """
+
+    def __init__(self, vocabularies: Iterable[Vocabulary] = ()):
+        self._by_name: dict[str, Vocabulary] = {}
+        for vocab in vocabularies:
+            self.register(vocab)
+
+    def register(self, vocabulary: Vocabulary) -> None:
+        """Add or replace a vocabulary (administrator extension point)."""
+        self._by_name[vocabulary.name] = vocabulary
+
+    def __getitem__(self, name: str) -> Vocabulary:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            known = ", ".join(sorted(self._by_name))
+            raise KeyError(
+                f"unknown vocabulary {name!r} (known: {known})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+
+def load_vocabularies() -> VocabularyRegistry:
+    """Load the standard vocabularies from package data."""
+    positive = Vocabulary("V_positive", _read_wordlist("opinion_positive.txt"))
+    negative = Vocabulary("V_negative", _read_wordlist("opinion_negative.txt"))
+    registry = VocabularyRegistry([
+        positive,
+        negative,
+        positive.union(negative, "V_opinion"),
+        Vocabulary("V_participant", _read_wordlist("participants.txt")),
+        Vocabulary("V_modal", _read_wordlist("modals.txt")),
+        Vocabulary("V_habit", _read_wordlist("habit_verbs.txt")),
+    ])
+    return registry

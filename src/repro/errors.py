@@ -1,0 +1,132 @@
+"""Exception hierarchy for the NL2CM reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  The sub-hierarchy mirrors
+the system inventory: NLP substrate, RDF substrate, the OASSIS-QL language,
+the translation pipeline, and the crowd-mining engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# NLP substrate
+# ---------------------------------------------------------------------------
+
+class NLPError(ReproError):
+    """Base class for natural-language-processing errors."""
+
+
+class TokenizationError(NLPError):
+    """The input text could not be tokenized."""
+
+
+class TaggingError(NLPError):
+    """Part-of-speech tagging failed."""
+
+
+class ParsingError(NLPError):
+    """Dependency parsing failed to produce a graph."""
+
+
+# ---------------------------------------------------------------------------
+# RDF substrate
+# ---------------------------------------------------------------------------
+
+class RDFError(ReproError):
+    """Base class for RDF data-model and store errors."""
+
+
+class TurtleSyntaxError(RDFError):
+    """A Turtle document could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SPARQLSyntaxError(RDFError):
+    """A SPARQL query string could not be parsed."""
+
+
+class SPARQLEvaluationError(RDFError):
+    """A SPARQL query failed during evaluation."""
+
+
+# ---------------------------------------------------------------------------
+# OASSIS-QL
+# ---------------------------------------------------------------------------
+
+class OassisQLError(ReproError):
+    """Base class for OASSIS-QL language errors."""
+
+
+class OassisQLSyntaxError(OassisQLError):
+    """An OASSIS-QL query string could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class OassisQLValidationError(OassisQLError):
+    """A structurally well-formed query violates a semantic constraint."""
+
+
+# ---------------------------------------------------------------------------
+# Translation pipeline
+# ---------------------------------------------------------------------------
+
+class TranslationError(ReproError):
+    """Base class for NL-to-OASSIS-QL translation errors."""
+
+
+class VerificationError(TranslationError):
+    """The input question is of an unsupported form.
+
+    Carries the rephrasing tips the UI shows the user (paper Section 3).
+    """
+
+    def __init__(self, message: str, tips: tuple[str, ...] = ()):
+        self.tips = tuple(tips)
+        super().__init__(message)
+
+
+class PatternSyntaxError(TranslationError):
+    """An IX detection pattern definition could not be parsed."""
+
+
+class CompositionError(TranslationError):
+    """Query composition could not produce a well-formed query."""
+
+
+class InteractionRequired(TranslationError):
+    """Raised when a module needs user input but no provider can supply it."""
+
+
+# ---------------------------------------------------------------------------
+# Crowd mining engine
+# ---------------------------------------------------------------------------
+
+class CrowdError(ReproError):
+    """Base class for crowd-simulation and OASSIS-engine errors."""
+
+
+class BudgetExhausted(CrowdError):
+    """The crowd-task budget ran out before mining converged."""
+
+    def __init__(self, message: str, tasks_used: int):
+        self.tasks_used = tasks_used
+        super().__init__(message)
+
+
+class EngineError(CrowdError):
+    """The OASSIS query engine failed to evaluate a query."""

@@ -1,0 +1,35 @@
+"""Evaluation harness: metrics and experiment runners (DESIGN.md S24).
+
+Turns the demo paper's qualitative claims into measured numbers:
+IX-detection precision/recall, translation accuracy against gold
+queries, verification accuracy, interaction counts, and crowd-mining
+quality of the end-to-end OASSIS execution.
+"""
+
+from repro.eval.metrics import (
+    PrecisionRecall,
+    query_structure_score,
+    set_precision_recall,
+)
+from repro.eval.harness import (
+    InteractionReport,
+    TranslationQualityReport,
+    VerificationReport,
+    evaluate_interaction,
+    evaluate_translation_quality,
+    evaluate_verification,
+    format_table,
+)
+
+__all__ = [
+    "PrecisionRecall",
+    "set_precision_recall",
+    "query_structure_score",
+    "TranslationQualityReport",
+    "VerificationReport",
+    "InteractionReport",
+    "evaluate_translation_quality",
+    "evaluate_verification",
+    "evaluate_interaction",
+    "format_table",
+]

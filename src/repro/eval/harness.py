@@ -1,0 +1,365 @@
+"""Experiment runners over the annotated corpus.
+
+Each runner returns a small report object with a ``format()`` method
+that prints the table the corresponding benchmark reproduces (see
+DESIGN.md Section 5 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.pipeline import NL2CM
+from repro.core.verification import Verifier
+from repro.data.corpus import (
+    CORPUS,
+    CorpusQuestion,
+    supported_questions,
+    unsupported_questions,
+)
+from repro.errors import ReproError
+from repro.eval.metrics import (
+    PrecisionRecall,
+    query_structure_score,
+    set_precision_recall,
+)
+from repro.nlp.graph import DepGraph
+from repro.oassisql import parse_oassisql
+from repro.rdf.terms import IRI
+from repro.ui.interaction import (
+    AutoInteraction,
+    DisambiguationRequest,
+    LimitRequest,
+    ProjectionRequest,
+    ThresholdRequest,
+    VerifyIXRequest,
+)
+
+__all__ = [
+    "TranslationQualityReport", "VerificationReport", "InteractionReport",
+    "evaluate_translation_quality", "evaluate_ix_anchors",
+    "evaluate_verification", "evaluate_interaction", "format_table",
+]
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned plain-text table."""
+    rendered = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered))
+        if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rendered)
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# E2: translation quality
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DomainQuality:
+    questions: int = 0
+    ix: PrecisionRecall = field(
+        default_factory=lambda: PrecisionRecall(0, 0, 0)
+    )
+    wellformed: int = 0
+    entity_hits: int = 0
+    entity_total: int = 0
+    exact_matches: int = 0
+    gold_query_count: int = 0
+    structure_sum: float = 0.0
+    failures: int = 0
+
+    @property
+    def entity_recall(self) -> float:
+        return (
+            self.entity_hits / self.entity_total
+            if self.entity_total else 1.0
+        )
+
+    @property
+    def exact_rate(self) -> float:
+        return (
+            self.exact_matches / self.gold_query_count
+            if self.gold_query_count else 1.0
+        )
+
+    @property
+    def structure_avg(self) -> float:
+        return (
+            self.structure_sum / self.gold_query_count
+            if self.gold_query_count else 1.0
+        )
+
+
+@dataclass
+class TranslationQualityReport:
+    per_domain: dict[str, DomainQuality]
+    overall: DomainQuality
+    failures: list[tuple[str, str]]
+
+    def format(self) -> str:
+        headers = ["domain", "n", "IX-P", "IX-R", "IX-F1", "wellformed",
+                   "entity-recall", "exact", "structure"]
+        rows = []
+        for domain in sorted(self.per_domain):
+            d = self.per_domain[domain]
+            rows.append([
+                domain, d.questions,
+                f"{d.ix.precision:.2f}", f"{d.ix.recall:.2f}",
+                f"{d.ix.f1:.2f}",
+                f"{d.wellformed}/{d.questions}",
+                f"{d.entity_recall:.2f}",
+                f"{d.exact_matches}/{d.gold_query_count}",
+                f"{d.structure_avg:.2f}",
+            ])
+        d = self.overall
+        rows.append([
+            "ALL", d.questions,
+            f"{d.ix.precision:.2f}", f"{d.ix.recall:.2f}",
+            f"{d.ix.f1:.2f}",
+            f"{d.wellformed}/{d.questions}",
+            f"{d.entity_recall:.2f}",
+            f"{d.exact_matches}/{d.gold_query_count}",
+            f"{d.structure_avg:.2f}",
+        ])
+        return format_table(headers, rows)
+
+
+def evaluate_translation_quality(
+    nl2cm: NL2CM | None = None,
+    questions: Iterable[CorpusQuestion] | None = None,
+) -> TranslationQualityReport:
+    """Run the translator over the corpus and score it (experiment E2)."""
+    nl2cm = nl2cm or NL2CM()
+    questions = list(questions or supported_questions())
+
+    per_domain: dict[str, DomainQuality] = defaultdict(DomainQuality)
+    overall = DomainQuality()
+    failures: list[tuple[str, str]] = []
+
+    for question in questions:
+        buckets = (per_domain[question.domain], overall)
+        for b in buckets:
+            b.questions += 1
+        try:
+            result = nl2cm.translate(question.text)
+        except ReproError as exc:
+            failures.append((question.id, f"{type(exc).__name__}: {exc}"))
+            for b in buckets:
+                b.failures += 1
+                b.ix = b.ix + PrecisionRecall(
+                    0, 0, len(question.gold_ix_anchors)
+                )
+            continue
+
+        predicted = {ix.anchor.lower for ix in result.ixs}
+        pr = set_precision_recall(
+            predicted, set(question.gold_ix_anchors)
+        )
+        wellformed = parse_oassisql(result.query_text) == result.query
+
+        query_triples = list(result.query.where) + [
+            t for clause in result.query.satisfying
+            for t in clause.triples
+        ]
+        query_names = {
+            t.local_name
+            for triple in query_triples
+            for t in triple.terms()
+            if isinstance(t, IRI)
+        }
+        hits = sum(
+            1 for e in question.gold_general_entities if e in query_names
+        )
+
+        for b in buckets:
+            b.ix = b.ix + pr
+            b.wellformed += int(wellformed)
+            b.entity_hits += hits
+            b.entity_total += len(question.gold_general_entities)
+            if question.gold_query is not None:
+                b.gold_query_count += 1
+                if result.query_text == question.gold_query:
+                    b.exact_matches += 1
+                b.structure_sum += query_structure_score(
+                    result.query, parse_oassisql(question.gold_query)
+                )
+
+    return TranslationQualityReport(
+        per_domain=dict(per_domain), overall=overall, failures=failures
+    )
+
+
+def evaluate_ix_anchors(
+    anchor_fn: Callable[[DepGraph], set[str]],
+    questions: Iterable[CorpusQuestion] | None = None,
+) -> PrecisionRecall:
+    """IX-anchor precision/recall of any detector (E2 baselines, E8)."""
+    from repro.nlp.depparse import DependencyParser
+
+    parser = DependencyParser()
+    total = PrecisionRecall(0, 0, 0)
+    for question in questions or supported_questions():
+        graph = parser.parse(question.text)
+        predicted = anchor_fn(graph)
+        total = total + set_precision_recall(
+            predicted, set(question.gold_ix_anchors)
+        )
+    return total
+
+
+# ---------------------------------------------------------------------------
+# E3: verification
+# ---------------------------------------------------------------------------
+
+@dataclass
+class VerificationReport:
+    true_accepts: int
+    false_accepts: int
+    true_rejects: int
+    false_rejects: int
+    reason_correct: int
+    reject_total: int
+    tips_covered: int
+
+    @property
+    def accuracy(self) -> float:
+        total = (self.true_accepts + self.false_accepts
+                 + self.true_rejects + self.false_rejects)
+        return (self.true_accepts + self.true_rejects) / total
+
+    def format(self) -> str:
+        return format_table(
+            ["metric", "value"],
+            [
+                ["accuracy", f"{self.accuracy:.2f}"],
+                ["supported accepted",
+                 f"{self.true_accepts}/{self.true_accepts + self.false_rejects}"],
+                ["unsupported rejected",
+                 f"{self.true_rejects}/{self.reject_total}"],
+                ["rejection reason correct",
+                 f"{self.reason_correct}/{self.reject_total}"],
+                ["rejections with tips",
+                 f"{self.tips_covered}/{self.reject_total}"],
+            ],
+        )
+
+
+def evaluate_verification() -> VerificationReport:
+    """Score the verification step on the full corpus (experiment E3)."""
+    verifier = Verifier()
+    ta = fa = tr = fr = reason_ok = tips = 0
+    reject_total = len(unsupported_questions())
+    for question in CORPUS:
+        result = verifier.verify(question.text)
+        if question.supported:
+            if result.ok:
+                ta += 1
+            else:
+                fr += 1
+        else:
+            if result.ok:
+                fa += 1
+            else:
+                tr += 1
+                if result.reason == question.reject_reason:
+                    reason_ok += 1
+                if result.tips:
+                    tips += 1
+    return VerificationReport(
+        true_accepts=ta, false_accepts=fa, true_rejects=tr,
+        false_rejects=fr, reason_correct=reason_ok,
+        reject_total=reject_total, tips_covered=tips,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E4: interaction
+# ---------------------------------------------------------------------------
+
+class _CountingProvider(AutoInteraction):
+    """Auto answers, counting requests by type."""
+
+    def __init__(self):
+        super().__init__()
+        self.counts: Counter[str] = Counter()
+
+    def ask(self, request):
+        self.counts[type(request).__name__] += 1
+        return super().ask(request)
+
+
+@dataclass
+class InteractionReport:
+    counts_by_type: dict[str, int]
+    questions: int
+    questions_with_any: int
+    disambiguations_first_pass: int
+    disambiguations_second_pass: int
+
+    def format(self) -> str:
+        rows = [
+            [name, count]
+            for name, count in sorted(self.counts_by_type.items())
+        ]
+        rows.append(["questions", self.questions])
+        rows.append(["questions with interaction",
+                     self.questions_with_any])
+        rows.append(["disambiguation dialogs, 1st pass",
+                     self.disambiguations_first_pass])
+        rows.append(["disambiguation dialogs, 2nd pass (after feedback)",
+                     self.disambiguations_second_pass])
+        return format_table(["interaction", "count"], rows)
+
+
+def evaluate_interaction() -> InteractionReport:
+    """Count interaction points across the corpus (experiment E4).
+
+    Two passes measure FREyA-style feedback: disambiguation dialogs in
+    the second pass should drop, because first-pass choices are
+    remembered.
+    """
+    nl2cm = NL2CM()
+    counts: Counter[str] = Counter()
+    with_any = 0
+    first_disambiguations = 0
+
+    for question in supported_questions():
+        provider = _CountingProvider()
+        try:
+            nl2cm.translate(question.text, interaction=provider)
+        except ReproError:
+            continue
+        counts.update(provider.counts)
+        first_disambiguations += provider.counts.get(
+            "DisambiguationRequest", 0
+        )
+        if provider.counts:
+            with_any += 1
+
+    second_disambiguations = 0
+    for question in supported_questions():
+        provider = _CountingProvider()
+        try:
+            nl2cm.translate(question.text, interaction=provider)
+        except ReproError:
+            continue
+        second_disambiguations += provider.counts.get(
+            "DisambiguationRequest", 0
+        )
+
+    return InteractionReport(
+        counts_by_type=dict(counts),
+        questions=len(supported_questions()),
+        questions_with_any=with_any,
+        disambiguations_first_pass=first_disambiguations,
+        disambiguations_second_pass=second_disambiguations,
+    )

@@ -1,0 +1,110 @@
+"""Scoring primitives for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oassisql.ast import OassisQuery
+from repro.rdf.terms import IRI
+
+__all__ = ["PrecisionRecall", "set_precision_recall",
+           "query_structure_score"]
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision / recall / F1 over sets, with raw counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __add__(self, other: "PrecisionRecall") -> "PrecisionRecall":
+        return PrecisionRecall(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+        )
+
+
+def set_precision_recall(
+    predicted: set[str], gold: set[str]
+) -> PrecisionRecall:
+    """Micro counts for one instance (lower-cased string sets)."""
+    predicted = {p.lower() for p in predicted}
+    gold = {g.lower() for g in gold}
+    return PrecisionRecall(
+        true_positives=len(predicted & gold),
+        false_positives=len(predicted - gold),
+        false_negatives=len(gold - predicted),
+    )
+
+
+def query_structure_score(
+    produced: OassisQuery, gold: OassisQuery
+) -> float:
+    """Structural similarity of two queries in [0, 1].
+
+    Averages (a) Jaccard overlap of WHERE triples under local-name
+    rendering, (b) agreement of the SATISFYING subclause count, and
+    (c) Jaccard overlap of the mined predicates.  Robust to variable
+    renaming via positional canonicalization.
+    """
+    def canon_triples(query: OassisQuery) -> set[str]:
+        renaming: dict[str, str] = {}
+
+        def term_key(term) -> str:
+            from repro.oassisql.ast import Anything
+            from repro.rdf.terms import Literal, Variable
+            if isinstance(term, Variable):
+                renaming.setdefault(term.name, f"v{len(renaming)}")
+                return renaming[term.name]
+            if isinstance(term, Anything):
+                return "[]"
+            if isinstance(term, IRI):
+                return term.local_name
+            if isinstance(term, Literal):
+                return f'"{term.value}"'
+            return str(term)
+
+        return {
+            " ".join(term_key(t) for t in triple.terms())
+            for triple in query.where
+        }
+
+    def mined_predicates(query: OassisQuery) -> set[str]:
+        out = set()
+        for clause in query.satisfying:
+            for triple in clause.triples:
+                if isinstance(triple.p, IRI):
+                    out.add(triple.p.local_name)
+        return out
+
+    def jaccard(a: set[str], b: set[str]) -> float:
+        if not a and not b:
+            return 1.0
+        return len(a & b) / len(a | b)
+
+    where_score = jaccard(canon_triples(produced), canon_triples(gold))
+    clause_score = 1.0 if (
+        len(produced.satisfying) == len(gold.satisfying)
+    ) else 0.0
+    mined_score = jaccard(
+        mined_predicates(produced), mined_predicates(gold)
+    )
+    return (where_score + clause_score + mined_score) / 3.0

@@ -1,0 +1,23 @@
+"""FREyA-like general query generator (paper Sections 2.4 and 3).
+
+NL2CM embeds an off-the-shelf NL-to-SPARQL tool — FREyA (Damljanovic et
+al.) — as a black box that translates the *general* parts of the request
+into SPARQL triples, interacting with the user to resolve ambiguous
+terms and learning from that feedback.  This package is our from-scratch
+implementation of that black box: ontology-lookup-based entity linking,
+candidate ranking, clarification dialogues and a feedback store.
+"""
+
+from repro.freya.generator import (
+    FeedbackStore,
+    GeneralQueryGenerator,
+    GeneralQueryResult,
+    Mention,
+)
+
+__all__ = [
+    "FeedbackStore",
+    "GeneralQueryGenerator",
+    "GeneralQueryResult",
+    "Mention",
+]

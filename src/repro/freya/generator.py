@@ -1,0 +1,534 @@
+"""The general query generator: dependency graph -> SPARQL proto-triples.
+
+The algorithm follows FREyA's published design, adapted to our substrate:
+
+1. **Mention detection** — noun phrases become potential ontology
+   concepts: proper-noun groups (with their ``nn``/``appos`` satellites)
+   are entity mentions; common nouns (with compounds and adjectival
+   modifiers) are class-or-entity mentions.
+2. **Entity linking** — each mention is looked up in the ontology's
+   label index; the feedback store boosts candidates the user chose in
+   earlier sessions.
+3. **Clarification dialogues** — when several candidates tie (the
+   "Buffalo, NY vs. Buffalo, IL" case), the user is asked; the choice
+   is recorded as feedback.
+4. **Triple generation** — class mentions yield ``$x instanceOf C``
+   triples; prepositions and ontology-property verbs between mentions
+   yield relation triples.  The wh-target of the question becomes the
+   query's output variable.
+
+The generator is *IX-blind*: per the paper (Section 3), it processes the
+full request, and the Query Composition module later deletes general
+triples that overlap detected IXs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ir import NodeTerm, ProtoTriple
+from repro.nlp.depparse import TEMPORAL_NOUNS
+from repro.nlp.graph import DepGraph, DepNode
+from repro.rdf.ontology import KB, EntityMatch, Ontology, normalize_label
+from repro.rdf.terms import IRI
+from repro.ui.interaction import DisambiguationRequest, InteractionProvider
+
+__all__ = ["Mention", "FeedbackStore", "GeneralQueryResult",
+           "GeneralQueryGenerator"]
+
+# Candidates within this score band of the leader trigger clarification.
+_AMBIGUITY_BAND = 0.10
+# Minimum score for a candidate to be considered at all.
+_MIN_SCORE = 0.45
+# Feedback boost for a previously chosen entity.
+_FEEDBACK_BOOST = 0.15
+
+# Nouns that defer their meaning to a "of"-complement: "what type of
+# camera" asks about cameras, not about types.
+_TYPE_NOUNS = {"type", "kind", "sort", "variety", "brand", "model"}
+
+# wh-adverbs and the class their implicit answer belongs to.
+_WH_CLASSES = {"where": "Place", "when": "Season"}
+
+
+@dataclass(frozen=True)
+class Mention:
+    """A text span aligned (or alignable) with an ontology concept."""
+
+    head: DepNode
+    span: tuple[DepNode, ...]
+    phrase: str
+    kind: str  # "proper" or "common"
+
+    @property
+    def index(self) -> int:
+        return self.head.index
+
+
+@dataclass
+class FeedbackStore:
+    """Remembers the user's disambiguation choices across sessions.
+
+    FREyA "records the response of the user ... to improve the ranking
+    of optional entities in subsequent user interactions".  The store
+    maps normalized phrases to the chosen IRI; matching candidates get
+    a score boost on later lookups.
+    """
+
+    choices: dict[str, IRI] = field(default_factory=dict)
+
+    def record(self, phrase: str, iri: IRI) -> None:
+        self.choices[normalize_label(phrase)] = iri
+
+    def boost(self, phrase: str, matches: list[EntityMatch]
+              ) -> list[EntityMatch]:
+        """Re-rank ``matches``, boosting the remembered choice."""
+        chosen = self.choices.get(normalize_label(phrase))
+        if chosen is None:
+            return matches
+        boosted = [
+            EntityMatch(m.iri, m.label,
+                        min(1.0, m.score + _FEEDBACK_BOOST)
+                        if m.iri == chosen else m.score,
+                        m.kind)
+            for m in matches
+        ]
+        return sorted(boosted, key=lambda m: (-m.score, m.label))
+
+
+@dataclass
+class GeneralQueryResult:
+    """Everything the composer needs from the general generator."""
+
+    triples: list[ProtoTriple]
+    entity_bindings: dict[int, IRI]
+    class_bindings: dict[int, IRI]
+    coreferences: dict[int, int]
+    target: DepNode | None
+    mentions: list[Mention]
+    disambiguations: list[tuple[str, IRI]]
+
+    def resolve_index(self, index: int) -> int:
+        """Follow coreference links to the canonical node index."""
+        seen = set()
+        while index in self.coreferences and index not in seen:
+            seen.add(index)
+            index = self.coreferences[index]
+        return index
+
+
+class GeneralQueryGenerator:
+    """Ontology-lookup-based NL-to-SPARQL generator (FREyA stand-in)."""
+
+    def __init__(self, ontology: Ontology,
+                 feedback: FeedbackStore | None = None):
+        self.ontology = ontology
+        self.feedback = feedback or FeedbackStore()
+
+    # -- public API --------------------------------------------------------------
+
+    def generate(
+        self,
+        graph: DepGraph,
+        interaction: InteractionProvider,
+    ) -> GeneralQueryResult:
+        """Translate the general parts of ``graph`` into proto-triples."""
+        result = GeneralQueryResult(
+            triples=[], entity_bindings={}, class_bindings={},
+            coreferences={}, target=None, mentions=[],
+            disambiguations=[],
+        )
+        mentions = self._detect_mentions(graph)
+        result.mentions = mentions
+
+        result.target = self._find_target(graph)
+        self._apply_type_noun_idiom(graph, result)
+
+        for mention in mentions:
+            self._link_mention(graph, mention, result, interaction)
+
+        self._wh_adverb_classes(graph, result)
+        self._relation_triples(graph, result)
+        self._order_triples(result)
+        return result
+
+    # -- mention detection ----------------------------------------------------------
+
+    def _detect_mentions(self, graph: DepGraph) -> list[Mention]:
+        mentions: list[Mention] = []
+        consumed: set[int] = set()
+
+        for node in graph.nodes():
+            if node.index in consumed or not node.is_noun:
+                continue
+            if node.tag in ("PRP", "WP"):
+                continue
+            # Skip nouns that are satellites of a later head.
+            parent_edge = graph.parent_edge(node)
+            if parent_edge is not None and parent_edge.label in (
+                "nn", "appos"
+            ):
+                continue
+            span = self._mention_span(graph, node)
+            consumed |= {n.index for n in span}
+            phrase = graph.text_span(list(span))
+            kind = "proper" if any(n.is_proper_noun for n in span) else (
+                "common"
+            )
+            mentions.append(
+                Mention(head=node, span=tuple(span), phrase=phrase,
+                        kind=kind)
+            )
+        return mentions
+
+    def _mention_span(self, graph: DepGraph, head: DepNode) -> list[DepNode]:
+        """The mention's tokens: compounds, appositions, adjectives."""
+        span = [head]
+        for child in graph.children(head, "nn"):
+            span.append(child)
+        for child in graph.children(head, "appos"):
+            span.append(child)
+            span.extend(graph.children(child, "nn"))
+        # Adjectival modifiers join common-noun spans ("digital camera",
+        # "thrill ride") but opinion adjectives are filtered later by
+        # lookup failure ("interesting places" falls back to "places").
+        for child in graph.children(head, "amod"):
+            span.append(child)
+        return sorted(span, key=lambda n: n.index)
+
+    # -- target detection ----------------------------------------------------------
+
+    def _find_target(self, graph: DepGraph) -> DepNode | None:
+        head = graph.head
+        if head is None:
+            return None
+        # Copular wh-question: root is the predicate NP with attr wh.
+        if graph.children(head, "attr") and head.is_noun:
+            return head
+        # wh-determiner: "Which hotel ...".
+        for node in graph.nodes():
+            if node.tag in ("WDT",):
+                parent = graph.parent(node)
+                if parent is not None and (
+                    graph.label_between(parent, node) == "det"
+                ):
+                    return parent
+        # Fronted wh object under inversion: dobj that precedes the verb.
+        if head.is_verb:
+            for obj in graph.children(head, "dobj"):
+                if obj.index < head.index and obj.is_noun:
+                    return obj
+            # wh adverb: "Where do you ...".
+            for adv in graph.children(head, "advmod"):
+                if adv.tag == "WRB" and adv.lower in _WH_CLASSES:
+                    return adv
+            # Imperative: "Recommend a hotel ..." — the object.
+            for obj in graph.children(head, "dobj"):
+                if obj.is_noun:
+                    return obj
+        if head.is_noun:
+            return head
+        return None
+
+    def _apply_type_noun_idiom(
+        self, graph: DepGraph, result: GeneralQueryResult
+    ) -> None:
+        """"What type of camera" — retarget from "type" to "camera".
+
+        The two nodes co-refer: the habit triple about "type" must use
+        the same variable as the class triple about "camera".
+        """
+        target = result.target
+        if target is None or target.lemma not in _TYPE_NOUNS:
+            return
+        for prep in graph.children(target, "prep"):
+            if prep.lemma != "of":
+                continue
+            for pobj in graph.children(prep, "pobj"):
+                if pobj.is_noun:
+                    result.coreferences[target.index] = pobj.index
+                    result.target = pobj
+                    return
+
+    # -- entity linking ---------------------------------------------------------------
+
+    def _link_mention(
+        self,
+        graph: DepGraph,
+        mention: Mention,
+        result: GeneralQueryResult,
+        interaction: InteractionProvider,
+    ) -> None:
+        kinds = ("entity",) if mention.kind == "proper" else (
+            "class", "entity"
+        )
+        matches, matched_nodes = self._ranked_candidates(mention, kinds)
+        if not matches:
+            return
+
+        top = matches[0]
+        contenders = [
+            m for m in matches
+            if m.score > top.score - _AMBIGUITY_BAND and m.score >= 0.8
+        ]
+        if len(contenders) > 1 and len({m.iri for m in contenders}) > 1:
+            choice = interaction.ask(DisambiguationRequest(
+                phrase=mention.phrase,
+                candidates=tuple(contenders),
+                sentence=graph.sentence,
+            ))
+            top = contenders[int(choice)]
+            self.feedback.record(mention.phrase, top.iri)
+            result.disambiguations.append((mention.phrase, top.iri))
+
+        if top.kind == "class":
+            result.class_bindings[mention.index] = top.iri
+            aligned = self._aligned_nodes(matched_nodes, mention.head, top)
+            result.triples.append(ProtoTriple(
+                s=NodeTerm(mention.head),
+                p=KB.instanceOf,
+                o=top.iri,
+                origin="general",
+                source_nodes=frozenset(n.index for n in aligned),
+            ))
+        else:
+            result.entity_bindings[mention.index] = top.iri
+
+    @staticmethod
+    def _aligned_nodes(
+        span: tuple[DepNode, ...], head: DepNode, match: EntityMatch
+    ) -> tuple[DepNode, ...]:
+        """The span tokens that actually aligned with the matched label.
+
+        A triple's source must not include words that merely sat inside
+        the mention span ("best" in "best thrill ride") — otherwise
+        composition would delete the class triple for overlapping an
+        IX it never used.
+        """
+        label_tokens = set(
+            normalize_label(match.label).replace(",", " ").split()
+        )
+        aligned = tuple(
+            n for n in span
+            if n.lower in label_tokens or n.lemma in label_tokens
+            or normalize_label(n.text) in label_tokens
+        )
+        return aligned or (head,)
+
+    def _ranked_candidates(
+        self, mention: Mention, kinds: tuple[str, ...]
+    ) -> tuple[list[EntityMatch], tuple[DepNode, ...]]:
+        """Candidates for the mention, plus the nodes that matched.
+
+        The full span is tried first; on failure, the bare head.  The
+        returned nodes become the triple's source — so a triple whose
+        match never used an (IX) adjective is not deleted for
+        overlapping it.
+        """
+        lemma_phrase = " ".join(n.lemma for n in mention.span)
+        attempts: list[tuple[str, tuple[DepNode, ...]]] = [
+            (mention.phrase, mention.span),
+        ]
+        if lemma_phrase.lower() != mention.phrase.lower():
+            attempts.append((lemma_phrase, mention.span))
+        if len(mention.span) > 1:
+            attempts.append((mention.head.text, (mention.head,)))
+            attempts.append((mention.head.lemma, (mention.head,)))
+        elif mention.head.lemma != mention.head.lower:
+            attempts.append((mention.head.lemma, (mention.head,)))
+
+        for phrase, matched_nodes in attempts:
+            matches = [
+                m for m in self.ontology.lookup(phrase, kinds)
+                if m.score >= _MIN_SCORE
+            ]
+            if matches:
+                return (
+                    self.feedback.boost(mention.phrase, matches),
+                    matched_nodes,
+                )
+        return [], mention.span
+
+    def _wh_adverb_classes(
+        self, graph: DepGraph, result: GeneralQueryResult
+    ) -> None:
+        """"Where ..." asks for a Place; "When ..." for a Season."""
+        for node in graph.nodes():
+            if node.tag == "WRB" and node.lower in _WH_CLASSES:
+                class_iri = KB[_WH_CLASSES[node.lower]]
+                result.class_bindings[node.index] = class_iri
+                result.triples.append(ProtoTriple(
+                    s=NodeTerm(node),
+                    p=KB.instanceOf,
+                    o=class_iri,
+                    origin="general",
+                    source_nodes=frozenset({node.index}),
+                ))
+
+    # -- relation triples ----------------------------------------------------------------
+
+    def _relation_triples(
+        self, graph: DepGraph, result: GeneralQueryResult
+    ) -> None:
+        linked = set(result.entity_bindings) | set(result.class_bindings)
+
+        def is_concept(node: DepNode) -> bool:
+            return result.resolve_index(node.index) in linked or (
+                node.index in linked
+            )
+
+        for edge in graph.edges():
+            if edge.label != "prep":
+                continue
+            prep = edge.dependent
+            head = edge.head
+            for pobj in graph.children(prep, "pobj"):
+                if not is_concept(pobj):
+                    continue
+                if pobj.lemma in TEMPORAL_NOUNS:
+                    # Temporal context belongs to the individual parts
+                    # (Figure 1: "[] in Fall" is mined, not selected).
+                    continue
+                anchor = head
+                if anchor.is_noun and anchor.lemma in TEMPORAL_NOUNS:
+                    # "eat for lunch in Paris": the PP constrains the
+                    # habit's target, never the temporal noun.
+                    parent = graph.parent(anchor)
+                    while parent is not None and not (
+                        parent.is_verb or parent.is_root
+                    ):
+                        parent = graph.parent(parent)
+                    if parent is None or parent.is_root:
+                        continue
+                    anchor = parent
+                if not is_concept(anchor) and anchor.is_noun:
+                    # The PP hangs off a non-concept noun ("celebrate my
+                    # birthday in Paris"): climb to the governing verb.
+                    parent = graph.parent(anchor)
+                    if parent is not None and parent.is_verb:
+                        anchor = parent
+                if not is_concept(anchor) and anchor.is_verb:
+                    # A locative PP on the verb constrains the asked-for
+                    # entity: "Where do you visit in Buffalo?" selects
+                    # places located in Buffalo.
+                    anchor = self._verb_pp_anchor(graph, anchor, result)
+                if anchor is None or not is_concept(anchor):
+                    continue
+                prop = self._property_for(prep, pobj, result)
+                if prop is None:
+                    continue
+                result.triples.append(ProtoTriple(
+                    s=self._term_for(anchor, result),
+                    p=prop,
+                    o=self._term_for(pobj, result),
+                    origin="general",
+                    source_nodes=frozenset(
+                        {anchor.index, prep.index, pobj.index}
+                    ),
+                ))
+
+        # Hyphenated nutrient compounds: "fiber-rich dishes" selects
+        # dishes rich in fiber (the dietician scenario of the intro).
+        for node in graph.nodes():
+            if "-rich" not in node.lower and "-high" not in node.lower:
+                continue
+            parent_edge = graph.parent_edge(node)
+            if parent_edge is None or parent_edge.label not in ("nn",
+                                                                "amod"):
+                continue
+            head = parent_edge.head
+            if not is_concept(head):
+                continue
+            nutrient = node.lower.rsplit("-", 1)[0]
+            match = self.ontology.best_match(
+                nutrient, kinds=("entity",), threshold=0.8
+            )
+            if match is None:
+                continue
+            result.triples.append(ProtoTriple(
+                s=self._term_for(head, result),
+                p=KB.richIn,
+                o=match.iri,
+                origin="general",
+                source_nodes=frozenset({node.index, head.index}),
+            ))
+
+        # Ontology-property verbs: "Which hotel has the best ride?"
+        for node in graph.nodes():
+            if not node.is_verb or node.tag == "MD":
+                continue
+            subjects = [s for s in graph.children(node, "nsubj")
+                        if is_concept(s)]
+            objects = [o for o in graph.children(node, "dobj")
+                       if is_concept(o)]
+            if not subjects or not objects:
+                continue
+            matches = self._property_matches(node)
+            if not matches:
+                continue
+            result.triples.append(ProtoTriple(
+                s=self._term_for(subjects[0], result),
+                p=matches[0].iri,
+                o=self._term_for(objects[0], result),
+                origin="general",
+                source_nodes=frozenset(
+                    {node.index, subjects[0].index, objects[0].index}
+                ),
+            ))
+
+    def _verb_pp_anchor(
+        self, graph: DepGraph, verb: DepNode, result: GeneralQueryResult
+    ) -> DepNode | None:
+        """The concept a verb-attached PP really constrains."""
+        for adv in graph.children(verb, "advmod"):
+            if adv.tag == "WRB" and adv.lower in _WH_CLASSES:
+                return adv
+        for obj in graph.children(verb, "dobj"):
+            if obj.is_noun:
+                return obj
+        # Relative clause: "places we should see in Paris" — the PP
+        # constrains the antecedent.
+        parent_edge = graph.parent_edge(verb)
+        if parent_edge is not None and parent_edge.label == "rcmod":
+            return parent_edge.head
+        return None
+
+    def _property_matches(self, node: DepNode) -> list[EntityMatch]:
+        """Property candidates for a word, by surface form then lemma."""
+        for phrase in (node.lower, node.lemma):
+            matches = self.ontology.lookup(phrase, kinds=("property",))
+            matches = [m for m in matches if m.score >= 0.8]
+            if matches:
+                return matches
+        return []
+
+    def _property_for(
+        self, prep: DepNode, pobj: DepNode, result: GeneralQueryResult
+    ) -> IRI | None:
+        """Map a preposition to an ontology property."""
+        entity = result.entity_bindings.get(
+            result.resolve_index(pobj.index),
+            result.entity_bindings.get(pobj.index),
+        )
+        # "in"/"at" before a city or place entity means location.
+        if prep.lemma in ("in", "at", "inside", "within") and entity is not None:
+            types = self.ontology.types_of(entity)
+            if KB.City in types or KB.Place in types:
+                return KB.locatedIn
+        matches = self._property_matches(prep)
+        return matches[0].iri if matches else None
+
+    def _term_for(self, node: DepNode, result: GeneralQueryResult):
+        index = result.resolve_index(node.index)
+        entity = result.entity_bindings.get(index)
+        if entity is not None:
+            return entity
+        return NodeTerm(node)
+
+    @staticmethod
+    def _order_triples(result: GeneralQueryResult) -> None:
+        """instanceOf triples first, then relations (Figure 1's order)."""
+        result.triples.sort(
+            key=lambda t: (0 if t.p == KB.instanceOf else 1,
+                           min(t.source_nodes, default=0)),
+        )

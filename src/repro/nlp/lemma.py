@@ -1,0 +1,311 @@
+"""Rule-based English lemmatizer.
+
+The IX detector (paper Section 2.3) looks tokens up in dedicated
+vocabularies — the opinion lexicon, participant and modal vocabularies,
+and a habit-verb list.  Those vocabularies store lemmas, so the detector
+needs the lemma of every node in the dependency graph: "visited" and
+"visits" must both hit the vocabulary entry "visit".
+
+The lemmatizer is POS-aware: given a Penn-Treebank tag it applies the
+right paradigm (verb inflection vs. noun plural vs. adjective degree).
+Irregular forms come from embedded tables; regular forms from suffix
+rules with consonant-doubling and ``-ies``/``-es`` handling.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Lemmatizer", "lemmatize"]
+
+# Irregular verb forms -> lemma.  Keyed by inflected form.
+_IRREGULAR_VERBS = {
+    "am": "be", "is": "be", "are": "be", "was": "be", "were": "be",
+    "been": "be", "being": "be",
+    "has": "have", "had": "have", "having": "have",
+    "does": "do", "did": "do", "done": "do", "doing": "do",
+    "goes": "go", "went": "go", "gone": "go",
+    "ate": "eat", "eaten": "eat",
+    "drank": "drink", "drunk": "drink",
+    "bought": "buy", "brought": "bring", "thought": "think",
+    "caught": "catch", "taught": "teach", "sought": "seek",
+    "made": "make", "said": "say", "paid": "pay", "laid": "lay",
+    "took": "take", "taken": "take",
+    "gave": "give", "given": "give",
+    "saw": "see", "seen": "see",
+    "came": "come", "become": "become", "became": "become",
+    "got": "get", "gotten": "get",
+    "knew": "know", "known": "know",
+    "grew": "grow", "grown": "grow",
+    "threw": "throw", "thrown": "throw",
+    "flew": "fly", "flown": "fly",
+    "drove": "drive", "driven": "drive",
+    "rode": "ride", "ridden": "ride",
+    "wrote": "write", "written": "write",
+    "spoke": "speak", "spoken": "speak",
+    "broke": "break", "broken": "break",
+    "chose": "choose", "chosen": "choose",
+    "wore": "wear", "worn": "wear",
+    "tore": "tear", "torn": "tear",
+    "swam": "swim", "swum": "swim",
+    "ran": "run", "run": "run",
+    "sang": "sing", "sung": "sing",
+    "began": "begin", "begun": "begin",
+    "found": "find", "felt": "feel", "kept": "keep", "left": "leave",
+    "meant": "mean", "met": "meet", "sent": "send", "spent": "spend",
+    "built": "build", "lent": "lend", "bent": "bend",
+    "lost": "lose", "told": "tell", "sold": "sell", "held": "hold",
+    "stood": "stand", "understood": "understand",
+    "heard": "hear", "led": "lead", "read": "read", "fed": "feed",
+    "slept": "sleep", "swept": "sweep", "wept": "weep",
+    "sat": "sit", "set": "set", "put": "put", "cut": "cut", "hit": "hit",
+    "let": "let", "shut": "shut", "cost": "cost", "hurt": "hurt",
+    "quit": "quit", "spread": "spread", "bet": "bet",
+    "won": "win", "shone": "shine", "shot": "shoot",
+    "stuck": "stick", "struck": "strike",
+    "dug": "dig", "hung": "hang", "spun": "spin",
+    "fought": "fight", "lit": "light",
+    "slid": "slide", "hid": "hide", "hidden": "hide",
+    "bit": "bite", "bitten": "bite",
+    "fell": "fall", "fallen": "fall",
+    "rose": "rise", "risen": "rise",
+    "woke": "wake", "woken": "wake",
+    "froze": "freeze", "frozen": "freeze",
+    "stole": "steal", "stolen": "steal",
+    "forgot": "forget", "forgotten": "forget",
+    "wound": "wind", "ground": "grind", "bound": "bind",
+    "drew": "draw", "drawn": "draw",
+    "blew": "blow", "blown": "blow",
+    "lay": "lie", "lain": "lie",
+}
+
+# Modal auxiliaries are their own lemmas except contracted forms.
+_MODALS = {
+    "ca": "can", "wo": "will", "sha": "shall", "'ll": "will", "'d": "would",
+    "can": "can", "could": "can", "may": "may", "might": "may",
+    "must": "must", "shall": "shall", "should": "should",
+    "will": "will", "would": "will", "ought": "ought", "need": "need",
+}
+
+# Clitic forms of be/have.
+_CLITIC_LEMMAS = {"'s": "be", "'re": "be", "'m": "be", "'ve": "have",
+                  "n't": "not"}
+
+_IRREGULAR_NOUNS = {
+    "children": "child", "people": "person", "men": "man", "women": "woman",
+    "feet": "foot", "teeth": "tooth", "geese": "goose", "mice": "mouse",
+    "lives": "life", "wives": "wife", "knives": "knife", "leaves": "leaf",
+    "shelves": "shelf", "loaves": "loaf", "halves": "half",
+    "wolves": "wolf", "calves": "calf", "thieves": "thief",
+    "oxen": "ox", "data": "datum", "criteria": "criterion",
+    "phenomena": "phenomenon", "analyses": "analysis", "bases": "basis",
+    "crises": "crisis", "theses": "thesis", "diagnoses": "diagnosis",
+    "cacti": "cactus", "fungi": "fungus", "nuclei": "nucleus",
+    "syllabi": "syllabus", "alumni": "alumnus",
+    "indices": "index", "appendices": "appendix", "matrices": "matrix",
+    "vertices": "vertex",
+    "buses": "bus", "bonuses": "bonus", "viruses": "virus",
+    "campuses": "campus", "statuses": "status", "gases": "gas",
+}
+
+# Plural forms that look regular but whose stem ends in a sound requiring
+# the 'e' to stay after stripping '-es'.
+_ES_KEEP_E_ENDINGS = ("ss", "sh", "ch", "x", "z", "o")
+
+_IRREGULAR_ADJECTIVES = {
+    "better": "good", "best": "good",
+    "worse": "bad", "worst": "bad",
+    "more": "much", "most": "much",
+    "less": "little", "least": "little",
+    "further": "far", "furthest": "far",
+    "farther": "far", "farthest": "far",
+    "elder": "old", "eldest": "old",
+}
+
+_PRONOUN_LEMMAS = {
+    "me": "i", "my": "i", "mine": "i", "myself": "i",
+    "we": "we", "us": "we", "our": "we", "ours": "we", "ourselves": "we",
+    "you": "you", "your": "you", "yours": "you", "yourself": "you",
+    "yourselves": "you",
+    "he": "he", "him": "he", "his": "he", "himself": "he",
+    "she": "she", "her": "she", "hers": "she", "herself": "she",
+    "it": "it", "its": "it", "itself": "it",
+    "they": "they", "them": "they", "their": "they", "theirs": "they",
+    "themselves": "they",
+    "i": "i",
+}
+
+_VOWELS = set("aeiou")
+
+# Stems the final-'e' heuristic must leave alone ("visited" -> "visit",
+# not "visite").  Mostly -it/-us/-at words with no silent 'e'.
+_NO_FINAL_E = {
+    "visit", "edit", "limit", "exhibit", "benefit", "profit", "orbit",
+    "audit", "credit", "deposit", "inherit", "inhibit", "prohibit",
+    "exit", "vomit", "merit", "spirit", "summit", "habit", "recruit",
+    "suit", "await", "wait", "eat", "beat", "treat", "heat", "cheat",
+    "repeat", "seat", "defeat", "great", "sweat", "focus", "bias",
+    "canvas", "big", "talk", "walk", "work", "look", "cook", "book",
+    "pick", "kick", "check", "thank", "think", "drink", "ask", "risk",
+    "park", "bark", "mark", "remark", "link", "rank", "blink", "wink",
+    "attack", "back", "pack", "track", "stick", "lock", "rock", "knock",
+    "mock", "block", "click", "lick", "tick", "milk", "long",
+    "belong", "sing", "bring", "hang", "ring", "bang", "gang",
+}
+
+
+def _strip_doubling(stem: str) -> str:
+    """Undo consonant doubling: ``stopp`` -> ``stop``, ``sitt`` -> ``sit``."""
+    if (
+        len(stem) >= 3
+        and stem[-1] == stem[-2]
+        and stem[-1] not in _VOWELS
+        and stem[-1] not in "sz"  # 'hiss', 'buzz' keep the double letter
+        and stem[-3] in _VOWELS
+    ):
+        return stem[:-1]
+    return stem
+
+
+class Lemmatizer:
+    """POS-aware English lemmatizer built from tables and suffix rules."""
+
+    def lemmatize(self, word: str, pos: str | None = None) -> str:
+        """Return the lemma of ``word``.
+
+        Args:
+            word: the surface form (any case; output is lower-case).
+            pos: an optional Penn-Treebank tag.  When given, only the
+                matching paradigm is applied; when omitted, verb, noun and
+                adjective paradigms are tried in that order.
+        """
+        lower = word.lower()
+        if pos is None:
+            return (
+                _IRREGULAR_VERBS.get(lower)
+                or _MODALS.get(lower)
+                or _CLITIC_LEMMAS.get(lower)
+                or _IRREGULAR_NOUNS.get(lower)
+                or _IRREGULAR_ADJECTIVES.get(lower)
+                or _PRONOUN_LEMMAS.get(lower)
+                or self._regular(lower)
+            )
+        if pos == "MD":
+            return _MODALS.get(lower, lower)
+        if pos.startswith("V"):
+            return self._verb(lower)
+        if pos in ("NNS", "NNPS"):
+            return self._noun_plural(lower)
+        if pos in ("JJR", "JJS", "RBR", "RBS"):
+            return self._adjective(lower)
+        if pos.startswith("PRP") or pos == "WP":
+            return _PRONOUN_LEMMAS.get(lower, lower)
+        return _CLITIC_LEMMAS.get(lower, lower)
+
+    # -- paradigms ----------------------------------------------------------
+
+    def _verb(self, word: str) -> str:
+        if word in _CLITIC_LEMMAS:
+            return _CLITIC_LEMMAS[word]
+        if word in _IRREGULAR_VERBS:
+            return _IRREGULAR_VERBS[word]
+        if word.endswith("ies") and len(word) > 4:
+            return word[:-3] + "y"
+        if word.endswith("es") and len(word) > 3:
+            stem = word[:-2]
+            if stem.endswith(_ES_KEEP_E_ENDINGS):
+                return stem
+            return word[:-1]  # 'makes' -> 'make'
+        if word.endswith("s") and len(word) > 2 and not word.endswith("ss"):
+            return word[:-1]
+        if word.endswith("ied") and len(word) > 4:
+            return word[:-3] + "y"
+        if word.endswith("ed") and len(word) > 3:
+            stem = word[:-2]
+            undoubled = _strip_doubling(stem)
+            if undoubled != stem:
+                return undoubled
+            if self._needs_final_e(stem):
+                return stem + "e"
+            return stem
+        if word.endswith("ing") and len(word) > 4:
+            stem = word[:-3]
+            if not any(c in _VOWELS for c in stem):
+                # "bring", "spring": the 'ing' is part of the stem.
+                return word
+            undoubled = _strip_doubling(stem)
+            if undoubled != stem:
+                return undoubled
+            if self._needs_final_e(stem):
+                return stem + "e"
+            return stem
+        return word
+
+    @staticmethod
+    def _needs_final_e(stem: str) -> bool:
+        """Heuristic: restore a dropped final 'e' ("mak" -> "make")."""
+        if len(stem) < 2 or stem in _NO_FINAL_E:
+            return False
+        # CVC with final consonant that commonly follows 'e' dropping:
+        # tak-, mak-, liv-, writ-, danc-, chang-...
+        return stem[-1] in "kvzcgu" or stem.endswith(
+            ("at", "it", "iv", "id", "ur", "as", "os", "us")
+        )
+
+    def _noun_plural(self, word: str) -> str:
+        if word in _IRREGULAR_NOUNS:
+            return _IRREGULAR_NOUNS[word]
+        if word.endswith("ies") and len(word) > 4:
+            return word[:-3] + "y"
+        if word.endswith(("ches", "shes", "sses", "xes", "zes")):
+            return word[:-2]
+        if word.endswith("oes") and len(word) > 4:
+            return word[:-2]
+        if word.endswith("ves") and len(word) > 4:
+            return word[:-3] + "f"
+        if word.endswith("es") and len(word) > 3:
+            return word[:-1]
+        if word.endswith("s") and len(word) > 2 and not word.endswith(
+            ("ss", "us", "is")
+        ):
+            return word[:-1]
+        return word
+
+    def _adjective(self, word: str) -> str:
+        if word in _IRREGULAR_ADJECTIVES:
+            return _IRREGULAR_ADJECTIVES[word]
+        if word.endswith("iest") and len(word) > 5:
+            return word[:-4] + "y"
+        if word.endswith("ier") and len(word) > 4:
+            return word[:-3] + "y"
+        if word.endswith("est") and len(word) > 4:
+            stem = word[:-3]
+            undoubled = _strip_doubling(stem)
+            if undoubled != stem:
+                return undoubled
+            if self._needs_final_e(stem) and not stem.endswith("e"):
+                return stem + "e"
+            return stem
+        if word.endswith("er") and len(word) > 3:
+            stem = word[:-2]
+            undoubled = _strip_doubling(stem)
+            if undoubled != stem:
+                return undoubled
+            if self._needs_final_e(stem) and not stem.endswith("e"):
+                return stem + "e"
+            return stem
+        return word
+
+    def _regular(self, word: str) -> str:
+        """Best-effort lemma without a POS tag."""
+        for paradigm in (self._verb, self._noun_plural, self._adjective):
+            lemma = paradigm(word)
+            if lemma != word:
+                return lemma
+        return word
+
+
+_DEFAULT = Lemmatizer()
+
+
+def lemmatize(word: str, pos: str | None = None) -> str:
+    """Lemmatize with a shared default :class:`Lemmatizer`."""
+    return _DEFAULT.lemmatize(word, pos)

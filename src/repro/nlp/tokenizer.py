@@ -1,0 +1,206 @@
+"""Word and sentence tokenization in the Penn-Treebank style.
+
+The tokenizer is the first stage of the NL parsing pipeline (paper
+Section 2.2).  It produces :class:`Token` objects that carry their
+character offsets into the original text, so later stages (and the UI,
+which highlights detected individual expressions in the user's question)
+can map every node of the dependency graph back to the exact span the
+user typed.
+
+Conventions follow the Penn Treebank so that the POS tagger's lexicon
+applies directly:
+
+* punctuation is split into its own tokens (``places,`` -> ``places`` ``,``);
+* contractions are split at the clitic boundary (``don't`` -> ``do`` ``n't``,
+  ``we're`` -> ``we`` ``'re``, ``hotel's`` -> ``hotel`` ``'s``);
+* abbreviations with internal periods (``N.Y.``, ``U.S.``) stay whole;
+* hyphenated words (``thrill-ride``) stay whole.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import TokenizationError
+
+__all__ = ["Token", "Tokenizer", "tokenize", "split_sentences"]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single token with character offsets into the source text.
+
+    Attributes:
+        text: the token surface form, exactly as it appears in the source
+            (except for split contractions, where the clitic keeps its
+            apostrophe: ``n't``, ``'re``, ``'s``).
+        start: offset of the first character in the original text.
+        end: offset one past the last character.
+        index: zero-based position of the token in its sentence.
+    """
+
+    text: str
+    start: int
+    end: int
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.text
+
+    @property
+    def lower(self) -> str:
+        """The lower-cased surface form."""
+        return self.text.lower()
+
+    @property
+    def is_word(self) -> bool:
+        """True if the token contains at least one letter or digit."""
+        return any(ch.isalnum() for ch in self.text)
+
+
+# Clitics that are split off the host word, longest first.
+_CLITICS = ("n't", "'re", "'ve", "'ll", "'d", "'s", "'m")
+
+# Abbreviations that keep a trailing period attached.
+_ABBREVIATIONS = {
+    "mr.", "mrs.", "ms.", "dr.", "prof.", "st.", "mt.", "etc.", "e.g.",
+    "i.e.", "vs.", "jr.", "sr.", "inc.", "ltd.", "co.", "ave.", "blvd.",
+    "no.", "ft.", "oz.", "lb.", "approx.",
+}
+
+# A word made only of single letters each followed by a period: N.Y., U.S.A.
+_INITIALISM_RE = re.compile(r"^(?:[A-Za-z]\.)+$")
+
+# Primary split: runs of non-space characters.
+_WHITESPACE_RE = re.compile(r"\S+")
+
+# Characters always split off the edges of a chunk.
+_EDGE_PUNCT = "\"'()[]{}<>«»“”‘’`,;:!?"
+
+_NUMBER_RE = re.compile(r"^\d+(?:[.,]\d+)*$")
+
+_SENTENCE_END_RE = re.compile(r"([.!?]+)(\s+|$)")
+
+
+class Tokenizer:
+    """Penn-Treebank-style word tokenizer with offset tracking.
+
+    The tokenizer is stateless and reusable; :func:`tokenize` wraps a
+    module-level instance for convenience.
+    """
+
+    def tokenize(self, text: str) -> list[Token]:
+        """Tokenize ``text`` into a list of :class:`Token`.
+
+        Raises:
+            TokenizationError: if ``text`` is not a string or is empty
+                after stripping whitespace.
+        """
+        if not isinstance(text, str):
+            raise TokenizationError(
+                f"expected str, got {type(text).__name__}"
+            )
+        if not text.strip():
+            raise TokenizationError("cannot tokenize empty text")
+
+        tokens: list[Token] = []
+        for match in _WHITESPACE_RE.finditer(text):
+            self._split_chunk(match.group(), match.start(), tokens)
+        # Re-index after all splits.
+        return [
+            Token(tok.text, tok.start, tok.end, i)
+            for i, tok in enumerate(tokens)
+        ]
+
+    # -- internals ---------------------------------------------------------
+
+    def _split_chunk(self, chunk: str, offset: int, out: list[Token]) -> None:
+        """Split one whitespace-delimited chunk into tokens."""
+        # Peel leading punctuation.
+        start = 0
+        end = len(chunk)
+        lead: list[tuple[str, int]] = []
+        trail: list[tuple[str, int]] = []
+        while start < end and chunk[start] in _EDGE_PUNCT:
+            lead.append((chunk[start], offset + start))
+            start += 1
+        # Peel trailing punctuation (but respect abbreviations for '.').
+        while end > start and (
+            chunk[end - 1] in _EDGE_PUNCT or chunk[end - 1] == "."
+        ):
+            core = chunk[start:end]
+            if chunk[end - 1] == "." and self._keeps_period(core):
+                break
+            trail.append((chunk[end - 1], offset + end - 1))
+            end -= 1
+
+        for text, pos in lead:
+            out.append(Token(text, pos, pos + 1, -1))
+
+        core = chunk[start:end]
+        if core:
+            self._split_core(core, offset + start, out)
+
+        for text, pos in reversed(trail):
+            out.append(Token(text, pos, pos + 1, -1))
+
+    def _keeps_period(self, word: str) -> bool:
+        """True if ``word`` (ending in '.') keeps its trailing period."""
+        return (
+            word.lower() in _ABBREVIATIONS
+            or _INITIALISM_RE.match(word) is not None
+        )
+
+    def _split_core(self, core: str, offset: int, out: list[Token]) -> None:
+        """Split clitics off a punctuation-free core word."""
+        lower = core.lower()
+        for clitic in _CLITICS:
+            if lower.endswith(clitic) and len(core) > len(clitic):
+                cut = len(core) - len(clitic)
+                host = core[:cut]
+                # "n't" needs a real host verb ("do", "ca", "wo"...).
+                if clitic == "n't" and not host[-1].isalpha():
+                    continue
+                out.append(Token(host, offset, offset + cut, -1))
+                out.append(
+                    Token(core[cut:], offset + cut, offset + len(core), -1)
+                )
+                return
+        out.append(Token(core, offset, offset + len(core), -1))
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences on ``.``, ``!`` and ``?``.
+
+    Abbreviation periods (``Dr.``, ``N.Y.``) do not end a sentence.  The
+    returned strings preserve their original spelling but are stripped of
+    surrounding whitespace.
+    """
+    if not text.strip():
+        return []
+    sentences: list[str] = []
+    start = 0
+    for match in _SENTENCE_END_RE.finditer(text):
+        candidate = text[start:match.end(1)]
+        last_word = candidate.rsplit(None, 1)[-1] if candidate.split() else ""
+        if last_word.lower() in _ABBREVIATIONS or (
+            _INITIALISM_RE.match(last_word)
+        ):
+            continue
+        sentence = candidate.strip()
+        if sentence:
+            sentences.append(sentence)
+        start = match.end()
+    tail = text[start:].strip()
+    if tail:
+        sentences.append(tail)
+    return sentences
+
+
+_DEFAULT = Tokenizer()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize with a shared default :class:`Tokenizer`."""
+    return _DEFAULT.tokenize(text)

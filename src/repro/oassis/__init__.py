@@ -1,0 +1,23 @@
+"""The OASSIS crowd-powered query engine (stand-in for SIGMOD'14 OASSIS).
+
+Evaluates OASSIS-QL queries: the WHERE clause against the ontology, the
+SATISFYING clause with the (simulated) crowd — sequential significance
+testing for threshold clauses, sampled top-k selection for ORDER
+BY/LIMIT clauses — exactly the split the paper describes in Section 2.1.
+"""
+
+from repro.oassis.engine import (
+    BindingOutcome,
+    CrowdTask,
+    EngineConfig,
+    OassisEngine,
+    QueryResult,
+)
+
+__all__ = [
+    "OassisEngine",
+    "EngineConfig",
+    "QueryResult",
+    "BindingOutcome",
+    "CrowdTask",
+]

@@ -1,0 +1,44 @@
+"""OASSIS-QL: the crowd-mining query language NL2CM targets.
+
+OASSIS-QL (Amsterdamer et al., SIGMOD 2014) extends SPARQL with crowd
+mining.  A query has three parts (paper Section 2.1):
+
+* ``SELECT`` — which variables' significant bindings are returned;
+* ``WHERE`` — a SPARQL-like selection over the general-knowledge
+  ontology;
+* ``SATISFYING`` — data patterns (fact-sets) to be mined from the crowd,
+  each qualified by a support criterion: top-/bottom-k
+  (``ORDER BY DESC(SUPPORT)`` + ``LIMIT k``) or a minimal support
+  threshold (``WITH SUPPORT THRESHOLD = θ``).
+
+This package provides the AST (:mod:`repro.oassisql.ast`), a parser
+(:mod:`repro.oassisql.parser`) and a printer
+(:mod:`repro.oassisql.printer`) whose output matches the paper's
+Figure 1 formatting exactly.
+"""
+
+from repro.oassisql.ast import (
+    ANYTHING,
+    Anything,
+    OassisQuery,
+    QueryTriple,
+    SatisfyingClause,
+    SelectClause,
+    SupportThreshold,
+    TopK,
+)
+from repro.oassisql.parser import parse_oassisql
+from repro.oassisql.printer import print_oassisql
+
+__all__ = [
+    "ANYTHING",
+    "Anything",
+    "OassisQuery",
+    "QueryTriple",
+    "SatisfyingClause",
+    "SelectClause",
+    "SupportThreshold",
+    "TopK",
+    "parse_oassisql",
+    "print_oassisql",
+]

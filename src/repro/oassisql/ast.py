@@ -1,0 +1,191 @@
+"""Abstract syntax tree for OASSIS-QL queries.
+
+Terms inside query triples reuse the RDF term types
+(:class:`~repro.rdf.terms.IRI`, :class:`~repro.rdf.terms.Literal`,
+:class:`~repro.rdf.terms.Variable`) plus :data:`ANYTHING` — the ``[]``
+placeholder that "stands, intuitively, for anything" (paper
+Section 2.1) and projects an individual participant out of a fact-set.
+
+Entity IRIs live in the ``kb:`` namespace; the printer renders them by
+local name, which is how Figure 1 displays them
+(``Forest_Hotel,_Buffalo,_NY``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import OassisQLValidationError
+from repro.rdf.terms import IRI, Literal, Variable
+
+__all__ = [
+    "Anything", "ANYTHING", "QueryTerm", "QueryTriple", "SelectClause",
+    "TopK", "SupportThreshold", "SupportQualifier", "SatisfyingClause",
+    "OassisQuery",
+]
+
+
+class Anything:
+    """The ``[]`` wildcard: an existential that is projected out."""
+
+    _instance: "Anything | None" = None
+
+    def __new__(cls) -> "Anything":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "[]"
+
+    def __str__(self) -> str:
+        return "[]"
+
+
+#: The singleton ``[]`` term.
+ANYTHING = Anything()
+
+QueryTerm = Union[IRI, Literal, Variable, Anything]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryTriple:
+    """One subject-predicate-object triple of a query clause."""
+
+    s: QueryTerm
+    p: QueryTerm
+    o: QueryTerm
+
+    def variables(self) -> set[str]:
+        """Names of the variables this triple mentions."""
+        return {
+            t.name for t in (self.s, self.p, self.o)
+            if isinstance(t, Variable)
+        }
+
+    def terms(self) -> tuple[QueryTerm, QueryTerm, QueryTerm]:
+        return (self.s, self.p, self.o)
+
+    def has_anything(self) -> bool:
+        """True if any position is the ``[]`` wildcard."""
+        return any(isinstance(t, Anything) for t in self.terms())
+
+
+@dataclass(frozen=True, slots=True)
+class SelectClause:
+    """The SELECT clause.
+
+    ``variables=None`` renders as ``SELECT VARIABLES`` — no projection,
+    bindings of every variable are returned (the paper's default).  A
+    tuple of names projects onto that subset.
+    """
+
+    variables: tuple[str, ...] | None = None
+
+    @property
+    def projects_all(self) -> bool:
+        return self.variables is None
+
+
+@dataclass(frozen=True, slots=True)
+class TopK:
+    """``ORDER BY DESC(SUPPORT) LIMIT k`` — the k best-supported patterns.
+
+    ``descending=False`` gives bottom-k (``ORDER BY ASC(SUPPORT)``).
+    """
+
+    k: int
+    descending: bool = True
+
+    def validate(self) -> None:
+        if self.k <= 0:
+            raise OassisQLValidationError(f"LIMIT must be positive, got "
+                                          f"{self.k}")
+
+
+@dataclass(frozen=True, slots=True)
+class SupportThreshold:
+    """``WITH SUPPORT THRESHOLD = θ`` — keep patterns with support >= θ."""
+
+    threshold: float
+
+    def validate(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise OassisQLValidationError(
+                f"support threshold must be in [0, 1], got {self.threshold}"
+            )
+
+
+SupportQualifier = Union[TopK, SupportThreshold]
+
+
+@dataclass(frozen=True, slots=True)
+class SatisfyingClause:
+    """One ``{...}`` subclause of SATISFYING: a fact-set plus qualifier.
+
+    The fact-set describes a single event or property to be mined from
+    the crowd; all its triples are asked about together (paper
+    Section 2.6: the visit and its season share a subclause).
+    """
+
+    triples: tuple[QueryTriple, ...]
+    qualifier: SupportQualifier
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for t in self.triples:
+            out |= t.variables()
+        return out
+
+    def validate(self) -> None:
+        if not self.triples:
+            raise OassisQLValidationError("empty SATISFYING subclause")
+        self.qualifier.validate()
+
+
+@dataclass(frozen=True, slots=True)
+class OassisQuery:
+    """A complete OASSIS-QL query."""
+
+    select: SelectClause
+    where: tuple[QueryTriple, ...]
+    satisfying: tuple[SatisfyingClause, ...]
+
+    # -- introspection -------------------------------------------------------
+
+    def where_variables(self) -> set[str]:
+        out: set[str] = set()
+        for t in self.where:
+            out |= t.variables()
+        return out
+
+    def satisfying_variables(self) -> set[str]:
+        out: set[str] = set()
+        for clause in self.satisfying:
+            out |= clause.variables()
+        return out
+
+    def all_variables(self) -> set[str]:
+        return self.where_variables() | self.satisfying_variables()
+
+    def validate(self) -> None:
+        """Check the semantic constraints of a well-formed query.
+
+        Raises:
+            OassisQLValidationError: on an empty query, an out-of-range
+                qualifier, or a SELECT projection over unknown variables.
+        """
+        if not self.where and not self.satisfying:
+            raise OassisQLValidationError(
+                "query needs a WHERE or SATISFYING clause"
+            )
+        for clause in self.satisfying:
+            clause.validate()
+        if self.select.variables is not None:
+            unknown = set(self.select.variables) - self.all_variables()
+            if unknown:
+                raise OassisQLValidationError(
+                    "SELECT projects unknown variables: "
+                    + ", ".join(sorted(unknown))
+                )

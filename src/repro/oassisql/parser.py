@@ -1,0 +1,238 @@
+"""Parser for OASSIS-QL query text.
+
+Accepts the syntax of the paper's Figure 1.  Entity names are resolved
+into the ``kb:`` namespace (the inverse of the printer's local-name
+rendering), so ``parse_oassisql(print_oassisql(q)) == q`` for every
+query over that namespace.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import OassisQLSyntaxError
+from repro.oassisql.ast import (
+    ANYTHING,
+    OassisQuery,
+    QueryTerm,
+    QueryTriple,
+    SatisfyingClause,
+    SelectClause,
+    SupportThreshold,
+    TopK,
+)
+from repro.rdf.ontology import KB
+from repro.rdf.terms import Literal, Variable
+
+__all__ = ["parse_oassisql"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<var>\$[A-Za-z_]\w*)
+  | (?P<anything>\[\])
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_]\w*(?:,_\w*(?:,_?\w+)*|(?:,\w+)*))
+  | (?P<punct>[{}.,=()])
+  | (?P<newline>\n)
+  | (?P<space>[^\S\n]+)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "VARIABLES", "WHERE", "SATISFYING", "ORDER", "BY", "DESC",
+    "ASC", "SUPPORT", "LIMIT", "AND", "WITH", "THRESHOLD",
+}
+
+
+class _Lexer:
+    def __init__(self, text: str):
+        self.tokens: list[tuple[str, str, int]] = []
+        line = 1
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise OassisQLSyntaxError(
+                    f"unexpected character {text[pos]!r}", line
+                )
+            kind = m.lastgroup
+            value = m.group()
+            if kind == "newline":
+                line += 1
+            elif kind not in ("space", "comment"):
+                if kind == "name" and value.upper() in _KEYWORDS:
+                    # Keep the original spelling: keyword words are
+                    # legal entity names in term position ("[] with
+                    # Coffee"), where case matters.
+                    kind = "keyword"
+                self.tokens.append((kind, value, line))
+            pos = m.end()
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None:
+            last = self.tokens[-1][2] if self.tokens else 1
+            raise OassisQLSyntaxError("unexpected end of query", last)
+        self.pos += 1
+        return tok
+
+    @staticmethod
+    def _value_matches(kind: str, actual: str, expected: str) -> bool:
+        if kind == "keyword":
+            return actual.upper() == expected.upper()
+        return actual == expected
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        tok = self.peek()
+        if tok and tok[0] == kind and (
+            value is None or self._value_matches(kind, tok[1], value)
+        ):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: str | None = None) -> tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None or tok[0] != kind or (
+            value is not None
+            and not self._value_matches(kind, tok[1], value)
+        ):
+            got = tok[1] if tok else "EOF"
+            line = tok[2] if tok else (
+                self.tokens[-1][2] if self.tokens else 1
+            )
+            raise OassisQLSyntaxError(
+                f"expected {value or kind}, got {got!r}", line
+            )
+        self.pos += 1
+        return tok
+
+
+def parse_oassisql(text: str) -> OassisQuery:
+    """Parse OASSIS-QL text into an :class:`OassisQuery`.
+
+    The parsed query is validated (``query.validate()``) before being
+    returned, so a syntactically legal but semantically broken query —
+    e.g. ``LIMIT 0`` — raises rather than round-tripping.
+    """
+    lexer = _Lexer(text)
+
+    select = _parse_select(lexer)
+    where: list[QueryTriple] = []
+    if lexer.accept("keyword", "WHERE"):
+        where = _parse_block(lexer)
+    satisfying: list[SatisfyingClause] = []
+    if lexer.accept("keyword", "SATISFYING"):
+        satisfying.append(_parse_satisfying_clause(lexer))
+        while lexer.accept("keyword", "AND"):
+            satisfying.append(_parse_satisfying_clause(lexer))
+    if lexer.peek() is not None:
+        kind, value, line = lexer.peek()
+        raise OassisQLSyntaxError(f"trailing token {value!r}", line)
+
+    query = OassisQuery(
+        select=select, where=tuple(where), satisfying=tuple(satisfying)
+    )
+    query.validate()
+    return query
+
+
+def _parse_select(lexer: _Lexer) -> SelectClause:
+    lexer.expect("keyword", "SELECT")
+    if lexer.accept("keyword", "VARIABLES"):
+        return SelectClause(variables=None)
+    names: list[str] = []
+    while True:
+        kind, value, line = lexer.expect("var")
+        names.append(value[1:])
+        if not lexer.accept("punct", ","):
+            break
+    return SelectClause(variables=tuple(names))
+
+
+def _parse_block(lexer: _Lexer) -> list[QueryTriple]:
+    lexer.expect("punct", "{")
+    triples: list[QueryTriple] = []
+    while True:
+        triples.append(_parse_triple(lexer))
+        if lexer.accept("punct", "."):
+            if lexer.accept("punct", "}"):
+                break
+            continue
+        lexer.expect("punct", "}")
+        break
+    if not triples:
+        kind, value, line = lexer.peek() or ("", "", 1)
+        raise OassisQLSyntaxError("empty clause block", line)
+    return triples
+
+
+def _parse_triple(lexer: _Lexer) -> QueryTriple:
+    s = _parse_term(lexer)
+    p = _parse_term(lexer)
+    o = _parse_term(lexer)
+    return QueryTriple(s, p, o)
+
+
+def _parse_term(lexer: _Lexer) -> QueryTerm:
+    kind, value, line = lexer.next()
+    if kind == "var":
+        return Variable(value[1:])
+    if kind == "anything":
+        return ANYTHING
+    if kind == "string":
+        return Literal(value[1:-1].replace('\\"', '"'))
+    if kind == "number":
+        is_float = any(c in value for c in ".eE")
+        return Literal(float(value) if is_float else int(value))
+    if kind == "name":
+        return KB[value]
+    if kind == "keyword":
+        # Keywords are legal entity names in term position (e.g. an
+        # entity called "Support" would be unusual but harmless).
+        return KB[value]
+    raise OassisQLSyntaxError(f"unexpected token {value!r} in triple", line)
+
+
+def _parse_satisfying_clause(lexer: _Lexer) -> SatisfyingClause:
+    triples = _parse_block(lexer)
+    qualifier = _parse_qualifier(lexer)
+    return SatisfyingClause(triples=tuple(triples), qualifier=qualifier)
+
+
+def _parse_qualifier(lexer: _Lexer):
+    if lexer.accept("keyword", "ORDER"):
+        lexer.expect("keyword", "BY")
+        tok = lexer.next()
+        if tok[0] != "keyword" or tok[1].upper() not in ("DESC", "ASC"):
+            raise OassisQLSyntaxError(
+                f"expected DESC or ASC, got {tok[1]!r}", tok[2]
+            )
+        descending = tok[1].upper() == "DESC"
+        lexer.expect("punct", "(")
+        lexer.expect("keyword", "SUPPORT")
+        lexer.expect("punct", ")")
+        lexer.expect("keyword", "LIMIT")
+        kind, value, line = lexer.expect("number")
+        if "." in value:
+            raise OassisQLSyntaxError(f"LIMIT must be an integer", line)
+        return TopK(k=int(value), descending=descending)
+    if lexer.accept("keyword", "WITH"):
+        lexer.expect("keyword", "SUPPORT")
+        lexer.expect("keyword", "THRESHOLD")
+        lexer.expect("punct", "=")
+        kind, value, line = lexer.expect("number")
+        return SupportThreshold(threshold=float(value))
+    tok = lexer.peek()
+    got = tok[1] if tok else "EOF"
+    line = tok[2] if tok else 1
+    raise OassisQLSyntaxError(
+        f"expected a support qualifier (ORDER BY/WITH), got {got!r}", line
+    )

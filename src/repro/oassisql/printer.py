@@ -1,0 +1,89 @@
+"""OASSIS-QL printer, matching the paper's Figure 1 layout.
+
+The rendering conventions, taken line-by-line from Figure 1:
+
+* ``SELECT VARIABLES`` (or ``SELECT $x, $y`` under projection);
+* each clause keyword on its own line;
+* a ``{`` block with one triple per line, terminated by ``.`` except the
+  last, closing ``}`` on the final triple's line;
+* entity IRIs shown by local name (``Forest_Hotel,_Buffalo,_NY``);
+* top-k qualifiers as ``ORDER BY DESC(SUPPORT)`` / ``LIMIT k``;
+* thresholds as ``WITH SUPPORT THRESHOLD = 0.1``;
+* SATISFYING subclauses joined by a line containing ``AND``.
+"""
+
+from __future__ import annotations
+
+from repro.oassisql.ast import (
+    Anything,
+    OassisQuery,
+    QueryTerm,
+    QueryTriple,
+    SatisfyingClause,
+    SupportThreshold,
+    TopK,
+)
+from repro.rdf.terms import IRI, Literal, Variable
+
+__all__ = ["print_oassisql", "format_term", "format_triple"]
+
+
+def format_term(term: QueryTerm) -> str:
+    """Render one query term the way Figure 1 displays it."""
+    if isinstance(term, Variable):
+        return f"${term.name}"
+    if isinstance(term, Anything):
+        return "[]"
+    if isinstance(term, IRI):
+        return term.local_name
+    if isinstance(term, Literal):
+        return term.n3()
+    raise TypeError(f"not an OASSIS-QL term: {term!r}")
+
+
+def format_triple(triple: QueryTriple) -> str:
+    """Render a triple as ``s p o``."""
+    return " ".join(format_term(t) for t in triple.terms())
+
+
+def _format_block(triples: tuple[QueryTriple, ...]) -> str:
+    """Render ``{t1.\\nt2.\\n...tn}`` — Figure 1's brace block."""
+    lines = [format_triple(t) for t in triples]
+    return "{" + ".\n".join(lines) + "}"
+
+
+def _format_qualifier(qualifier) -> list[str]:
+    if isinstance(qualifier, TopK):
+        direction = "DESC" if qualifier.descending else "ASC"
+        return [f"ORDER BY {direction}(SUPPORT)", f"LIMIT {qualifier.k}"]
+    if isinstance(qualifier, SupportThreshold):
+        # repr() is the shortest string that round-trips the float.
+        return [f"WITH SUPPORT THRESHOLD = {qualifier.threshold!r}"]
+    raise TypeError(f"unknown qualifier: {qualifier!r}")
+
+
+def _format_satisfying(clause: SatisfyingClause) -> list[str]:
+    return [_format_block(clause.triples), *_format_qualifier(clause.qualifier)]
+
+
+def print_oassisql(query: OassisQuery) -> str:
+    """Serialize ``query`` to OASSIS-QL text (Figure 1 conventions)."""
+    lines: list[str] = []
+    if query.select.projects_all:
+        lines.append("SELECT VARIABLES")
+    else:
+        rendered = ", ".join(f"${v}" for v in query.select.variables)
+        lines.append(f"SELECT {rendered}")
+
+    if query.where:
+        lines.append("WHERE")
+        lines.append(_format_block(query.where))
+
+    if query.satisfying:
+        lines.append("SATISFYING")
+        for i, clause in enumerate(query.satisfying):
+            if i > 0:
+                lines.append("AND")
+            lines.extend(_format_satisfying(clause))
+
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Indexed in-memory triple store.
+
+The store keeps three permutation indexes (SPO, POS, OSP) so that any
+triple pattern with at least one bound position is answered by hash
+lookups rather than scans — the standard design of in-memory RDF stores.
+Pattern positions are bound by passing a term and left open by passing
+``None`` (or a :class:`~repro.rdf.terms.Variable`, which is treated as
+open for convenience when evaluating query patterns).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.rdf.terms import IRI, Literal, BNode, Term, Triple, Variable
+
+__all__ = ["TripleStore"]
+
+# Concrete (non-variable) term types allowed in stored triples.
+_CONCRETE = (IRI, Literal, BNode)
+
+
+def _as_pattern(term: Term | None) -> Term | None:
+    """Variables act as wildcards in pattern positions."""
+    return None if isinstance(term, Variable) else term
+
+
+class TripleStore:
+    """A set of RDF triples with SPO/POS/OSP hash indexes.
+
+    The store also carries a prefix table used by the Turtle serializer
+    and for debugging output.
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()):
+        self._spo: dict[Term, dict[Term, set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._pos: dict[Term, dict[Term, set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._size = 0
+        self.prefixes: dict[str, str] = {}
+        for s, p, o in triples:
+            self.add(s, p, o)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, s: Term, p: Term, o: Term) -> bool:
+        """Add one triple; returns False if it was already present.
+
+        Raises:
+            TypeError: if any position is a variable or a non-RDF value.
+        """
+        for pos_name, term in (("subject", s), ("predicate", p),
+                               ("object", o)):
+            if not isinstance(term, _CONCRETE):
+                raise TypeError(
+                    f"{pos_name} must be IRI/Literal/BNode, got "
+                    f"{type(term).__name__}"
+                )
+        if o in self._spo.get(s, {}).get(p, ()):  # type: ignore[arg-type]
+            return False
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        return sum(1 for s, p, o in triples if self.add(s, p, o))
+
+    def remove(self, s: Term, p: Term, o: Term) -> bool:
+        """Remove one triple; returns False if it was not present."""
+        try:
+            self._spo[s][p].remove(o)
+        except KeyError:
+            return False
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._size -= 1
+        return True
+
+    def bind_prefix(self, prefix: str, base: str) -> None:
+        """Register a namespace prefix for serialization."""
+        self.prefixes[prefix] = base
+
+    # -- lookup -------------------------------------------------------------------
+
+    def triples(
+        self,
+        s: Term | None = None,
+        p: Term | None = None,
+        o: Term | None = None,
+    ) -> Iterator[Triple]:
+        """All triples matching the pattern (None/Variable = wildcard)."""
+        s, p, o = _as_pattern(s), _as_pattern(p), _as_pattern(o)
+        if s is not None:
+            if s not in self._spo:
+                return
+            by_p = self._spo[s]
+            if p is not None:
+                for obj in by_p.get(p, ()):
+                    if o is None or obj == o:
+                        yield (s, p, obj)
+            else:
+                for pred, objs in by_p.items():
+                    for obj in objs:
+                        if o is None or obj == o:
+                            yield (s, pred, obj)
+        elif p is not None:
+            if p not in self._pos:
+                return
+            by_o = self._pos[p]
+            if o is not None:
+                for subj in by_o.get(o, ()):
+                    yield (subj, p, o)
+            else:
+                for obj, subjs in by_o.items():
+                    for subj in subjs:
+                        yield (subj, p, obj)
+        elif o is not None:
+            if o not in self._osp:
+                return
+            for subj, preds in self._osp[o].items():
+                for pred in preds:
+                    yield (subj, pred, o)
+        else:
+            for subj, by_p in self._spo.items():
+                for pred, objs in by_p.items():
+                    for obj in objs:
+                        yield (subj, pred, obj)
+
+    def contains(self, s: Term, p: Term, o: Term) -> bool:
+        """True if the concrete triple is in the store."""
+        return o in self._spo.get(s, {}).get(p, set())
+
+    def count(
+        self,
+        s: Term | None = None,
+        p: Term | None = None,
+        o: Term | None = None,
+    ) -> int:
+        """Number of triples matching the pattern.
+
+        Fully-open and single-position patterns are O(1)/O(index-row);
+        used by the query planner for selectivity ordering.
+        """
+        s, p, o = _as_pattern(s), _as_pattern(p), _as_pattern(o)
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is not None and o is not None:
+            return 1 if self.contains(s, p, o) else 0
+        if s is not None and p is not None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if s is not None:
+            return sum(len(v) for v in self._spo.get(s, {}).values())
+        if p is not None:
+            return sum(len(v) for v in self._pos.get(p, {}).values())
+        return sum(len(v) for v in self._osp.get(o, {}).values())
+
+    def subjects(self, p: Term | None = None, o: Term | None = None
+                 ) -> Iterator[Term]:
+        """Distinct subjects of triples matching ``(?, p, o)``."""
+        seen: set[Term] = set()
+        for s, _, _ in self.triples(None, p, o):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def objects(self, s: Term | None = None, p: Term | None = None
+                ) -> Iterator[Term]:
+        """Distinct objects of triples matching ``(s, p, ?)``."""
+        seen: set[Term] = set()
+        for _, _, o in self.triples(s, p, None):
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def predicates(self) -> Iterator[Term]:
+        """All distinct predicates in the store."""
+        return iter(self._pos.keys())
+
+    def value(self, s: Term | None = None, p: Term | None = None,
+              o: Term | None = None) -> Term | None:
+        """The single term completing the pattern, or None.
+
+        Exactly one of the three positions must be left open.
+        """
+        open_positions = [x is None for x in (s, p, o)]
+        if sum(open_positions) != 1:
+            raise ValueError("value() requires exactly one open position")
+        for triple in self.triples(s, p, o):
+            return triple[open_positions.index(True)]
+        return None
+
+    # -- pythonic protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return self.contains(s, p, o)
+
+    def copy(self) -> "TripleStore":
+        """A shallow copy (terms are immutable, so this is a full copy)."""
+        clone = TripleStore(self.triples())
+        clone.prefixes = dict(self.prefixes)
+        return clone

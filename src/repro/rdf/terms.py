@@ -1,0 +1,151 @@
+"""RDF term types: IRIs, literals, blank nodes and query variables.
+
+All terms are immutable and hashable, so they can live in the store's
+set-based indexes and in solution bindings.  A :class:`Namespace` is a
+small convenience for minting IRIs::
+
+    KB = Namespace("http://repro.example/kb/")
+    KB.Place            # IRI('http://repro.example/kb/Place')
+    KB["Forest Hotel"]  # spaces are percent-free but underscored
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "IRI", "Literal", "BNode", "Variable", "Term", "Triple", "Namespace",
+    "RDF", "RDFS", "XSD",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class IRI:
+    """An IRI reference, e.g. ``http://repro.example/kb/Place``."""
+
+    value: str
+
+    @property
+    def local_name(self) -> str:
+        """The fragment after the last ``#`` or ``/``."""
+        for sep in ("#", "/"):
+            if sep in self.value:
+                return self.value.rsplit(sep, 1)[1]
+        return self.value
+
+    @property
+    def namespace(self) -> str:
+        """Everything up to and including the last ``#`` or ``/``."""
+        for sep in ("#", "/"):
+            if sep in self.value:
+                return self.value.rsplit(sep, 1)[0] + sep
+        return ""
+
+    def n3(self) -> str:
+        """N-Triples / Turtle rendering."""
+        return f"<{self.value}>"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal with optional datatype IRI or language tag."""
+
+    value: str | int | float | bool
+    datatype: IRI | None = None
+    lang: str | None = None
+
+    def __post_init__(self):
+        if self.datatype is not None and self.lang is not None:
+            raise ValueError("a literal cannot have both datatype and lang")
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self.value, (int, float)) and not isinstance(
+            self.value, bool
+        )
+
+    def as_python(self):
+        """The underlying Python value."""
+        return self.value
+
+    def n3(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, (int, float)):
+            return repr(self.value)
+        escaped = (
+            str(self.value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        if self.lang:
+            return f'"{escaped}"@{self.lang}'
+        if self.datatype:
+            return f'"{escaped}"^^{self.datatype.n3()}'
+        return f'"{escaped}"'
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BNode:
+    """A blank node with a local identifier."""
+
+    id: str
+
+    def n3(self) -> str:
+        return f"_:{self.id}"
+
+    def __str__(self) -> str:
+        return f"_:{self.id}"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query variable (``?x`` in SPARQL, ``$x`` in OASSIS-QL)."""
+
+    name: str
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Union[IRI, Literal, BNode, Variable]
+Triple = tuple[Term, Term, Term]
+
+
+class Namespace:
+    """IRI factory bound to a base prefix."""
+
+    def __init__(self, base: str):
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self.base = base
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return IRI(self.base + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self.base + name.replace(" ", "_"))
+
+    def __contains__(self, term: object) -> bool:
+        return isinstance(term, IRI) and term.value.startswith(self.base)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Namespace({self.base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")

@@ -1,0 +1,250 @@
+"""Turtle reader and writer for the subset used by the ontology snapshots.
+
+Supported syntax:
+
+* ``@prefix p: <iri> .`` declarations and prefixed names (``geo:Place``);
+* full IRIs in angle brackets;
+* ``a`` as shorthand for ``rdf:type``;
+* string literals (with ``@lang`` or ``^^datatype``), integers, decimals
+  and booleans;
+* predicate lists with ``;`` and object lists with ``,``;
+* blank nodes ``_:b1``;
+* ``#`` comments.
+
+Not supported (not needed by our data): collections ``( )``, anonymous
+blank nodes ``[ ]``, multi-line ``\"\"\"`` literals, ``@base``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TurtleSyntaxError
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import IRI, Literal, BNode, RDF, Term, XSD
+
+__all__ = ["parse_turtle", "serialize_turtle"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>\s]*>)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<langtag>@[A-Za-z][A-Za-z0-9-]*)
+  | (?P<dtsep>\^\^)
+  | (?P<bnode>_:[A-Za-z0-9_-]+)
+  | (?P<pname>[A-Za-z][\w.-]*)?:(?P<plocal>[\w.,%-]*)
+  | (?P<number>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<keyword>\ba\b|true|false|@prefix)
+  | (?P<punct>[;,.])
+  | (?P<word>[A-Za-z][\w-]*)
+  | (?P<space>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    """Tokenize into (kind, value, line) triples."""
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise TurtleSyntaxError(
+                f"unexpected character {text[pos]!r}", line
+            )
+        kind = match.lastgroup
+        value = match.group()
+        line += value.count("\n")
+        if kind == "plocal":  # prefixed name matched via pname/plocal
+            kind = "pname_full"
+        if kind not in ("space", "comment"):
+            # '@prefix' is caught by langtag pattern; reclassify.
+            if kind == "langtag" and value == "@prefix":
+                kind = "keyword"
+            if kind == "word" and value == "a":
+                kind = "keyword"
+            if kind == "word" and value in ("true", "false"):
+                kind = "keyword"
+            tokens.append((kind, value, line))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.prefixes: dict[str, str] = {}
+        self.store = TripleStore()
+
+    def peek(self) -> tuple[str, str, int] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None:
+            last_line = self.tokens[-1][2] if self.tokens else 1
+            raise TurtleSyntaxError("unexpected end of input", last_line)
+        self.pos += 1
+        return tok
+
+    def expect_punct(self, char: str) -> None:
+        kind, value, line = self.next()
+        if kind != "punct" or value != char:
+            raise TurtleSyntaxError(f"expected {char!r}, got {value!r}", line)
+
+    def parse(self) -> TripleStore:
+        while self.peek() is not None:
+            kind, value, line = self.peek()
+            if kind == "keyword" and value == "@prefix":
+                self._parse_prefix()
+            else:
+                self._parse_statement()
+        self.store.prefixes = dict(self.prefixes)
+        return self.store
+
+    def _parse_prefix(self) -> None:
+        self.next()  # @prefix
+        kind, value, line = self.next()
+        if kind != "pname_full" or not value.endswith(":"):
+            raise TurtleSyntaxError(
+                f"expected prefix name, got {value!r}", line
+            )
+        prefix = value[:-1]
+        kind, iri, line = self.next()
+        if kind != "iri":
+            raise TurtleSyntaxError(f"expected IRI, got {iri!r}", line)
+        self.prefixes[prefix] = iri[1:-1]
+        self.expect_punct(".")
+
+    def _parse_statement(self) -> None:
+        subject = self._parse_term(position="subject")
+        while True:
+            predicate = self._parse_term(position="predicate")
+            while True:
+                obj = self._parse_term(position="object")
+                self.store.add(subject, predicate, obj)
+                tok = self.peek()
+                if tok and tok[0] == "punct" and tok[1] == ",":
+                    self.next()
+                    continue
+                break
+            tok = self.peek()
+            if tok and tok[0] == "punct" and tok[1] == ";":
+                self.next()
+                # allow trailing ';' before '.'
+                nxt = self.peek()
+                if nxt and nxt[0] == "punct" and nxt[1] == ".":
+                    break
+                continue
+            break
+        self.expect_punct(".")
+
+    def _parse_term(self, position: str) -> Term:
+        kind, value, line = self.next()
+        if kind == "iri":
+            return IRI(value[1:-1])
+        if kind == "pname_full":
+            prefix, _, local = value.partition(":")
+            if prefix not in self.prefixes:
+                raise TurtleSyntaxError(
+                    f"undeclared prefix {prefix!r}", line
+                )
+            return IRI(self.prefixes[prefix] + local)
+        if kind == "bnode":
+            return BNode(value[2:])
+        if kind == "keyword" and value == "a":
+            if position != "predicate":
+                raise TurtleSyntaxError(
+                    "'a' is only valid as a predicate", line
+                )
+            return RDF.type
+        if position != "object" and kind in ("string", "number", "keyword"):
+            raise TurtleSyntaxError(
+                f"literal not allowed as {position}", line
+            )
+        if kind == "string":
+            text = self._unescape(value[1:-1])
+            nxt = self.peek()
+            if nxt and nxt[0] == "langtag":
+                self.next()
+                return Literal(text, lang=nxt[1][1:])
+            if nxt and nxt[0] == "dtsep":
+                self.next()
+                dtype = self._parse_term(position="datatype")
+                if not isinstance(dtype, IRI):
+                    raise TurtleSyntaxError("datatype must be an IRI", line)
+                return self._typed_literal(text, dtype)
+            return Literal(text)
+        if kind == "number":
+            if any(c in value for c in ".eE"):
+                return Literal(float(value), datatype=XSD.decimal)
+            return Literal(int(value), datatype=XSD.integer)
+        if kind == "keyword" and value in ("true", "false"):
+            return Literal(value == "true", datatype=XSD.boolean)
+        raise TurtleSyntaxError(
+            f"unexpected token {value!r} as {position}", line
+        )
+
+    @staticmethod
+    def _typed_literal(text: str, dtype: IRI) -> Literal:
+        if dtype == XSD.integer:
+            return Literal(int(text), datatype=dtype)
+        if dtype in (XSD.decimal, XSD.double, XSD.float):
+            return Literal(float(text), datatype=dtype)
+        if dtype == XSD.boolean:
+            return Literal(text == "true", datatype=dtype)
+        return Literal(text, datatype=dtype)
+
+    @staticmethod
+    def _unescape(raw: str) -> str:
+        return (
+            raw.replace("\\n", "\n")
+            .replace("\\t", "\t")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+
+
+def parse_turtle(text: str) -> TripleStore:
+    """Parse a Turtle document into a new :class:`TripleStore`."""
+    return _Parser(text).parse()
+
+
+def serialize_turtle(store: TripleStore) -> str:
+    """Serialize a store to Turtle, using its registered prefixes.
+
+    Triples are grouped by subject with ``;`` continuation; the output
+    round-trips through :func:`parse_turtle`.
+    """
+    def shorten(term: Term) -> str:
+        if isinstance(term, IRI):
+            for prefix, base in store.prefixes.items():
+                if term.value.startswith(base) and len(term.value) > len(base):
+                    local = term.value[len(base):]
+                    if re.fullmatch(r"[\w.,%-]*", local):
+                        return f"{prefix}:{local}"
+            return term.n3()
+        return term.n3()
+
+    lines = [
+        f"@prefix {prefix}: <{base}> ."
+        for prefix, base in sorted(store.prefixes.items())
+    ]
+    if lines:
+        lines.append("")
+
+    by_subject: dict[Term, list[tuple[Term, Term]]] = {}
+    for s, p, o in store:
+        by_subject.setdefault(s, []).append((p, o))
+
+    for subject in sorted(by_subject, key=lambda t: str(t)):
+        pairs = sorted(by_subject[subject], key=lambda po: (str(po[0]),
+                                                            str(po[1])))
+        rendered = [f"{shorten(p)} {shorten(o)}" for p, o in pairs]
+        body = " ;\n    ".join(rendered)
+        lines.append(f"{shorten(subject)} {body} .")
+    return "\n".join(lines) + "\n"

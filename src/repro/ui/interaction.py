@@ -1,0 +1,217 @@
+"""Typed interaction requests and answer providers (paper Section 4.1).
+
+Every optional interaction point of the translation pipeline is a
+request object with a sensible default, so the system "may be configured
+to always skip certain interaction points, or skip them when there is no
+uncertainty".  Providers turn requests into answers; the pipeline
+records every exchange in its trace for the admin-mode display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import InteractionRequired
+from repro.rdf.ontology import EntityMatch
+
+__all__ = [
+    "VerifyIXRequest", "DisambiguationRequest", "LimitRequest",
+    "ThresholdRequest", "ProjectionRequest", "InteractionRequest",
+    "InteractionProvider", "AutoInteraction", "ScriptedInteraction",
+    "ConsoleInteraction",
+]
+
+
+@dataclass(frozen=True)
+class VerifyIXRequest:
+    """Figure 4: confirm which uncertain IXs are really individual.
+
+    ``spans`` are the highlighted phrases.  The answer is a list of
+    booleans, one per span; the default accepts all.
+    """
+
+    spans: tuple[str, ...]
+    sentence: str = ""
+
+    def default(self) -> list[bool]:
+        return [True] * len(self.spans)
+
+    def prompt(self) -> str:
+        listed = "; ".join(f"[{i}] {s}" for i, s in enumerate(self.spans))
+        return (
+            "Should the crowd be asked about these parts? "
+            f"{listed} (y/n per part)"
+        )
+
+
+@dataclass(frozen=True)
+class DisambiguationRequest:
+    """FREyA's clarification dialogue: which entity did you mean?
+
+    The answer is an index into ``candidates``; default 0 (top-ranked).
+    """
+
+    phrase: str
+    candidates: tuple[EntityMatch, ...]
+    sentence: str = ""
+
+    def default(self) -> int:
+        return 0
+
+    def prompt(self) -> str:
+        listed = "; ".join(
+            f"[{i}] {c.label}" for i, c in enumerate(self.candidates)
+        )
+        return f'Which "{self.phrase}" did you mean? {listed}'
+
+
+@dataclass(frozen=True)
+class LimitRequest:
+    """Figure 5: the k of a top-k support selection."""
+
+    description: str
+    default_value: int = 5
+
+    def default(self) -> int:
+        return self.default_value
+
+    def prompt(self) -> str:
+        return (
+            f"How many results do you want for {self.description}? "
+            f"(default {self.default_value})"
+        )
+
+
+@dataclass(frozen=True)
+class ThresholdRequest:
+    """Figure 5 (lower half): minimal frequency of a mined habit."""
+
+    description: str
+    default_value: float = 0.1
+
+    def default(self) -> float:
+        return self.default_value
+
+    def prompt(self) -> str:
+        return (
+            f"What is the minimal frequency for {self.description}? "
+            f"(0-1, default {self.default_value})"
+        )
+
+
+@dataclass(frozen=True)
+class ProjectionRequest:
+    """Section 4.1's last point: which terms should return instances?
+
+    ``variables`` pairs each query variable with the phrase it stands
+    for.  The answer is the list of variable names to keep; the default
+    keeps all (the SELECT clause "does not project out any variables").
+    """
+
+    variables: tuple[tuple[str, str], ...]
+
+    def default(self) -> list[str]:
+        return [name for name, _ in self.variables]
+
+    def prompt(self) -> str:
+        listed = "; ".join(f"${v} ({p})" for v, p in self.variables)
+        return f"For which terms do you want instances? {listed}"
+
+
+InteractionRequest = (
+    VerifyIXRequest | DisambiguationRequest | LimitRequest
+    | ThresholdRequest | ProjectionRequest
+)
+
+
+@runtime_checkable
+class InteractionProvider(Protocol):
+    """Anything that can answer interaction requests."""
+
+    def ask(self, request: InteractionRequest) -> Any:
+        """Return the answer for ``request`` (type depends on request)."""
+        ...  # pragma: no cover
+
+
+class AutoInteraction:
+    """Answers every request with its default — zero user effort.
+
+    Administrator defaults for LIMIT/THRESHOLD can be overridden, which
+    is the paper's "default values that are pre-configured at the system
+    administrator level".
+    """
+
+    def __init__(self, default_limit: int = 5,
+                 default_threshold: float = 0.1):
+        self.default_limit = default_limit
+        self.default_threshold = default_threshold
+
+    def ask(self, request: InteractionRequest) -> Any:
+        if isinstance(request, LimitRequest):
+            return self.default_limit
+        if isinstance(request, ThresholdRequest):
+            return self.default_threshold
+        return request.default()
+
+
+class ScriptedInteraction:
+    """Replays a fixed list of answers, in request order.
+
+    Used by tests and the scripted demo.  When the script runs out,
+    either falls back to defaults (``strict=False``, the default) or
+    raises :class:`~repro.errors.InteractionRequired`.
+    """
+
+    def __init__(self, answers: list[Any], strict: bool = False):
+        self._answers = list(answers)
+        self._strict = strict
+        self.transcript: list[tuple[InteractionRequest, Any]] = []
+
+    def ask(self, request: InteractionRequest) -> Any:
+        if self._answers:
+            answer = self._answers.pop(0)
+        elif self._strict:
+            raise InteractionRequired(
+                f"script exhausted at request: {request.prompt()}"
+            )
+        else:
+            answer = AutoInteraction().ask(request)
+        self.transcript.append((request, answer))
+        return answer
+
+
+class ConsoleInteraction:
+    """Interactive prompts on stdin/stdout, for the runnable examples."""
+
+    def ask(self, request: InteractionRequest) -> Any:
+        print(request.prompt())
+        raw = input("> ").strip()
+        if not raw:
+            return AutoInteraction().ask(request)
+        return self._parse(request, raw)
+
+    @staticmethod
+    def _parse(request: InteractionRequest, raw: str) -> Any:
+        if isinstance(request, VerifyIXRequest):
+            flags = [c in "yY1t" for c in raw.replace(" ", "")]
+            flags += [True] * (len(request.spans) - len(flags))
+            return flags[: len(request.spans)]
+        if isinstance(request, DisambiguationRequest):
+            index = int(raw)
+            if not 0 <= index < len(request.candidates):
+                raise ValueError(f"candidate index {index} out of range")
+            return index
+        if isinstance(request, LimitRequest):
+            value = int(raw)
+            if value <= 0:
+                raise ValueError("limit must be positive")
+            return value
+        if isinstance(request, ThresholdRequest):
+            value = float(raw)
+            if not 0 <= value <= 1:
+                raise ValueError("threshold must be in [0, 1]")
+            return value
+        if isinstance(request, ProjectionRequest):
+            return [v.strip().lstrip("$") for v in raw.split(",")]
+        raise TypeError(f"unknown request type {type(request).__name__}")

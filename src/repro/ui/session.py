@@ -1,0 +1,138 @@
+"""End-user session: translate, edit, submit, track (paper Figure 6).
+
+"The UI of NL2CM allows manually editing the output query.  For
+convenience, the design of NL2CM allows connecting it directly to
+OASSIS ... This further enables the user to submit the query via the
+NL2CM UI to be executed with the crowd, track the progress of the
+evaluation process" (Section 3).
+
+:class:`NL2CMSession` is that connection: it owns a translator and an
+engine, keeps a history of asked questions, lets the user replace the
+generated query text before submission, and reports per-execution
+progress (crowd tasks issued, bindings found).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import NL2CM, TranslationResult
+from repro.errors import OassisQLError, ReproError
+from repro.oassis.engine import OassisEngine, QueryResult
+from repro.oassisql import OassisQuery, parse_oassisql, print_oassisql
+from repro.ui.interaction import InteractionProvider
+
+__all__ = ["NL2CMSession", "SessionEntry"]
+
+
+@dataclass
+class SessionEntry:
+    """One question's lifecycle within a session."""
+
+    question: str
+    translation: TranslationResult
+    query: OassisQuery
+    edited: bool = False
+    execution: QueryResult | None = None
+
+    @property
+    def query_text(self) -> str:
+        return print_oassisql(self.query)
+
+    @property
+    def executed(self) -> bool:
+        return self.execution is not None
+
+
+class NL2CMSession:
+    """A user session over the translator and the OASSIS engine.
+
+    Args:
+        nl2cm: the translator (a default one is built if omitted).
+        engine: the OASSIS engine to submit queries to; without one,
+            :meth:`submit` raises — translation-only sessions are fine.
+    """
+
+    def __init__(
+        self,
+        nl2cm: NL2CM | None = None,
+        engine: OassisEngine | None = None,
+    ):
+        self.nl2cm = nl2cm or NL2CM()
+        self.engine = engine
+        self.history: list[SessionEntry] = []
+
+    # -- the Figure 3 -> Figure 6 flow -------------------------------------------
+
+    def ask(
+        self,
+        question: str,
+        interaction: InteractionProvider | None = None,
+    ) -> SessionEntry:
+        """Translate a question and append it to the session history.
+
+        Raises:
+            VerificationError: for unsupported forms (with tips).
+            TranslationError: when no query can be composed.
+        """
+        translation = self.nl2cm.translate(question, interaction)
+        entry = SessionEntry(
+            question=question,
+            translation=translation,
+            query=translation.query,
+        )
+        self.history.append(entry)
+        return entry
+
+    def edit(self, entry: SessionEntry, query_text: str) -> SessionEntry:
+        """Replace an entry's query with manually edited text.
+
+        The text is parsed and validated before it replaces the
+        generated query, so the UI can reject a broken edit in place.
+
+        Raises:
+            OassisQLError: if the edited text is not a valid query.
+        """
+        entry.query = parse_oassisql(query_text)
+        entry.edited = True
+        entry.execution = None
+        return entry
+
+    def submit(self, entry: SessionEntry) -> QueryResult:
+        """Execute an entry's query with the crowd via OASSIS.
+
+        Raises:
+            ReproError: if the session has no engine attached.
+        """
+        if self.engine is None:
+            raise ReproError(
+                "this session is not connected to an OASSIS engine"
+            )
+        entry.execution = self.engine.evaluate(entry.query)
+        return entry.execution
+
+    # -- progress tracking ----------------------------------------------------------
+
+    def progress(self, entry: SessionEntry) -> dict[str, object]:
+        """Progress summary for the OASSIS tracking screen."""
+        if entry.execution is None:
+            return {"status": "not submitted", "tasks": 0, "results": 0}
+        return {
+            "status": "completed",
+            "tasks": entry.execution.tasks_used,
+            "results": len(entry.execution.accepted),
+            "candidates": entry.execution.where_bindings,
+        }
+
+    def transcript(self) -> list[str]:
+        """A printable summary of the session, newest last."""
+        lines: list[str] = []
+        for i, entry in enumerate(self.history, 1):
+            status = self.progress(entry)["status"]
+            edited = " (edited)" if entry.edited else ""
+            lines.append(
+                f"{i}. {entry.question!r} -> "
+                f"{len(entry.query.satisfying)} mined pattern(s)"
+                f"{edited}, {status}"
+            )
+        return lines

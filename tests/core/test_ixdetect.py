@@ -1,0 +1,174 @@
+"""Tests for IXFinder / IXCreator on the paper's example sentences."""
+
+import pytest
+
+from repro.core.ixdetect import IXDetector, load_default_patterns
+from repro.nlp import parse
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return IXDetector()
+
+
+def detect(detector, text):
+    graph = parse(text)
+    return graph, detector.detect(graph)
+
+
+class TestDefaultPatterns:
+    def test_patterns_load(self):
+        patterns = load_default_patterns()
+        names = {p.name for p in patterns}
+        assert "lexical_opinion" in names
+        assert "participant_subject" in names
+        assert "syntactic_modal" in names
+
+    def test_all_three_types_covered(self):
+        types = {p.ix_type for p in load_default_patterns()}
+        assert types == {"lexical", "participant", "syntactic"}
+
+
+class TestRunningExample:
+    SENTENCE = ("What are the most interesting places near Forest Hotel, "
+                "Buffalo, we should visit in the fall?")
+
+    @pytest.fixture(scope="class")
+    def result(self, detector):
+        graph = parse(self.SENTENCE)
+        return graph, detector.detect(graph)
+
+    def test_two_units(self, result):
+        graph, ixs = result
+        assert len(ixs) == 2
+
+    def test_opinion_unit(self, result):
+        graph, ixs = result
+        opinion = next(ix for ix in ixs if ix.kind == "opinion")
+        assert opinion.anchor.text == "interesting"
+        assert opinion.types == {"lexical"}
+        assert opinion.modified.text == "places"
+        assert "most" in opinion.span_text(graph)
+
+    def test_habit_unit(self, result):
+        graph, ixs = result
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        assert habit.anchor.text == "visit"
+        # participant ("we") and syntactic ("should") both fire.
+        assert habit.types == {"participant", "syntactic"}
+        assert habit.subject.text == "we"
+        # Relative-clause gap: the object is the antecedent "places".
+        assert habit.object.text == "places"
+
+    def test_habit_temporal_pp(self, result):
+        graph, ixs = result
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        assert [(p.text, o.text) for p, o in habit.pps] == [("in", "fall")]
+
+    def test_general_parts_not_in_ix(self, result):
+        graph, ixs = result
+        all_nodes = set()
+        for ix in ixs:
+            all_nodes |= ix.nodes
+        hotel = next(n for n in graph if n.text == "Hotel")
+        near = next(n for n in graph if n.text == "near")
+        assert hotel.index not in all_nodes
+        assert near.index not in all_nodes
+
+
+class TestIndividualityTypes:
+    def test_lexical_only(self, detector):
+        graph, ixs = detect(detector, "Which hotel in Vegas has the best "
+                                      "thrill ride?")
+        assert len(ixs) == 1
+        assert ixs[0].kind == "opinion"
+        assert ixs[0].anchor.text == "best"
+        assert ixs[0].modified.text == "ride"
+
+    def test_participant_you(self, detector):
+        graph, ixs = detect(detector, "Where do you visit in Buffalo?")
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        assert "participant" in habit.types
+        assert habit.subject.text == "you"
+        # Open wh-object: "Where" stands for the asked-about place.
+        assert habit.object.tag == "WRB"
+
+    def test_syntactic_should_obama(self, detector):
+        # The paper's example: "Obama should visit Buffalo" — individual
+        # because of "should", not because of the subject.
+        graph, ixs = detect(detector, "Obama should visit Buffalo.")
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        assert "syntactic" in habit.types
+        assert habit.anchor.text == "visit"
+
+    def test_possessive_participant(self, detector):
+        graph, ixs = detect(detector, "What are my kids' favorite dishes?")
+        assert any("participant" in ix.types for ix in ixs)
+
+    def test_opinion_with_participant_pp(self, detector):
+        graph, ixs = detect(detector, "Is chocolate milk good for kids?")
+        opinion = next(ix for ix in ixs if ix.kind == "opinion")
+        assert opinion.anchor.text == "good"
+        assert opinion.modified.text == "milk"
+        assert [(p.text, o.text) for p, o in opinion.pps] == [
+            ("for", "kids")
+        ]
+
+    def test_no_ix_in_pure_general_question(self, detector):
+        graph, ixs = detect(
+            detector, "Delaware Park is near Forest Hotel."
+        )
+        assert ixs == []
+
+
+class TestCompletion:
+    def test_negation_flag(self, detector):
+        graph, ixs = detect(detector, "We do not eat meat.")
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        assert habit.negated
+
+    def test_pronoun_object(self, detector):
+        graph, ixs = detect(detector, "We love it.")
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        assert habit.object is not None and habit.object.tag == "PRP"
+
+    def test_go_plus_gerund(self, detector):
+        graph, ixs = detect(detector, "Where do you go hiking in the "
+                                      "winter?")
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        winter_pps = [(p.text, o.text) for p, o in habit.pps]
+        assert ("in", "winter") in winter_pps
+
+    def test_merged_anchor_units(self, detector):
+        # "should" and "we" both anchor on "visit": one unit, two types.
+        graph, ixs = detect(detector, "the places we should visit")
+        habits = [ix for ix in ixs if ix.kind == "habit"]
+        assert len(habits) == 1
+        assert habits[0].types == {"participant", "syntactic"}
+        assert len(habits[0].patterns) >= 2
+
+    def test_uncertain_flag_from_pattern(self, detector):
+        # habit_generic_subject is marked UNCERTAIN in the default set,
+        # and no certain pattern fires on "teenagers hang out".
+        graph, ixs = detect(detector, "Where do teenagers hang out?")
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        assert habit.uncertain
+
+    def test_certain_pattern_overrides_uncertainty(self, detector):
+        # "popular" fires the certain lexical pattern and the uncertain
+        # participant_pobj pattern; the merged unit is certain.
+        graph, ixs = detect(detector,
+                            "Which museums are popular with locals?")
+        popular = next(ix for ix in ixs if ix.anchor.text == "popular")
+        assert not popular.uncertain
+
+    def test_locative_pp_stays_general(self, detector):
+        graph, ixs = detect(detector, "Where do you visit in Buffalo?")
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        assert all(o.text != "Buffalo" for _, o in habit.pps)
+
+    def test_span_text_is_readable(self, detector):
+        graph, ixs = detect(detector, "the places we should visit")
+        habit = next(ix for ix in ixs if ix.kind == "habit")
+        span = habit.span_text(graph)
+        assert "we" in span and "visit" in span

@@ -1,0 +1,217 @@
+"""Tests for the IX detection pattern language: parsing and matching."""
+
+import pytest
+
+from repro.core.ixpatterns import (
+    PatternMatcher,
+    parse_patterns,
+)
+from repro.data.vocabularies import Vocabulary, VocabularyRegistry, \
+    load_vocabularies
+from repro.errors import PatternSyntaxError
+from repro.nlp import parse
+
+
+PAPER_PATTERN = """\
+PATTERN participant_subject TYPE participant ANCHOR $x
+$x subject $y
+filter(POS($x) = "verb" && $y in V_participant)
+"""
+
+
+@pytest.fixture(scope="module")
+def vocabularies():
+    return load_vocabularies()
+
+
+@pytest.fixture(scope="module")
+def matcher(vocabularies):
+    return PatternMatcher(vocabularies)
+
+
+class TestPatternParsing:
+    def test_paper_example_parses(self):
+        patterns = parse_patterns(PAPER_PATTERN)
+        assert len(patterns) == 1
+        pattern = patterns[0]
+        assert pattern.name == "participant_subject"
+        assert pattern.ix_type == "participant"
+        assert pattern.anchor == "x"
+        assert len(pattern.edges) == 1
+        # 'subject' is an alias for nsubj.
+        assert pattern.edges[0].label == "nsubj"
+
+    def test_uncertain_flag(self):
+        patterns = parse_patterns(
+            "PATTERN p TYPE lexical ANCHOR $x UNCERTAIN\n"
+            'filter(LEMMA($x) in V_opinion)'
+        )
+        assert patterns[0].uncertain
+
+    def test_multiple_patterns_split_on_blank_lines(self):
+        text = PAPER_PATTERN + "\n" + (
+            "PATTERN lex TYPE lexical ANCHOR $z\n"
+            "filter(LEMMA($z) in V_opinion)"
+        )
+        assert [p.name for p in parse_patterns(text)] == [
+            "participant_subject", "lex"
+        ]
+
+    def test_comments_ignored(self):
+        text = "# a comment\n" + PAPER_PATTERN
+        assert len(parse_patterns(text)) == 1
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_patterns("PATERN x TYPE lexical ANCHOR $x\n$x nsubj $y")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_patterns(
+                "PATTERN p TYPE banana ANCHOR $x\n$x nsubj $y"
+            )
+
+    def test_unused_anchor_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_patterns(
+                "PATTERN p TYPE lexical ANCHOR $q\n$x nsubj $y"
+            )
+
+    def test_unknown_edge_label_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_patterns(
+                "PATTERN p TYPE lexical ANCHOR $x\n$x frobnicates $y"
+            )
+
+    def test_bad_filter_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_patterns(
+                "PATTERN p TYPE lexical ANCHOR $x\n"
+                "$x nsubj $y\nfilter(POS($x) @ 3)"
+            )
+
+    def test_unparenthesised_filter_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_patterns(
+                "PATTERN p TYPE lexical ANCHOR $x\n"
+                "$x nsubj $y\nfilter POS($x) = \"verb\""
+            )
+
+
+class TestMatching:
+    def test_paper_pattern_matches_running_example(self, matcher):
+        pattern = parse_patterns(PAPER_PATTERN)[0]
+        graph = parse("the places we should visit in the fall")
+        matches = matcher.match(pattern, graph)
+        assert len(matches) == 1
+        binding = matches[0].binding
+        assert binding["x"].text == "visit"
+        assert binding["y"].text == "we"
+
+    def test_no_match_on_general_sentence(self, matcher):
+        pattern = parse_patterns(PAPER_PATTERN)[0]
+        graph = parse("Delaware Park is near Forest Hotel")
+        assert matcher.match(pattern, graph) == []
+
+    def test_node_only_pattern(self, matcher):
+        pattern = parse_patterns(
+            "PATTERN lex TYPE lexical ANCHOR $x\n"
+            'filter(POS($x) = "adjective" && LEMMA($x) in V_opinion)'
+        )[0]
+        graph = parse("What are the most interesting places?")
+        matches = matcher.match(pattern, graph)
+        assert [m.anchor_node.text for m in matches] == ["interesting"]
+
+    def test_two_edge_pattern(self, matcher):
+        pattern = parse_patterns(
+            "PATTERN pp TYPE participant ANCHOR $n\n"
+            "$n prep $p\n"
+            "$p pobj $y\n"
+            "filter(LEMMA($y) in V_participant)"
+        )[0]
+        graph = parse("Is chocolate milk good for kids?")
+        matches = matcher.match(pattern, graph)
+        assert len(matches) == 1
+        assert matches[0].binding["n"].text == "good"
+        assert matches[0].binding["y"].text == "kids"
+
+    def test_wildcard_label(self, matcher):
+        pattern = parse_patterns(
+            "PATTERN any TYPE participant ANCHOR $a\n"
+            "$a * $b\n"
+            'filter(TEXT($b) = "we")'
+        )[0]
+        graph = parse("the places we visit")
+        matches = matcher.match(pattern, graph)
+        assert len(matches) == 1
+        assert matches[0].binding["a"].text == "visit"
+
+    def test_shared_variable_constrains(self, matcher):
+        # $v must be the same node in both edges.
+        pattern = parse_patterns(
+            "PATTERN both TYPE syntactic ANCHOR $v\n"
+            "$v aux $m\n"
+            "$v nsubj $y\n"
+            'filter(LEMMA($m) in V_modal)'
+        )[0]
+        graph = parse("we should visit Buffalo")
+        matches = matcher.match(pattern, graph)
+        assert len(matches) == 1
+        assert matches[0].binding["v"].text == "visit"
+
+    def test_modal_is_not_a_verb_pos(self, matcher):
+        # POS($x) = "verb" must not match a bare modal.
+        pattern = parse_patterns(
+            "PATTERN v TYPE syntactic ANCHOR $x\n"
+            'filter(POS($x) = "verb" && LEMMA($x) in V_modal)'
+        )[0]
+        graph = parse("What camera should I buy?")
+        assert matcher.match(pattern, graph) == []
+
+    def test_or_filter(self, matcher):
+        pattern = parse_patterns(
+            "PATTERN e TYPE lexical ANCHOR $x\n"
+            'filter(TEXT($x) = "visit" || TEXT($x) = "places")'
+        )[0]
+        graph = parse("the places we visit")
+        texts = {m.anchor_node.text for m in matcher.match(pattern, graph)}
+        assert texts == {"places", "visit"}
+
+    def test_not_filter(self, matcher):
+        pattern = parse_patterns(
+            "PATTERN e TYPE lexical ANCHOR $x\n"
+            '$x det $d\n'
+            'filter(!(TEXT($x) = "places"))'
+        )[0]
+        graph = parse("the places near the hotel")
+        texts = {m.anchor_node.text for m in matcher.match(pattern, graph)}
+        assert texts == {"hotel"}
+
+    def test_custom_vocabulary(self):
+        registry = load_vocabularies()
+        registry.register(Vocabulary("V_custom", ["zorp"]))
+        matcher = PatternMatcher(registry)
+        pattern = parse_patterns(
+            "PATTERN c TYPE lexical ANCHOR $x\n"
+            "filter(LEMMA($x) in V_custom)"
+        )[0]
+        graph = parse("we like zorp")
+        assert len(matcher.match(pattern, graph)) == 1
+
+    def test_unknown_vocabulary_raises(self, matcher):
+        pattern = parse_patterns(
+            "PATTERN c TYPE lexical ANCHOR $x\n"
+            "filter(LEMMA($x) in V_missing)"
+        )[0]
+        graph = parse("we like food")
+        with pytest.raises(KeyError):
+            matcher.match(pattern, graph)
+
+    def test_edge_free_multivariable_rejected(self, matcher):
+        pattern = parse_patterns(
+            "PATTERN c TYPE lexical ANCHOR $x\n"
+            'filter(TEXT($x) = "a" && TEXT($y) = "b")'
+        )[0]
+        graph = parse("we like food")
+        with pytest.raises(PatternSyntaxError):
+            matcher.match(pattern, graph)

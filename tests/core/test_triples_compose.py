@@ -1,0 +1,249 @@
+"""Tests for Individual Triple Creation and Query Composition."""
+
+import pytest
+
+from repro.core.compose import QueryComposer
+from repro.core.ixdetect import IXDetector
+from repro.core.triples import IndividualTripleCreator
+from repro.data.ontologies import load_merged_ontology
+from repro.errors import CompositionError
+from repro.freya.generator import GeneralQueryGenerator
+from repro.nlp import parse
+from repro.oassisql.ast import ANYTHING, Anything, SupportThreshold, TopK
+from repro.rdf.ontology import KB
+from repro.rdf.terms import Literal, Variable
+from repro.ui.interaction import (
+    AutoInteraction,
+    LimitRequest,
+    ProjectionRequest,
+    ScriptedInteraction,
+    ThresholdRequest,
+)
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return IXDetector()
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return GeneralQueryGenerator(load_merged_ontology())
+
+
+@pytest.fixture(scope="module")
+def creator():
+    return IndividualTripleCreator()
+
+
+@pytest.fixture(scope="module")
+def composer():
+    return QueryComposer()
+
+
+def run(detector, generator, creator, composer, text, provider=None):
+    provider = provider or AutoInteraction()
+    graph = parse(text)
+    ixs = detector.detect(graph)
+    general = generator.generate(graph, provider)
+    individual = creator.create(graph, ixs)
+    composed = composer.compose(graph, ixs, individual, general, provider)
+    return graph, ixs, individual, composed
+
+
+class TestIndividualTripleCreation:
+    def test_habit_projects_participant_out(self, detector, creator):
+        graph = parse("the places we should visit")
+        ixs = detector.detect(graph)
+        triples = creator.create(graph, ixs)
+        main = triples[0]
+        assert isinstance(main.s, Anything)
+        assert main.p == KB.visit
+
+    def test_modal_does_not_appear(self, detector, creator):
+        # Footnote 2: "should" is implied by SATISFYING, never rendered.
+        graph = parse("the places we should visit")
+        triples = creator.create(graph, detector.detect(graph))
+        for t in triples:
+            for term in t.terms():
+                assert getattr(term, "local_name", "") != "should"
+
+    def test_temporal_pp_becomes_triple(self, detector, creator):
+        graph = parse("the places we should visit in the fall")
+        triples = creator.create(graph, detector.detect(graph))
+        assert len(triples) == 2
+        assert triples[1].p == KB["in"]
+
+    def test_unit_ids_group_fact_sets(self, detector, creator):
+        graph = parse("the places we should visit in the fall")
+        triples = creator.create(graph, detector.detect(graph))
+        assert triples[0].unit == triples[1].unit
+
+    def test_opinion_triple(self, detector, creator):
+        graph = parse("What are the most interesting places?")
+        triples = creator.create(graph, detector.detect(graph))
+        opinion = next(t for t in triples if t.p == KB.hasLabel)
+        assert opinion.o == Literal("interesting")
+
+    def test_opinion_label_with_participant_pp(self, detector, creator):
+        graph = parse("Is chocolate milk good for kids?")
+        triples = creator.create(graph, detector.detect(graph))
+        opinion = next(t for t in triples if t.p == KB.hasLabel)
+        assert opinion.o == Literal("good for kids")
+
+    def test_pronoun_object_projected_out(self, detector, creator):
+        graph = parse("We love it.")
+        triples = creator.create(graph, detector.detect(graph))
+        assert isinstance(triples[0].o, Anything)
+
+    def test_go_gerund_predicate(self, detector, creator):
+        graph = parse("Where do you go hiking?")
+        triples = creator.create(graph, detector.detect(graph))
+        assert triples[0].p == KB.hike
+
+
+class TestComposition:
+    def test_figure1_structure(self, detector, generator, creator,
+                               composer):
+        graph, ixs, individual, composed = run(
+            detector, generator, creator, composer,
+            "What are the most interesting places near Forest Hotel, "
+            "Buffalo, we should visit in the fall?",
+        )
+        query = composed.query
+        assert len(query.where) == 2
+        assert len(query.satisfying) == 2
+        assert query.satisfying[0].qualifier == TopK(k=5)
+        assert query.satisfying[1].qualifier == SupportThreshold(0.1)
+
+    def test_variable_alignment_across_clauses(
+        self, detector, generator, creator, composer
+    ):
+        graph, ixs, individual, composed = run(
+            detector, generator, creator, composer,
+            "What are the most interesting places near Forest Hotel, "
+            "Buffalo, we should visit in the fall?",
+        )
+        query = composed.query
+        x = Variable("x")
+        assert query.where[0].s == x
+        sat_vars = query.satisfying_variables()
+        assert sat_vars == {"x"}
+
+    def test_wh_target_gets_x(self, detector, generator, creator,
+                              composer):
+        graph, ixs, individual, composed = run(
+            detector, generator, creator, composer,
+            "Which hotel in Vegas has the best thrill ride?",
+        )
+        assert composed.variable_phrases["x"] == "hotel"
+        assert composed.variable_phrases["y"] == "ride"
+
+    def test_limit_interaction(self, detector, generator, creator,
+                               composer):
+        provider = ScriptedInteraction([7])
+        graph, ixs, individual, composed = run(
+            detector, generator, creator, composer,
+            "What are the most interesting places in Paris?",
+            provider,
+        )
+        assert composed.query.satisfying[0].qualifier == TopK(k=7)
+        request = provider.transcript[0][0]
+        assert isinstance(request, LimitRequest)
+
+    def test_threshold_interaction(self, detector, generator, creator,
+                                   composer):
+        # First answer resolves the "Buffalo" disambiguation, the second
+        # is the threshold.
+        provider = ScriptedInteraction([0, 0.25])
+        graph, ixs, individual, composed = run(
+            detector, generator, creator, composer,
+            "Where do you visit in Buffalo?",
+            provider,
+        )
+        assert composed.query.satisfying[0].qualifier == (
+            SupportThreshold(0.25)
+        )
+
+    def test_projection_interaction(self, detector, generator, creator,
+                                    composer):
+        # Two variables -> the user may project; keep only $x.
+        provider = ScriptedInteraction([5, ["x"]])
+        graph, ixs, individual, composed = run(
+            detector, generator, creator, composer,
+            "Which hotel in Vegas has the best thrill ride?",
+            provider,
+        )
+        assert composed.query.select.variables == ("x",)
+
+    def test_projection_default_keeps_all(self, detector, generator,
+                                          creator, composer):
+        graph, ixs, individual, composed = run(
+            detector, generator, creator, composer,
+            "Which hotel in Vegas has the best thrill ride?",
+        )
+        assert composed.query.select.projects_all
+
+    def test_single_variable_skips_projection(self, detector, generator,
+                                              creator, composer):
+        provider = ScriptedInteraction([], strict=True)
+        # Only threshold is asked; strict script with no answers would
+        # raise if projection were requested.
+        provider._answers = [0.1]
+        graph, ixs, individual, composed = run(
+            detector, generator, creator, composer,
+            "Where do you visit?", provider,
+        )
+        assert composed.query.select.projects_all
+
+    def test_least_gives_ascending_topk(self, detector, generator,
+                                        creator, composer):
+        graph, ixs, individual, composed = run(
+            detector, generator, creator, composer,
+            "What are the least crowded museums in Paris?",
+        )
+        qualifier = composed.query.satisfying[0].qualifier
+        assert isinstance(qualifier, TopK)
+        assert not qualifier.descending
+
+    def test_empty_request_fails_composition(self, composer):
+        from repro.freya.generator import GeneralQueryResult
+        graph = parse("hello there friend")
+        empty = GeneralQueryResult(
+            triples=[], entity_bindings={}, class_bindings={},
+            coreferences={}, target=None, mentions=[], disambiguations=[],
+        )
+        with pytest.raises(CompositionError):
+            composer.compose(graph, [], [], empty, AutoInteraction())
+
+    def test_deletion_of_overlapping_general_triples(self, detector,
+                                                     composer):
+        """A general triple minted from IX core nodes must be deleted."""
+        from repro.core.ir import NodeTerm, ProtoTriple
+        from repro.freya.generator import GeneralQueryResult
+
+        graph = parse("the places we should visit")
+        detector_ixs = IXDetector().detect(graph)
+        visit = next(n for n in graph if n.text == "visit")
+        places = next(n for n in graph if n.text == "places")
+        bogus = ProtoTriple(
+            s=NodeTerm(places), p=KB.visit, o=KB.Place,
+            origin="general",
+            source_nodes=frozenset({visit.index}),
+        )
+        legit = ProtoTriple(
+            s=NodeTerm(places), p=KB.instanceOf, o=KB.Place,
+            origin="general",
+            source_nodes=frozenset({places.index}),
+        )
+        general = GeneralQueryResult(
+            triples=[bogus, legit], entity_bindings={},
+            class_bindings={places.index: KB.Place}, coreferences={},
+            target=places, mentions=[], disambiguations=[],
+        )
+        individual = IndividualTripleCreator().create(graph, detector_ixs)
+        composed = composer.compose(
+            graph, detector_ixs, individual, general, AutoInteraction()
+        )
+        assert composed.deleted_general == [bogus]
+        assert len(composed.query.where) == 1

@@ -1,0 +1,78 @@
+"""Tests for the question verification step."""
+
+import pytest
+
+from repro.core.verification import Verifier
+
+
+@pytest.fixture(scope="module")
+def verifier():
+    return Verifier()
+
+
+class TestSupportedQuestions:
+    @pytest.mark.parametrize("question", [
+        "What are the most interesting places near Forest Hotel, Buffalo, "
+        "we should visit in the fall?",
+        "Which hotel in Vegas has the best thrill ride?",
+        "What type of digital camera should I buy?",
+        "Is chocolate milk good for kids?",
+        "Where do you visit in Buffalo?",
+        "At what container should I store coffee?",
+        "Can you recommend a romantic restaurant in Paris?",
+    ])
+    def test_demo_questions_pass(self, verifier, question):
+        assert verifier.verify(question).ok
+
+
+class TestUnsupportedQuestions:
+    def test_how_rejected(self, verifier):
+        # The paper's own example of an unsupported question.
+        result = verifier.verify("How should I store coffee?")
+        assert not result.ok
+        assert result.reason == "descriptive-how"
+        assert any("container" in tip for tip in result.tips)
+
+    def test_how_to_rejected(self, verifier):
+        assert not verifier.verify("How to cook rice?").ok
+
+    def test_why_rejected(self, verifier):
+        result = verifier.verify("Why do people like jogging?")
+        assert not result.ok
+        assert result.reason == "descriptive-why"
+        assert result.tips
+
+    def test_for_what_purpose_rejected(self, verifier):
+        result = verifier.verify("For what purpose is baking soda used?")
+        assert result.reason == "descriptive-purpose"
+
+    def test_empty_rejected(self, verifier):
+        assert verifier.verify("").reason == "empty"
+        assert verifier.verify("   ").reason == "empty"
+
+    def test_single_word_rejected(self, verifier):
+        assert verifier.verify("Buffalo?").reason == "too-short"
+
+    def test_multiple_sentences_rejected(self, verifier):
+        result = verifier.verify(
+            "I am going to Buffalo. What should I see?"
+        )
+        assert result.reason == "multiple-sentences"
+
+    def test_no_content_rejected(self, verifier):
+        assert verifier.verify("??? !!!").reason == "no-content"
+
+    def test_too_long_rejected(self, verifier):
+        long_question = "Which " + "very " * 70 + "good hotel is best?"
+        assert verifier.verify(long_question).reason == "too-long"
+
+    def test_rejections_carry_tips(self, verifier):
+        for question in ("How should I store coffee?", "Why is it so?",
+                         ""):
+            result = verifier.verify(question)
+            assert not result.ok
+            assert result.tips, question
+
+    def test_how_mid_sentence_is_fine(self, verifier):
+        # Only question-initial "how" is the descriptive form.
+        assert verifier.verify("Do you know how good this is?").ok

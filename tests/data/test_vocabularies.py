@@ -1,0 +1,86 @@
+"""Tests for the IX-detection vocabularies."""
+
+import pytest
+
+from repro.data.vocabularies import Vocabulary, load_vocabularies
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return load_vocabularies()
+
+
+class TestStandardVocabularies:
+    def test_all_standard_names_present(self, registry):
+        for name in ("V_opinion", "V_positive", "V_negative",
+                     "V_participant", "V_modal", "V_habit"):
+            assert name in registry
+
+    def test_opinion_contains_interesting(self, registry):
+        # "interesting" is the paper's example of lexical individuality.
+        assert "interesting" in registry["V_opinion"]
+        assert "interesting" in registry["V_positive"]
+
+    def test_opinion_union_of_polarities(self, registry):
+        opinion = registry["V_opinion"]
+        assert len(opinion) == (
+            len(registry["V_positive"]) + len(registry["V_negative"])
+        )
+
+    def test_negative_words(self, registry):
+        for word in ("boring", "overpriced", "dirty"):
+            assert word in registry["V_negative"]
+
+    def test_participants(self, registry):
+        # "you" and "we" are the paper's participant examples.
+        for word in ("you", "we", "i", "people"):
+            assert word in registry["V_participant"]
+
+    def test_modals(self, registry):
+        # "should" is the paper's syntactic-individuality example.
+        assert "should" in registry["V_modal"]
+        assert "must" in registry["V_modal"]
+
+    def test_habit_verbs(self, registry):
+        for word in ("visit", "eat", "cook"):
+            assert word in registry["V_habit"]
+
+    def test_non_individual_words_absent(self, registry):
+        for word in ("place", "hotel", "camera"):
+            assert word not in registry["V_opinion"]
+            assert word not in registry["V_participant"]
+
+    def test_vocabularies_are_nonempty(self, registry):
+        for name in registry.names():
+            assert len(registry[name]) > 0
+
+
+class TestVocabularyBehaviour:
+    def test_case_insensitive_membership(self):
+        vocab = Vocabulary("V_test", ["Good", "bad"])
+        assert "good" in vocab
+        assert "GOOD" in vocab
+        assert "BAD" in vocab
+
+    def test_iteration_sorted(self):
+        vocab = Vocabulary("V_test", ["b", "a", "c"])
+        assert list(vocab) == ["a", "b", "c"]
+
+    def test_blank_entries_dropped(self):
+        vocab = Vocabulary("V_test", ["a", "  ", ""])
+        assert len(vocab) == 1
+
+    def test_union(self):
+        u = Vocabulary("a", ["x"]).union(Vocabulary("b", ["y"]), "u")
+        assert "x" in u and "y" in u and u.name == "u"
+
+    def test_registry_unknown_name(self):
+        registry = load_vocabularies()
+        with pytest.raises(KeyError) as err:
+            registry["V_nope"]
+        assert "V_nope" in str(err.value)
+
+    def test_registry_custom_registration(self):
+        registry = load_vocabularies()
+        registry.register(Vocabulary("V_custom", ["zorp"]))
+        assert "zorp" in registry["V_custom"]

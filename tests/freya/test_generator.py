@@ -1,0 +1,205 @@
+"""Tests for the FREyA-like general query generator."""
+
+import pytest
+
+from repro.core.ir import NodeTerm
+from repro.data.ontologies import load_merged_ontology
+from repro.freya.generator import FeedbackStore, GeneralQueryGenerator
+from repro.nlp import parse
+from repro.rdf.ontology import KB
+from repro.ui.interaction import (
+    AutoInteraction,
+    DisambiguationRequest,
+    ScriptedInteraction,
+)
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return load_merged_ontology()
+
+
+@pytest.fixture
+def generator(ontology):
+    return GeneralQueryGenerator(ontology)
+
+
+def generate(generator, text, provider=None):
+    return generator.generate(parse(text), provider or AutoInteraction())
+
+
+def triple_strings(result):
+    return {str(t) for t in result.triples}
+
+
+class TestMentionDetection:
+    def test_proper_mention_with_apposition(self, generator):
+        result = generate(
+            generator, "the places near Forest Hotel, Buffalo"
+        )
+        proper = [m for m in result.mentions if m.kind == "proper"]
+        assert len(proper) == 1
+        assert proper[0].phrase == "Forest Hotel Buffalo"
+
+    def test_common_mentions(self, generator):
+        result = generate(generator, "Which hotel has a thrill ride?")
+        phrases = {m.phrase for m in result.mentions}
+        assert "hotel" in phrases
+        assert "thrill ride" in phrases
+
+    def test_pronouns_are_not_mentions(self, generator):
+        result = generate(generator, "Where do you visit?")
+        assert all(m.head.tag != "PRP" for m in result.mentions)
+
+
+class TestEntityLinking:
+    def test_entity_binding(self, generator):
+        result = generate(
+            generator, "the places near Forest Hotel, Buffalo"
+        )
+        assert KB["Forest_Hotel,_Buffalo,_NY"] in (
+            result.entity_bindings.values()
+        )
+
+    def test_class_binding_and_triple(self, generator):
+        result = generate(generator, "What are the best places?")
+        assert KB.Place in result.class_bindings.values()
+        assert any(
+            t.p == KB.instanceOf and t.o == KB.Place
+            for t in result.triples
+        )
+
+    def test_unknown_mention_ignored(self, generator):
+        result = generate(generator, "Where can I find a zorblatt?")
+        assert result.entity_bindings == {}
+
+
+class TestDisambiguation:
+    def test_ambiguous_buffalo_asks_user(self, generator):
+        provider = ScriptedInteraction([1], strict=True)
+        result = generate(
+            generator, "What are the nicest parks in Buffalo?", provider
+        )
+        request = provider.transcript[0][0]
+        assert isinstance(request, DisambiguationRequest)
+        labels = {c.label for c in request.candidates}
+        assert "Buffalo, NY, USA" in labels
+        assert "Buffalo, IL, USA" in labels
+
+    def test_choice_is_recorded_as_feedback(self, generator):
+        provider = ScriptedInteraction([1])
+        result = generate(
+            generator, "What are the nicest parks in Buffalo?", provider
+        )
+        chosen = result.disambiguations[0][1]
+        assert chosen in (result.entity_bindings.values())
+        assert generator.feedback.choices  # remembered
+
+    def test_feedback_prevents_second_dialogue(self, generator):
+        provider = ScriptedInteraction([1], strict=True)
+        generate(generator, "What are the nicest parks in Buffalo?",
+                 provider)
+        # Second session: the feedback boost resolves "Buffalo" alone.
+        strict = ScriptedInteraction([], strict=True)
+        result = generate(
+            generator, "What are the nicest parks in Buffalo?", strict
+        )
+        assert strict.transcript == []  # no question asked
+
+    def test_degree_ranking_prefers_prominent_buffalo(self, ontology):
+        matches = ontology.lookup("Buffalo", kinds=("entity",))
+        assert matches[0].iri == KB["Buffalo,_NY"]
+
+    def test_unambiguous_entity_skips_dialogue(self, generator):
+        provider = ScriptedInteraction([], strict=True)
+        result = generate(
+            generator, "the places near Delaware Park", provider
+        )
+        assert provider.transcript == []
+
+
+class TestTripleGeneration:
+    def test_running_example_where_triples(self, generator):
+        result = generate(
+            generator,
+            "What are the most interesting places near Forest Hotel, "
+            "Buffalo, we should visit in the fall?",
+        )
+        preds = [t.p for t in result.triples]
+        assert KB.instanceOf in preds
+        assert KB.near in preds
+        # Temporal "in the fall" must NOT become a general triple.
+        assert KB.locatedIn not in preds
+
+    def test_located_in_from_preposition(self, generator):
+        result = generate(generator,
+                          "Which hotel in Vegas has the best thrill ride?")
+        located = [t for t in result.triples if t.p == KB.locatedIn]
+        assert len(located) == 1
+        assert located[0].o == KB.Las_Vegas
+
+    def test_property_verb(self, generator):
+        result = generate(generator,
+                          "Which hotel in Vegas has the best thrill ride?")
+        assert any(t.p == KB.hasAttraction for t in result.triples)
+
+    def test_wh_adverb_place_class(self, generator):
+        result = generate(generator, "Where do you visit in Buffalo?")
+        assert any(
+            t.p == KB.instanceOf and t.o == KB.Place
+            for t in result.triples
+        )
+        assert any(t.p == KB.locatedIn for t in result.triples)
+
+    def test_type_noun_idiom(self, generator):
+        result = generate(generator,
+                          "What type of digital camera should I buy?")
+        assert any(
+            t.p == KB.instanceOf and t.o == KB.CameraType
+            for t in result.triples
+        )
+        # "type" and "camera" co-refer.
+        assert result.coreferences
+
+    def test_fiber_rich_compound(self, generator):
+        result = generate(
+            generator,
+            "Which fiber-rich dishes do people like to eat?",
+        )
+        rich = [t for t in result.triples if t.p == KB.richIn]
+        assert len(rich) == 1
+        assert rich[0].o == KB.Fiber
+
+    def test_instanceof_triples_come_first(self, generator):
+        result = generate(generator,
+                          "Which hotel in Vegas has the best thrill ride?")
+        kinds = [t.p == KB.instanceOf for t in result.triples]
+        assert kinds == sorted(kinds, reverse=True)
+
+    def test_target_detection_copular(self, generator):
+        result = generate(generator, "What are the best places in Paris?")
+        assert result.target.text == "places"
+
+    def test_target_detection_wdt(self, generator):
+        result = generate(generator, "Which hotel has a pool?")
+        assert result.target.text == "hotel"
+
+
+class TestFeedbackStore:
+    def test_record_and_boost(self, ontology):
+        store = FeedbackStore()
+        matches = ontology.lookup("Buffalo", kinds=("entity",))
+        store.record("Buffalo", KB["Buffalo,_IL"])
+        boosted = store.boost("Buffalo", matches)
+        assert boosted[0].iri == KB["Buffalo,_IL"]
+
+    def test_boost_is_phrase_specific(self, ontology):
+        store = FeedbackStore()
+        store.record("Springfield", KB["Buffalo,_IL"])
+        matches = ontology.lookup("Buffalo", kinds=("entity",))
+        assert store.boost("Buffalo", matches) == matches
+
+    def test_normalized_phrase_keys(self):
+        store = FeedbackStore()
+        store.record("  Buffalo ", KB["Buffalo,_NY"])
+        assert store.choices["buffalo"] == KB["Buffalo,_NY"]

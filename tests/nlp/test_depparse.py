@@ -1,0 +1,230 @@
+"""Unit tests for the dependency parser across question constructions."""
+
+import pytest
+
+from repro.errors import ParsingError
+from repro.nlp import parse
+from repro.nlp.graph import DEPENDENCY_LABELS
+
+
+def edges_of(text):
+    g = parse(text)
+    return {(e.label, e.head.lower, e.dependent.lower) for e in g.edges()}
+
+
+class TestRunningExample:
+    """The paper's running example (Figure 1 source question)."""
+
+    SENTENCE = ("What are the most interesting places near Forest Hotel, "
+                "Buffalo, we should visit in the fall?")
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return parse(self.SENTENCE)
+
+    def test_root_is_places(self, graph):
+        assert graph.head.text == "places"
+
+    def test_copula_and_attr(self, graph):
+        places = graph.head
+        assert [n.text for n in graph.children(places, "cop")] == ["are"]
+        assert [n.text for n in graph.children(places, "attr")] == ["What"]
+
+    def test_interesting_modifies_places(self, graph):
+        places = graph.head
+        amods = graph.children(places, "amod")
+        assert [n.text for n in amods] == ["interesting"]
+
+    def test_near_pp(self, graph):
+        places = graph.head
+        preps = graph.children(places, "prep")
+        assert [n.text for n in preps] == ["near"]
+        hotel = graph.children(preps[0], "pobj")[0]
+        assert hotel.text == "Hotel"
+
+    def test_apposition(self, graph):
+        hotel = next(n for n in graph if n.text == "Hotel")
+        appos = graph.children(hotel, "appos")
+        assert [n.text for n in appos] == ["Buffalo"]
+
+    def test_relative_clause_on_places(self, graph):
+        places = graph.head
+        rcs = graph.children(places, "rcmod")
+        assert [n.text for n in rcs] == ["visit"]
+
+    def test_relative_clause_internals(self, graph):
+        visit = next(n for n in graph if n.text == "visit")
+        assert [n.text for n in graph.children(visit, "nsubj")] == ["we"]
+        assert [n.text for n in graph.children(visit, "aux")] == ["should"]
+        in_pp = graph.children(visit, "prep")
+        assert [n.text for n in in_pp] == ["in"]
+        assert [n.text for n in graph.children(in_pp[0], "pobj")] == ["fall"]
+
+
+class TestQuestionConstructions:
+    def test_wh_subject_question(self):
+        e = edges_of("Which hotel in Vegas has the best thrill ride?")
+        assert ("nsubj", "has", "hotel") in e
+        assert ("prep", "hotel", "in") in e
+        assert ("pobj", "in", "vegas") in e
+        assert ("dobj", "has", "ride") in e
+
+    def test_inversion_with_fronted_object(self):
+        e = edges_of("What type of digital camera should I buy?")
+        assert ("dobj", "buy", "type") in e
+        assert ("nsubj", "buy", "i") in e
+        assert ("aux", "buy", "should") in e
+        assert ("prep", "type", "of") in e
+        assert ("pobj", "of", "camera") in e
+
+    def test_fronted_pp_question(self):
+        e = edges_of("At what container should I store coffee?")
+        assert ("prep", "store", "at") in e
+        assert ("pobj", "at", "container") in e
+        assert ("dobj", "store", "coffee") in e
+
+    def test_yes_no_copular_question(self):
+        e = edges_of("Is chocolate milk good for kids?")
+        assert ("nsubj", "good", "milk") in e
+        assert ("cop", "good", "is") in e
+        assert ("prep", "good", "for") in e
+        assert ("pobj", "for", "kids") in e
+
+    def test_wrb_question(self):
+        e = edges_of("Where do you visit in Buffalo?")
+        assert ("advmod", "visit", "where") in e
+        assert ("aux", "visit", "do") in e
+        assert ("nsubj", "visit", "you") in e
+        assert ("prep", "visit", "in") in e
+
+    def test_do_support_yes_no(self):
+        e = edges_of("Do you like sushi?")
+        assert ("aux", "like", "do") in e
+        assert ("nsubj", "like", "you") in e
+        assert ("dobj", "like", "sushi") in e
+
+
+class TestDeclaratives:
+    def test_simple_svo(self):
+        e = edges_of("We visit parks.")
+        assert ("nsubj", "visit", "we") in e
+        assert ("dobj", "visit", "parks") in e
+
+    def test_modal_chain(self):
+        e = edges_of("We should visit Buffalo.")
+        assert ("aux", "visit", "should") in e
+
+    def test_negation(self):
+        e = edges_of("We do not eat meat.")
+        assert ("neg", "eat", "not") in e
+
+    def test_contracted_negation(self):
+        e = edges_of("We don't eat meat.")
+        assert ("neg", "eat", "n't") in e
+
+    def test_xcomp_infinitive(self):
+        e = edges_of("We want to visit a museum.")
+        assert ("xcomp", "want", "visit") in e
+        assert ("dobj", "visit", "museum") in e
+
+    def test_copular_declarative(self):
+        e = edges_of("Buffalo is a city.")
+        assert ("nsubj", "city", "buffalo") in e
+        assert ("cop", "city", "is") in e
+
+    def test_conjoined_objects(self):
+        e = edges_of("We visit parks and museums.")
+        assert ("conj", "parks", "museums") in e
+        assert ("cc", "parks", "and") in e
+
+    def test_conjoined_subjects(self):
+        e = edges_of("My friends and I like hiking.")
+        assert ("conj", "friends", "i") in e
+
+    def test_passive(self):
+        e = edges_of("The museum was closed.")
+        assert any(label in ("auxpass", "cop") for label, h, d in e
+                   if d == "was")
+
+    def test_imperative(self):
+        e = edges_of("Recommend a good hotel in Buffalo.")
+        assert ("dobj", "recommend", "hotel") in e
+
+
+class TestNounPhrases:
+    def test_compound_noun(self):
+        e = edges_of("the thrill ride")
+        assert ("nn", "ride", "thrill") in e
+
+    def test_superlative_np(self):
+        e = edges_of("the most interesting places")
+        assert ("advmod", "interesting", "most") in e
+        assert ("amod", "places", "interesting") in e
+
+    def test_possessive(self):
+        e = edges_of("the hotel's pool is big")
+        assert ("poss", "pool", "hotel") in e
+        assert ("possessive", "hotel", "'s") in e
+
+    def test_numeric_modifier(self):
+        e = edges_of("We saw 5 parks.")
+        assert ("num", "parks", "5") in e
+
+
+class TestRelativeClauses:
+    def test_reduced_relative(self):
+        e = edges_of("the places we visit")
+        assert ("rcmod", "places", "visit") in e
+        assert ("nsubj", "visit", "we") in e
+
+    def test_reduced_relative_with_modal(self):
+        e = edges_of("places we should visit in the fall")
+        assert ("rcmod", "places", "visit") in e
+        assert ("aux", "visit", "should") in e
+
+
+class TestInvariants:
+    SENTENCES = [
+        "What are the most interesting places near Forest Hotel, Buffalo, "
+        "we should visit in the fall?",
+        "Which hotel in Vegas has the best thrill ride?",
+        "What type of digital camera should I buy?",
+        "Is chocolate milk good for kids?",
+        "Where do you visit in Buffalo?",
+        "We want to visit a romantic restaurant.",
+        "Recommend a good hotel.",
+        "My friends and I like parks and museums.",
+    ]
+
+    @pytest.mark.parametrize("sentence", SENTENCES)
+    def test_every_token_has_exactly_one_head(self, sentence):
+        g = parse(sentence)
+        for node in g.nodes():
+            assert g.parent_edge(node) is not None, node
+
+    @pytest.mark.parametrize("sentence", SENTENCES)
+    def test_graph_is_acyclic(self, sentence):
+        g = parse(sentence)
+        for node in g.nodes():
+            seen = set()
+            cur = node
+            while cur is not None:
+                assert cur.index not in seen, f"cycle at {node}"
+                seen.add(cur.index)
+                cur = g.parent(cur)
+
+    @pytest.mark.parametrize("sentence", SENTENCES)
+    def test_all_labels_are_known(self, sentence):
+        g = parse(sentence)
+        for edge in g.edges():
+            assert edge.label in DEPENDENCY_LABELS
+
+    @pytest.mark.parametrize("sentence", SENTENCES)
+    def test_single_root(self, sentence):
+        g = parse(sentence)
+        roots = g.children(g.root_node, "root")
+        assert len(roots) == 1
+
+    def test_unparseable_raises(self):
+        with pytest.raises(ParsingError):
+            parse("?")

@@ -1,0 +1,113 @@
+"""Unit tests for the POS-aware lemmatizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nlp.lemma import Lemmatizer, lemmatize
+
+
+class TestVerbLemmas:
+    @pytest.mark.parametrize("form,lemma", [
+        ("visits", "visit"), ("visited", "visit"), ("visiting", "visit"),
+        ("goes", "go"), ("went", "go"), ("gone", "go"),
+        ("eats", "eat"), ("ate", "eat"), ("eaten", "eat"),
+        ("makes", "make"), ("making", "make"),
+        ("stopped", "stop"), ("stopping", "stop"),
+        ("tries", "try"), ("tried", "try"),
+        ("watches", "watch"), ("cooks", "cook"),
+        ("bought", "buy"), ("drank", "drink"),
+        ("is", "be"), ("are", "be"), ("was", "be"), ("been", "be"),
+        ("has", "have"), ("had", "have"),
+        ("recommended", "recommend"),
+    ])
+    def test_verb_forms(self, form, lemma):
+        assert lemmatize(form, "VBD") == lemma or lemmatize(form) == lemma
+
+    def test_vbz_paradigm(self):
+        assert lemmatize("visits", "VBZ") == "visit"
+        assert lemmatize("misses", "VBZ") == "miss"
+
+    def test_clitics(self):
+        assert lemmatize("'re", "VBP") == "be"
+        assert lemmatize("'ve", "VBP") == "have"
+        assert lemmatize("n't", "RB") == "not"
+
+
+class TestModalLemmas:
+    def test_should_is_its_own_lemma(self):
+        assert lemmatize("should", "MD") == "should"
+
+    def test_contracted_modals(self):
+        assert lemmatize("ca", "MD") == "can"
+        assert lemmatize("wo", "MD") == "will"
+        assert lemmatize("'ll", "MD") == "will"
+
+    def test_could_maps_to_can(self):
+        assert lemmatize("could", "MD") == "can"
+
+
+class TestNounLemmas:
+    @pytest.mark.parametrize("form,lemma", [
+        ("places", "place"), ("hotels", "hotel"), ("cities", "city"),
+        ("dishes", "dish"), ("children", "child"), ("people", "person"),
+        ("men", "man"), ("women", "woman"), ("knives", "knife"),
+        ("buses", "bus"), ("boxes", "box"), ("heroes", "hero"),
+        ("kids", "kid"), ("opinions", "opinion"),
+    ])
+    def test_plural_forms(self, form, lemma):
+        assert lemmatize(form, "NNS") == lemma
+
+    def test_singular_untouched(self):
+        assert lemmatize("place", "NN") == "place"
+
+    def test_mass_noun_in_s(self):
+        # 'glass' should not become 'glas'
+        assert lemmatize("glass", "NN") == "glass"
+
+
+class TestAdjectiveLemmas:
+    @pytest.mark.parametrize("form,lemma", [
+        ("better", "good"), ("best", "good"), ("worse", "bad"),
+        ("worst", "bad"), ("bigger", "big"), ("biggest", "big"),
+        ("happier", "happy"), ("happiest", "happy"),
+        ("nicer", "nice"), ("nicest", "nice"),
+    ])
+    def test_degree_forms(self, form, lemma):
+        tag = "JJR" if form.endswith("r") else "JJS"
+        assert lemmatize(form, tag) == lemma
+
+
+class TestPronounLemmas:
+    def test_we_family(self):
+        assert lemmatize("us", "PRP") == "we"
+        assert lemmatize("our", "PRP$") == "we"
+
+    def test_i_family(self):
+        assert lemmatize("me", "PRP") == "i"
+        assert lemmatize("I", "PRP") == "i"
+
+
+class TestGeneralBehaviour:
+    def test_output_is_lowercase(self):
+        assert lemmatize("Visited", "VBD") == "visit"
+        assert lemmatize("PLACES", "NNS") == "place"
+
+    def test_unknown_pos_returns_word(self):
+        assert lemmatize("zorp", "FW") == "zorp"
+
+    def test_no_pos_tries_all_paradigms(self):
+        assert lemmatize("visited") == "visit"
+        assert lemmatize("places") == "place"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=15))
+    def test_idempotent_on_own_output(self, word):
+        lemmatizer = Lemmatizer()
+        once = lemmatizer.lemmatize(word, "NN")
+        assert lemmatizer.lemmatize(once, "NN") == once
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=15),
+           st.sampled_from(["VB", "VBD", "VBZ", "NNS", "JJR", "MD", "NN"]))
+    def test_never_returns_empty(self, word, pos):
+        assert lemmatize(word, pos)

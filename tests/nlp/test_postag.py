@@ -1,0 +1,164 @@
+"""Unit tests for the rule-based POS tagger."""
+
+import pytest
+
+from repro.errors import TaggingError
+from repro.nlp.postag import PosTagger, tag
+from repro.nlp.postag_lexicon import TAGSET
+
+
+def tags_of(text):
+    return [(t.text, t.tag) for t in tag(text)]
+
+
+class TestClosedClasses:
+    def test_determiners(self):
+        assert dict(tags_of("the places"))["the"] == "DT"
+
+    def test_pronouns(self):
+        result = dict(tags_of("We like them"))
+        assert result["We"] == "PRP"
+        assert result["them"] == "PRP"
+
+    def test_modals(self):
+        assert dict(tags_of("we should visit"))["should"] == "MD"
+
+    def test_wh_words(self):
+        assert tags_of("What are places")[0] == ("What", "WP")
+        assert tags_of("Where do you go")[0] == ("Where", "WRB")
+
+    def test_what_before_noun_is_wdt(self):
+        assert tags_of("What camera should I buy")[0] == ("What", "WDT")
+
+    def test_prepositions(self):
+        result = dict(tags_of("places near the hotel in Buffalo"))
+        assert result["near"] == "IN"
+        assert result["in"] == "IN"
+
+
+class TestVerbs:
+    def test_copula(self):
+        assert dict(tags_of("the milk is good"))["is"] == "VBZ"
+
+    def test_modal_followed_by_base_verb(self):
+        result = tags_of("we should visit Buffalo")
+        assert ("visit", "VB") in result
+
+    def test_pronoun_disambiguates_verb(self):
+        # 'store' is NN by default but a verb after a pronoun subject
+        result = tags_of("should I store coffee")
+        assert ("store", "VBP") in result
+
+    def test_past_participle_after_have(self):
+        result = tags_of("we have visited Buffalo")
+        assert ("visited", "VBN") in result
+
+    def test_bare_past_tense(self):
+        result = tags_of("we visited Buffalo")
+        assert ("visited", "VBD") in result
+
+    def test_to_infinitive(self):
+        result = tags_of("we want to visit Buffalo")
+        assert ("to", "TO") in result
+        assert ("visit", "VB") in result
+
+    def test_imperative_start(self):
+        result = tags_of("Recommend a good hotel")
+        assert result[0][1] in ("VB", "VBP", "NNP") or result[0] == (
+            "Recommend", "VB"
+        )
+
+
+class TestNouns:
+    def test_proper_noun_capitalized_mid_sentence(self):
+        result = dict(tags_of("places in Buffalo"))
+        assert result["Buffalo"] == "NNP"
+
+    def test_known_noun_capitalized_mid_sentence_is_nnp(self):
+        # "Hotel" in "Forest Hotel" is part of a name.
+        result = tags_of("near Forest Hotel")
+        assert ("Forest", "NNP") in result
+        assert ("Hotel", "NNP") in result
+
+    def test_plural_noun(self):
+        assert dict(tags_of("the best places"))["places"] == "NNS"
+
+    def test_det_verb_ambiguity_resolved_to_noun(self):
+        result = dict(tags_of("the visit was nice"))
+        assert result["visit"] == "NN"
+
+    def test_initialism(self):
+        assert dict(tags_of("Buffalo, N.Y. is cold"))["N.Y."] == "NNP"
+
+
+class TestAdjectivesAndAdverbs:
+    def test_adjective(self):
+        assert dict(tags_of("interesting places"))["interesting"] == "JJ"
+
+    def test_superlative(self):
+        result = dict(tags_of("the most interesting places"))
+        assert result["most"] == "RBS"
+        assert result["interesting"] == "JJ"
+
+    def test_best_is_jjs(self):
+        assert dict(tags_of("the best thrill ride"))["best"] == "JJS"
+
+    def test_ly_adverb_guess(self):
+        assert dict(tags_of("we walk slowly"))["slowly"] == "RB"
+
+
+class TestUnknownWords:
+    def test_tion_suffix(self):
+        assert dict(tags_of("a great celebration"))["celebration"] == "NN"
+
+    def test_able_suffix(self):
+        assert dict(tags_of("a walkable city"))["walkable"] == "JJ"
+
+    def test_number(self):
+        assert dict(tags_of("we saw 42 parks"))["42"] == "CD"
+
+    def test_ordinal(self):
+        assert dict(tags_of("the 3rd day"))["3rd"] == "CD"
+
+    def test_unknown_plural_guess(self):
+        assert dict(tags_of("some zorblatts"))["zorblatts"] == "NNS"
+
+
+class TestPossessive:
+    def test_possessive_clitic(self):
+        result = tags_of("the hotel's pool")
+        assert ("'s", "POS") in result
+
+    def test_is_clitic(self):
+        result = tags_of("the hotel's serving breakfast")
+        assert ("'s", "VBZ") in result
+
+
+class TestApiContract:
+    def test_all_tags_in_tagset(self):
+        sentences = [
+            "What are the most interesting places near Forest Hotel?",
+            "Which hotel in Vegas has the best thrill ride?",
+            "Is chocolate milk good for kids?",
+            "We don't like crowded museums!",
+        ]
+        for s in sentences:
+            for t in tag(s):
+                assert t.tag in TAGSET, (t.text, t.tag)
+
+    def test_empty_raises(self):
+        with pytest.raises(TaggingError):
+            PosTagger().tag([])
+
+    def test_extra_lexicon(self):
+        tagger = PosTagger(extra_lexicon={"oassis": ("NNP",)})
+        result = tagger.tag("we like oassis")
+        assert result[-1].tag == "NNP"
+
+    def test_extra_lexicon_bad_tag_rejected(self):
+        with pytest.raises(TaggingError):
+            PosTagger(extra_lexicon={"foo": ("BANANA",)})
+
+    def test_closed_class_wins_over_extra(self):
+        tagger = PosTagger(extra_lexicon={"the": ("NN",)})
+        assert tagger.tag("the place")[0].tag == "DT"

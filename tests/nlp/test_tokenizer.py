@@ -1,0 +1,163 @@
+"""Unit tests for the Penn-Treebank-style tokenizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TokenizationError
+from repro.nlp.tokenizer import Token, Tokenizer, split_sentences, tokenize
+
+
+class TestBasicTokenization:
+    def test_simple_sentence(self):
+        texts = [t.text for t in tokenize("We visit Buffalo")]
+        assert texts == ["We", "visit", "Buffalo"]
+
+    def test_trailing_question_mark_is_split(self):
+        texts = [t.text for t in tokenize("Where do you go?")]
+        assert texts == ["Where", "do", "you", "go", "?"]
+
+    def test_internal_commas_are_split(self):
+        texts = [t.text for t in tokenize("Forest Hotel, Buffalo, NY")]
+        assert texts == ["Forest", "Hotel", ",", "Buffalo", ",", "NY"]
+
+    def test_double_punctuation(self):
+        texts = [t.text for t in tokenize("Really?!")]
+        assert texts == ["Really", "?", "!"]
+
+    def test_parentheses(self):
+        texts = [t.text for t in tokenize("places (near hotels)")]
+        assert texts == ["places", "(", "near", "hotels", ")"]
+
+    def test_indices_are_sequential(self):
+        tokens = tokenize("What are the best places?")
+        assert [t.index for t in tokens] == list(range(len(tokens)))
+
+    def test_hyphenated_word_stays_whole(self):
+        texts = [t.text for t in tokenize("a thrill-ride park")]
+        assert "thrill-ride" in texts
+
+
+class TestContractions:
+    def test_negation_clitic(self):
+        texts = [t.text for t in tokenize("I don't like it")]
+        assert texts == ["I", "do", "n't", "like", "it"]
+
+    def test_are_clitic(self):
+        texts = [t.text for t in tokenize("We're hungry")]
+        assert texts == ["We", "'re", "hungry"]
+
+    def test_possessive_clitic(self):
+        texts = [t.text for t in tokenize("the hotel's pool")]
+        assert texts == ["the", "hotel", "'s", "pool"]
+
+    def test_will_clitic(self):
+        texts = [t.text for t in tokenize("they'll come")]
+        assert texts == ["they", "'ll", "come"]
+
+    def test_cannot_contraction(self):
+        texts = [t.text for t in tokenize("We can't go")]
+        assert texts == ["We", "ca", "n't", "go"]
+
+
+class TestAbbreviations:
+    def test_initialism_keeps_periods(self):
+        texts = [t.text for t in tokenize("Buffalo, N.Y. is cold")]
+        assert "N.Y." in texts
+
+    def test_title_abbreviation(self):
+        texts = [t.text for t in tokenize("Dr. Smith recommends it")]
+        assert texts[0] == "Dr."
+
+    def test_regular_word_loses_period(self):
+        texts = [t.text for t in tokenize("We visit Buffalo.")]
+        assert texts[-1] == "."
+        assert texts[-2] == "Buffalo"
+
+
+class TestOffsets:
+    def test_offsets_recover_surface_text(self):
+        text = "What are the best places near Forest Hotel?"
+        for tok in tokenize(text):
+            assert text[tok.start:tok.end] == tok.text
+
+    def test_offsets_with_contractions(self):
+        text = "We don't know"
+        tokens = tokenize(text)
+        assert [text[t.start:t.end] for t in tokens] == [t.text for t in tokens]
+
+    def test_is_word_flag(self):
+        tokens = tokenize("Go now!")
+        assert tokens[0].is_word and tokens[1].is_word
+        assert not tokens[2].is_word
+
+
+class TestErrors:
+    def test_empty_text_raises(self):
+        with pytest.raises(TokenizationError):
+            tokenize("")
+
+    def test_whitespace_only_raises(self):
+        with pytest.raises(TokenizationError):
+            tokenize("   \n\t ")
+
+    def test_non_string_raises(self):
+        with pytest.raises(TokenizationError):
+            Tokenizer().tokenize(42)  # type: ignore[arg-type]
+
+
+class TestSentenceSplitting:
+    def test_two_sentences(self):
+        parts = split_sentences("I like Buffalo. We should visit.")
+        assert parts == ["I like Buffalo.", "We should visit."]
+
+    def test_question_and_statement(self):
+        parts = split_sentences("Where do we go? Tell me now.")
+        assert len(parts) == 2
+
+    def test_abbreviation_does_not_split(self):
+        parts = split_sentences("Dr. Smith lives in Buffalo, N.Y. near a park.")
+        assert len(parts) == 1
+
+    def test_no_terminal_punctuation(self):
+        parts = split_sentences("what camera should I buy")
+        assert parts == ["what camera should I buy"]
+
+    def test_empty(self):
+        assert split_sentences("  ") == []
+
+
+class TestTokenizerProperties:
+    @given(st.text(alphabet=st.characters(categories=("Lu", "Ll", "Zs", "Po")),
+                   min_size=1, max_size=80))
+    def test_offsets_always_match_source(self, text):
+        try:
+            tokens = tokenize(text)
+        except TokenizationError:
+            return
+        for tok in tokens:
+            assert text[tok.start:tok.end] == tok.text
+
+    @given(st.lists(st.sampled_from(
+        ["we", "visit", "Buffalo", "don't", "places,", "N.Y.", "the",
+         "hotel's", "what?", "good"]), min_size=1, max_size=12))
+    def test_token_count_at_least_word_count(self, words):
+        text = " ".join(words)
+        tokens = tokenize(text)
+        assert len(tokens) >= len(words)
+
+    @given(st.text(alphabet="abcdefghij ", min_size=1, max_size=60))
+    def test_plain_words_round_trip(self, text):
+        try:
+            tokens = tokenize(text)
+        except TokenizationError:
+            return
+        assert " ".join(t.text for t in tokens) == " ".join(text.split())
+
+    @given(st.text(min_size=0, max_size=100))
+    def test_never_crashes_except_tokenization_error(self, text):
+        try:
+            tokens = tokenize(text)
+        except TokenizationError:
+            return
+        assert all(isinstance(t, Token) for t in tokens)
+        assert all(t.end > t.start for t in tokens)

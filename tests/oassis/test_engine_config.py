@@ -1,0 +1,97 @@
+"""Engine configuration and statistics edge cases."""
+
+import pytest
+
+from repro.crowd.model import GroundTruth
+from repro.crowd.scenarios import buffalo_travel_truth, habit_fact_set
+from repro.crowd.simulator import SimulatedCrowd
+from repro.data.ontologies import load_merged_ontology
+from repro.oassis.engine import EngineConfig, OassisEngine
+from repro.oassisql import parse_oassisql
+from repro.rdf.ontology import KB
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return load_merged_ontology()
+
+
+THRESHOLD_QUERY = """\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Place.
+$x near Forest_Hotel,_Buffalo,_NY}
+SATISFYING
+{[] visit $x.
+[] in Fall}
+WITH SUPPORT THRESHOLD = 0.1"""
+
+
+def engine_for(ontology, **config):
+    crowd = SimulatedCrowd(buffalo_travel_truth(), size=80, noise=0.05,
+                           seed=2)
+    return OassisEngine(ontology, crowd, EngineConfig(**config))
+
+
+class TestSequentialTest:
+    def test_min_sample_floor(self, ontology):
+        # With min_sample == max_sample the test degenerates to a fixed
+        # sample; every fact-set costs exactly that many tasks.
+        engine = engine_for(ontology, min_sample=10, max_sample=10)
+        result = engine.evaluate(parse_oassisql(THRESHOLD_QUERY))
+        assert result.tasks_used == result.where_bindings * 10
+
+    def test_wider_confidence_asks_more(self, ontology):
+        narrow = engine_for(ontology, confidence_z=1.0)
+        wide = engine_for(ontology, confidence_z=3.0)
+        query = parse_oassisql(THRESHOLD_QUERY)
+        tasks_narrow = narrow.evaluate(query).tasks_used
+        tasks_wide = wide.evaluate(query).tasks_used
+        assert tasks_wide >= tasks_narrow
+
+    def test_sample_capped_by_crowd_size(self, ontology):
+        truth = GroundTruth(default=0.1)  # right at the threshold
+        crowd = SimulatedCrowd(truth, size=5, noise=0.3, seed=1)
+        engine = OassisEngine(
+            ontology, crowd, EngineConfig(max_sample=1000)
+        )
+        query = parse_oassisql(
+            "SELECT VARIABLES\nSATISFYING\n{[] visit Delaware_Park}\n"
+            "WITH SUPPORT THRESHOLD = 0.1"
+        )
+        result = engine.evaluate(query)
+        # Never more tasks than members for a single fact-set.
+        assert result.tasks_used <= 5
+
+
+class TestOutcomeReporting:
+    def test_rejected_outcomes_keep_supports(self, ontology):
+        engine = engine_for(ontology)
+        result = engine.evaluate(parse_oassisql(THRESHOLD_QUERY))
+        rejected = [o for o in result.outcomes if not o.accepted]
+        assert rejected
+        assert all(0 in o.supports for o in rejected)
+
+    def test_support_of_accessor(self, ontology):
+        engine = engine_for(ontology)
+        result = engine.evaluate(parse_oassisql(THRESHOLD_QUERY))
+        outcome = result.accepted[0]
+        assert outcome.support_of(0) == outcome.supports[0]
+
+    def test_task_answers_recorded(self, ontology):
+        engine = engine_for(ontology)
+        result = engine.evaluate(parse_oassisql(THRESHOLD_QUERY))
+        for task in result.tasks:
+            assert 0.0 <= task.answer <= 1.0
+            assert task.question.endswith("?")
+
+    def test_estimates_close_to_truth(self, ontology):
+        engine = engine_for(ontology, min_sample=30, max_sample=30)
+        result = engine.evaluate(parse_oassisql(THRESHOLD_QUERY))
+        truth = buffalo_travel_truth()
+        for outcome in result.accepted:
+            place = outcome.binding["x"]
+            true_support = truth.support(
+                habit_fact_set("visit", place, ("in", KB.Fall))
+            )
+            assert abs(outcome.supports[0] - true_support) < 0.12

@@ -1,0 +1,240 @@
+"""Tests for the OASSIS-QL AST, parser and printer.
+
+The central fixture is the paper's Figure 1 query Q; the printer must
+reproduce it byte-for-byte and the parser must round-trip it.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OassisQLSyntaxError, OassisQLValidationError
+from repro.oassisql import (
+    ANYTHING,
+    OassisQuery,
+    QueryTriple,
+    SatisfyingClause,
+    SelectClause,
+    SupportThreshold,
+    TopK,
+    parse_oassisql,
+    print_oassisql,
+)
+from repro.rdf.ontology import KB
+from repro.rdf.terms import Literal, Variable
+
+
+FIGURE1 = """\
+SELECT VARIABLES
+WHERE
+{$x instanceOf Place.
+$x near Forest_Hotel,_Buffalo,_NY}
+SATISFYING
+{$x hasLabel "interesting"}
+ORDER BY DESC(SUPPORT)
+LIMIT 5
+AND
+{[] visit $x.
+[] in Fall}
+WITH SUPPORT THRESHOLD = 0.1"""
+
+
+def figure1_query() -> OassisQuery:
+    x = Variable("x")
+    return OassisQuery(
+        select=SelectClause(),
+        where=(
+            QueryTriple(x, KB.instanceOf, KB.Place),
+            QueryTriple(x, KB.near, KB["Forest_Hotel,_Buffalo,_NY"]),
+        ),
+        satisfying=(
+            SatisfyingClause(
+                triples=(QueryTriple(x, KB.hasLabel, Literal("interesting")),),
+                qualifier=TopK(k=5),
+            ),
+            SatisfyingClause(
+                triples=(
+                    QueryTriple(ANYTHING, KB.visit, x),
+                    QueryTriple(ANYTHING, KB["in"], KB.Fall),
+                ),
+                qualifier=SupportThreshold(threshold=0.1),
+            ),
+        ),
+    )
+
+
+class TestFigure1:
+    def test_printer_reproduces_figure1_exactly(self):
+        assert print_oassisql(figure1_query()) == FIGURE1
+
+    def test_parser_reads_figure1(self):
+        query = parse_oassisql(FIGURE1)
+        assert query == figure1_query()
+
+    def test_round_trip(self):
+        query = parse_oassisql(FIGURE1)
+        assert parse_oassisql(print_oassisql(query)) == query
+
+
+class TestAst:
+    def test_triple_variables(self):
+        t = QueryTriple(Variable("x"), KB.near, Variable("y"))
+        assert t.variables() == {"x", "y"}
+
+    def test_anything_is_singleton(self):
+        from repro.oassisql.ast import Anything
+        assert Anything() is ANYTHING
+
+    def test_has_anything(self):
+        assert QueryTriple(ANYTHING, KB.visit, Variable("x")).has_anything()
+        assert not QueryTriple(Variable("x"), KB.visit, KB.Fall
+                               ).has_anything()
+
+    def test_query_variable_sets(self):
+        q = figure1_query()
+        assert q.where_variables() == {"x"}
+        assert q.satisfying_variables() == {"x"}
+        assert q.all_variables() == {"x"}
+
+    def test_select_projects_all_by_default(self):
+        assert SelectClause().projects_all
+        assert not SelectClause(variables=("x",)).projects_all
+
+
+class TestValidation:
+    def test_empty_query_rejected(self):
+        with pytest.raises(OassisQLValidationError):
+            OassisQuery(SelectClause(), (), ()).validate()
+
+    def test_zero_limit_rejected(self):
+        clause = SatisfyingClause(
+            triples=(QueryTriple(ANYTHING, KB.visit, Variable("x")),),
+            qualifier=TopK(k=0),
+        )
+        with pytest.raises(OassisQLValidationError):
+            clause.validate()
+
+    def test_threshold_out_of_range_rejected(self):
+        clause = SatisfyingClause(
+            triples=(QueryTriple(ANYTHING, KB.visit, Variable("x")),),
+            qualifier=SupportThreshold(threshold=1.5),
+        )
+        with pytest.raises(OassisQLValidationError):
+            clause.validate()
+
+    def test_unknown_projection_rejected(self):
+        q = OassisQuery(
+            select=SelectClause(variables=("zzz",)),
+            where=(QueryTriple(Variable("x"), KB.instanceOf, KB.Place),),
+            satisfying=(),
+        )
+        with pytest.raises(OassisQLValidationError):
+            q.validate()
+
+    def test_empty_subclause_rejected(self):
+        clause = SatisfyingClause(triples=(), qualifier=TopK(k=5))
+        with pytest.raises(OassisQLValidationError):
+            clause.validate()
+
+
+class TestParserDetails:
+    def test_projection_select(self):
+        q = parse_oassisql(
+            "SELECT $x, $y\nWHERE\n{$x near $y}"
+        )
+        assert q.select.variables == ("x", "y")
+
+    def test_where_only_query(self):
+        q = parse_oassisql("SELECT VARIABLES\nWHERE\n{$x instanceOf Place}")
+        assert q.satisfying == ()
+
+    def test_satisfying_only_query(self):
+        q = parse_oassisql(
+            "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.2"
+        )
+        assert q.where == ()
+        assert q.satisfying[0].qualifier == SupportThreshold(0.2)
+
+    def test_bottom_k(self):
+        q = parse_oassisql(
+            "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+            "ORDER BY ASC(SUPPORT)\nLIMIT 3"
+        )
+        assert q.satisfying[0].qualifier == TopK(k=3, descending=False)
+
+    def test_numbers_as_literals(self):
+        q = parse_oassisql(
+            "SELECT VARIABLES\nWHERE\n{$x ticketPrice 16}"
+        )
+        assert q.where[0].o == Literal(16)
+
+    def test_comment_lines_skipped(self):
+        q = parse_oassisql(
+            "# the demo query\nSELECT VARIABLES\nWHERE\n{$x near Fall}"
+        )
+        assert len(q.where) == 1
+
+    def test_error_has_line_number(self):
+        with pytest.raises(OassisQLSyntaxError) as err:
+            parse_oassisql("SELECT VARIABLES\nWHERE\n{$x near}")
+        assert err.value.line == 3
+
+    def test_missing_qualifier_rejected(self):
+        with pytest.raises(OassisQLSyntaxError):
+            parse_oassisql("SELECT VARIABLES\nSATISFYING\n{[] visit $x}")
+
+    def test_fractional_limit_rejected(self):
+        with pytest.raises(OassisQLSyntaxError):
+            parse_oassisql(
+                "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+                "ORDER BY DESC(SUPPORT)\nLIMIT 2.5"
+            )
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(OassisQLSyntaxError):
+            parse_oassisql(
+                "SELECT VARIABLES\nWHERE\n{$x near Fall} banana"
+            )
+
+
+names = st.sampled_from(
+    ["Place", "Fall", "Forest_Hotel,_Buffalo,_NY", "Buffalo_Zoo", "visit",
+     "near", "instanceOf", "hasLabel", "in"]
+)
+variables = st.sampled_from(["x", "y", "z"]).map(Variable)
+terms = st.one_of(
+    variables,
+    names.map(lambda n: KB[n]),
+    st.just(ANYTHING),
+    st.sampled_from(["interesting", "fun"]).map(Literal),
+)
+triples = st.builds(QueryTriple, terms, names.map(lambda n: KB[n]), terms)
+qualifiers = st.one_of(
+    st.integers(min_value=1, max_value=50).map(lambda k: TopK(k=k)),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+              width=16).map(lambda t: SupportThreshold(threshold=float(t))),
+)
+clauses = st.builds(
+    SatisfyingClause,
+    st.lists(triples, min_size=1, max_size=4).map(tuple),
+    qualifiers,
+)
+queries = st.builds(
+    OassisQuery,
+    st.just(SelectClause()),
+    st.lists(triples, min_size=1, max_size=4).map(tuple),
+    st.lists(clauses, min_size=1, max_size=3).map(tuple),
+)
+
+
+class TestRoundTripProperties:
+    @given(queries)
+    def test_print_parse_round_trip(self, query):
+        rendered = print_oassisql(query)
+        assert parse_oassisql(rendered) == query
+
+    @given(queries)
+    def test_printed_form_is_stable(self, query):
+        once = print_oassisql(query)
+        again = print_oassisql(parse_oassisql(once))
+        assert once == again

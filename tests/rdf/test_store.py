@@ -1,0 +1,156 @@
+"""Unit and property-based tests for the indexed triple store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import IRI, Literal, Variable
+
+
+A, B, C = IRI("http://x/A"), IRI("http://x/B"), IRI("http://x/C")
+P, Q = IRI("http://x/p"), IRI("http://x/q")
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add(A, P, B)
+    s.add(A, P, C)
+    s.add(B, Q, C)
+    s.add(A, Q, Literal("label"))
+    return s
+
+
+class TestMutation:
+    def test_add_returns_true_then_false(self):
+        s = TripleStore()
+        assert s.add(A, P, B) is True
+        assert s.add(A, P, B) is False
+        assert len(s) == 1
+
+    def test_remove(self, store):
+        assert store.remove(A, P, B) is True
+        assert store.remove(A, P, B) is False
+        assert (A, P, B) not in store
+        assert len(store) == 3
+
+    def test_add_all_counts_inserts(self):
+        s = TripleStore()
+        n = s.add_all([(A, P, B), (A, P, B), (B, P, C)])
+        assert n == 2
+
+    def test_variable_rejected(self):
+        s = TripleStore()
+        with pytest.raises(TypeError):
+            s.add(Variable("x"), P, B)
+
+    def test_plain_string_rejected(self):
+        s = TripleStore()
+        with pytest.raises(TypeError):
+            s.add(A, P, "oops")  # type: ignore[arg-type]
+
+
+class TestPatterns:
+    def test_fully_bound(self, store):
+        assert list(store.triples(A, P, B)) == [(A, P, B)]
+
+    def test_sp_open_o(self, store):
+        objs = {o for _, _, o in store.triples(A, P, None)}
+        assert objs == {B, C}
+
+    def test_po_open_s(self, store):
+        subjects = {s for s, _, _ in store.triples(None, Q, C)}
+        assert subjects == {B}
+
+    def test_o_only(self, store):
+        triples = set(store.triples(None, None, C))
+        assert triples == {(A, P, C), (B, Q, C)}
+
+    def test_s_only(self, store):
+        assert len(list(store.triples(A, None, None))) == 3
+
+    def test_all_open(self, store):
+        assert len(list(store.triples())) == 4
+
+    def test_variable_is_wildcard(self, store):
+        assert len(list(store.triples(Variable("s"), P, Variable("o")))) == 2
+
+    def test_miss_returns_empty(self, store):
+        assert list(store.triples(C, P, None)) == []
+
+
+class TestHelpers:
+    def test_contains(self, store):
+        assert store.contains(A, P, B)
+        assert not store.contains(B, P, A)
+
+    def test_count(self, store):
+        assert store.count() == 4
+        assert store.count(A, None, None) == 3
+        assert store.count(None, P, None) == 2
+        assert store.count(A, P, None) == 2
+        assert store.count(None, P, C) == 1
+        assert store.count(A, None, C) == 1
+        assert store.count(A, P, C) == 1
+        assert store.count(C, P, B) == 0
+
+    def test_subjects_distinct(self, store):
+        assert set(store.subjects(P, None)) == {A}
+
+    def test_objects(self, store):
+        assert set(store.objects(A, P)) == {B, C}
+
+    def test_value_single_open(self, store):
+        assert store.value(B, Q, None) == C
+
+    def test_value_no_match_is_none(self, store):
+        assert store.value(C, Q, None) is None
+
+    def test_value_requires_one_open(self, store):
+        with pytest.raises(ValueError):
+            store.value(A, None, None)
+
+    def test_copy_is_independent(self, store):
+        clone = store.copy()
+        clone.add(C, P, A)
+        assert len(store) == 4
+        assert len(clone) == 5
+
+
+iris = st.sampled_from([A, B, C, P, Q])
+triples = st.tuples(iris, iris, iris)
+
+
+class TestStoreProperties:
+    @given(st.lists(triples, max_size=40))
+    def test_size_equals_distinct_triples(self, items):
+        store = TripleStore()
+        for s, p, o in items:
+            store.add(s, p, o)
+        assert len(store) == len(set(items))
+
+    @given(st.lists(triples, max_size=40))
+    def test_indexes_agree(self, items):
+        store = TripleStore(items)
+        for s, p, o in set(items):
+            assert (s, p, o) in store
+            assert s in set(store.subjects(p, o))
+            assert o in set(store.objects(s, p))
+
+    @given(st.lists(triples, max_size=30), st.lists(triples, max_size=30))
+    def test_add_remove_roundtrip(self, keep, drop):
+        store = TripleStore()
+        for t in keep + drop:
+            store.add(*t)
+        for t in drop:
+            store.remove(*t)
+        expected = set(keep) - set(drop)
+        assert set(store.triples()) == expected
+
+    @given(st.lists(triples, max_size=40))
+    def test_count_matches_iteration(self, items):
+        store = TripleStore(items)
+        for s in (A, B, None):
+            for p in (P, None):
+                n = store.count(s, p, None)
+                assert n == len(list(store.triples(s, p, None)))

@@ -1,0 +1,76 @@
+"""Unit tests for RDF term types."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal, BNode, Namespace, Variable, XSD
+
+
+class TestIRI:
+    def test_local_name_hash(self):
+        assert IRI("http://ex.org/ns#Place").local_name == "Place"
+
+    def test_local_name_slash(self):
+        assert IRI("http://ex.org/kb/Place").local_name == "Place"
+
+    def test_namespace(self):
+        assert IRI("http://ex.org/kb/Place").namespace == "http://ex.org/kb/"
+
+    def test_n3(self):
+        assert IRI("http://ex.org/x").n3() == "<http://ex.org/x>"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://a") == IRI("http://a")
+        assert len({IRI("http://a"), IRI("http://a")}) == 1
+
+
+class TestLiteral:
+    def test_string_n3(self):
+        assert Literal("fall").n3() == '"fall"'
+
+    def test_escaping(self):
+        assert Literal('say "hi"').n3() == '"say \\"hi\\""'
+
+    def test_lang_tag(self):
+        assert Literal("Herbst", lang="de").n3() == '"Herbst"@de'
+
+    def test_typed(self):
+        lit = Literal(5, datatype=XSD.integer)
+        assert lit.is_numeric
+        assert lit.as_python() == 5
+
+    def test_boolean_not_numeric(self):
+        assert not Literal(True).is_numeric
+
+    def test_datatype_and_lang_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.string, lang="en")
+
+
+class TestVariableAndBNode:
+    def test_variable_n3(self):
+        assert Variable("x").n3() == "?x"
+
+    def test_bnode_n3(self):
+        assert BNode("b1").n3() == "_:b1"
+
+    def test_distinct_types_unequal(self):
+        assert Variable("x") != BNode("x")
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://ex.org/")
+        assert ns.Place == IRI("http://ex.org/Place")
+
+    def test_getitem_with_spaces(self):
+        ns = Namespace("http://ex.org/")
+        assert ns["Forest Hotel"] == IRI("http://ex.org/Forest_Hotel")
+
+    def test_contains(self):
+        ns = Namespace("http://ex.org/")
+        assert ns.Place in ns
+        assert IRI("http://other.org/x") not in ns
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")

@@ -1,0 +1,145 @@
+"""Unit tests for the Turtle reader/writer."""
+
+import pytest
+
+from repro.errors import TurtleSyntaxError
+from repro.rdf.terms import IRI, Literal, RDF, XSD
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+
+DOC = """
+@prefix kb: <http://repro.example/kb/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+kb:Delaware_Park kb:instanceOf kb:Place ;
+    rdfs:label "Delaware Park" ;
+    kb:near kb:Forest_Hotel,_Buffalo,_NY .
+
+# a comment line
+kb:Buffalo_Zoo kb:instanceOf kb:Place ;
+    kb:ticketPrice 16 ;
+    kb:rating 4.5 ;
+    kb:openYearRound true .
+"""
+
+
+class TestParsing:
+    def test_basic_triples(self):
+        store = parse_turtle(DOC)
+        kb = "http://repro.example/kb/"
+        assert store.contains(
+            IRI(kb + "Delaware_Park"), IRI(kb + "instanceOf"),
+            IRI(kb + "Place"),
+        )
+
+    def test_label_literal(self):
+        store = parse_turtle(DOC)
+        kb = "http://repro.example/kb/"
+        labels = list(store.objects(
+            IRI(kb + "Delaware_Park"),
+            IRI("http://www.w3.org/2000/01/rdf-schema#label"),
+        ))
+        assert labels == [Literal("Delaware Park")]
+
+    def test_commas_in_local_name(self):
+        store = parse_turtle(DOC)
+        kb = "http://repro.example/kb/"
+        objs = list(store.objects(
+            IRI(kb + "Delaware_Park"), IRI(kb + "near")
+        ))
+        assert objs == [IRI(kb + "Forest_Hotel,_Buffalo,_NY")]
+
+    def test_numeric_literals(self):
+        store = parse_turtle(DOC)
+        kb = "http://repro.example/kb/"
+        zoo = IRI(kb + "Buffalo_Zoo")
+        assert store.value(zoo, IRI(kb + "ticketPrice"), None).value == 16
+        assert store.value(zoo, IRI(kb + "rating"), None).value == 4.5
+
+    def test_boolean_literal(self):
+        store = parse_turtle(DOC)
+        kb = "http://repro.example/kb/"
+        value = store.value(
+            IRI(kb + "Buffalo_Zoo"), IRI(kb + "openYearRound"), None
+        )
+        assert value.value is True
+
+    def test_a_keyword(self):
+        store = parse_turtle(
+            "@prefix kb: <http://x/> .\nkb:Rome a kb:City ."
+        )
+        assert store.contains(IRI("http://x/Rome"), RDF.type,
+                              IRI("http://x/City"))
+
+    def test_object_list(self):
+        store = parse_turtle(
+            '@prefix kb: <http://x/> .\n'
+            'kb:a kb:alias "one" , "two" .'
+        )
+        assert set(store.objects(IRI("http://x/a"), IRI("http://x/alias"))) \
+            == {Literal("one"), Literal("two")}
+
+    def test_lang_tag(self):
+        store = parse_turtle(
+            '@prefix kb: <http://x/> .\nkb:a kb:label "Herbst"@de .'
+        )
+        lit = store.value(IRI("http://x/a"), IRI("http://x/label"), None)
+        assert lit.lang == "de"
+
+    def test_typed_literal(self):
+        store = parse_turtle(
+            '@prefix kb: <http://x/> .\n'
+            '@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n'
+            'kb:a kb:n "7"^^xsd:integer .'
+        )
+        lit = store.value(IRI("http://x/a"), IRI("http://x/n"), None)
+        assert lit.value == 7 and lit.datatype == XSD.integer
+
+    def test_full_iris(self):
+        store = parse_turtle("<http://x/s> <http://x/p> <http://x/o> .")
+        assert store.contains(IRI("http://x/s"), IRI("http://x/p"),
+                              IRI("http://x/o"))
+
+    def test_prefixes_recorded(self):
+        store = parse_turtle(DOC)
+        assert store.prefixes["kb"] == "http://repro.example/kb/"
+
+
+class TestErrors:
+    def test_undeclared_prefix(self):
+        with pytest.raises(TurtleSyntaxError):
+            parse_turtle("kb:a kb:b kb:c .")
+
+    def test_missing_dot(self):
+        with pytest.raises(TurtleSyntaxError):
+            parse_turtle("<http://x/s> <http://x/p> <http://x/o>")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TurtleSyntaxError):
+            parse_turtle('"nope" <http://x/p> <http://x/o> .')
+
+    def test_a_as_object_rejected(self):
+        with pytest.raises(TurtleSyntaxError):
+            parse_turtle("<http://x/s> <http://x/p> a .")
+
+    def test_error_carries_line(self):
+        try:
+            parse_turtle("@prefix kb: <http://x/> .\nkb:a kb:b @@ .")
+        except TurtleSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected TurtleSyntaxError")
+
+
+class TestRoundTrip:
+    def test_serialize_then_parse(self):
+        original = parse_turtle(DOC)
+        text = serialize_turtle(original)
+        reparsed = parse_turtle(text)
+        assert set(reparsed.triples()) == set(original.triples())
+
+    def test_serializer_groups_subjects(self):
+        store = parse_turtle(DOC)
+        text = serialize_turtle(store)
+        # One statement block per subject.
+        assert text.count("kb:Delaware_Park") == 1

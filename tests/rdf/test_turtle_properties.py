@@ -1,0 +1,59 @@
+"""Property-based tests: Turtle serialization round-trips any store."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import IRI, Literal, XSD
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+
+iris = st.sampled_from([
+    IRI("http://repro.example/kb/" + name)
+    for name in ("A", "B", "C", "p", "q", "Forest_Hotel,_Buffalo,_NY",
+                 "instanceOf", "near")
+])
+
+literals = st.one_of(
+    st.text(
+        alphabet=st.characters(
+            codec="ascii", exclude_characters='\r',
+        ),
+        max_size=20,
+    ).map(Literal),
+    st.integers(min_value=-10**6, max_value=10**6).map(
+        lambda n: Literal(n, datatype=XSD.integer)
+    ),
+    st.booleans().map(lambda b: Literal(b, datatype=XSD.boolean)),
+    st.sampled_from(["en", "de", "fr"]).flatmap(
+        lambda lang: st.text(alphabet="abc xyz", min_size=1,
+                             max_size=10).map(
+            lambda t: Literal(t, lang=lang)
+        )
+    ),
+)
+
+triples = st.tuples(iris, iris, st.one_of(iris, literals))
+
+
+class TestTurtleRoundTrip:
+    @given(st.lists(triples, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_serialize_parse_preserves_triples(self, items):
+        store = TripleStore(items)
+        store.bind_prefix("kb", "http://repro.example/kb/")
+        text = serialize_turtle(store)
+        reparsed = parse_turtle(text)
+        assert set(reparsed.triples()) == set(store.triples())
+
+    @given(st.lists(triples, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_without_prefixes(self, items):
+        store = TripleStore(items)
+        reparsed = parse_turtle(serialize_turtle(store))
+        assert set(reparsed.triples()) == set(store.triples())
+
+    @given(st.lists(triples, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_serialization_is_deterministic(self, items):
+        store = TripleStore(items)
+        assert serialize_turtle(store) == serialize_turtle(store)

@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestMainFunction:
+    def test_translate_question(self, capsys):
+        status = main(["Where do you visit in Buffalo?"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "SELECT VARIABLES" in out
+        assert "[] visit $x" in out
+
+    def test_admin_trace(self, capsys):
+        status = main(["--admin", "Where do you visit in Buffalo?"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "nl-parsing" in out
+        assert "final-query" in out
+
+    def test_unsupported_question_exit_code(self, capsys):
+        status = main(["How should I store coffee?"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "tip:" in err
+
+    def test_execute_flag(self, capsys):
+        status = main([
+            "--execute", "--crowd-size", "40",
+            "What are the most interesting places near Forest Hotel, "
+            "Buffalo, we should visit in the fall?",
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "# crowd tasks:" in out
+        assert "Delaware Park" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["hello"])
+        assert args.crowd_size == 120
+        assert not args.execute
+
+
+class TestSubprocess:
+    def test_module_entry_point(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro",
+             "Is chocolate milk good for kids?"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0
+        assert 'Chocolate_Milk hasLabel "good for kids"' in (
+            completed.stdout
+        )

@@ -1,0 +1,104 @@
+"""Property-based fuzzing of the full translation pipeline.
+
+The translator's contract: for any input it either returns a valid,
+round-trippable OASSIS-QL query or raises a :class:`ReproError`
+subclass — never a bare exception, never an unparseable query.  The
+generators below combine question templates with slot fillers (both
+in-KB and out-of-KB) to explore constructions systematically, plus a
+raw-text generator for garbage input.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import NL2CM
+from repro.errors import ReproError
+from repro.oassisql import parse_oassisql
+
+NL2CM_INSTANCE = NL2CM()
+
+PLACES = ["Buffalo", "Paris", "Las Vegas", "Delaware Park", "Timbuktu",
+          "the Eiffel Tower"]
+THINGS = ["places", "hotels", "museums", "dishes", "cameras", "gifts",
+          "zorblatts", "souvenirs", "parks"]
+OPINIONS = ["interesting", "good", "romantic", "boring", "overpriced",
+            "beautiful", "mysterious"]
+VERBS = ["visit", "eat", "buy", "see", "recommend", "avoid", "try"]
+SUBJECTS = ["you", "we", "people", "locals", "teenagers", "your kids"]
+TIMES = ["in the fall", "in the winter", "for breakfast",
+         "on weekends", ""]
+
+templates = st.one_of(
+    st.tuples(st.sampled_from(OPINIONS), st.sampled_from(THINGS),
+              st.sampled_from(PLACES)).map(
+        lambda t: f"What are the most {t[0]} {t[1]} in {t[2]}?"
+    ),
+    st.tuples(st.sampled_from(SUBJECTS), st.sampled_from(VERBS),
+              st.sampled_from(PLACES), st.sampled_from(TIMES)).map(
+        lambda t: f"Where do {t[0]} {t[1]} in {t[2]} {t[3]}?".replace(
+            "  ", " ").replace(" ?", "?")
+    ),
+    st.tuples(st.sampled_from(THINGS), st.sampled_from(SUBJECTS),
+              st.sampled_from(VERBS)).map(
+        lambda t: f"Which {t[0]} should {t[1]} {t[2]}?"
+    ),
+    st.tuples(st.sampled_from(PLACES), st.sampled_from(OPINIONS)).map(
+        lambda t: f"Is {t[0]} {t[1]}?"
+    ),
+    st.tuples(st.sampled_from(VERBS), st.sampled_from(THINGS),
+              st.sampled_from(TIMES)).map(
+        lambda t: f"Do you {t[0]} {t[1]} {t[2]}?".replace("  ", " ")
+        .replace(" ?", "?")
+    ),
+)
+
+
+class TestTemplateFuzz:
+    @given(templates)
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_template_questions_translate_or_fail_cleanly(self, question):
+        try:
+            result = NL2CM_INSTANCE.translate(question)
+        except ReproError:
+            return
+        # Contract: the output is always a valid, round-trippable query.
+        reparsed = parse_oassisql(result.query_text)
+        assert reparsed == result.query
+        result.query.validate()
+
+    @given(templates)
+    @settings(max_examples=50, deadline=None)
+    def test_translation_is_deterministic(self, question):
+        def attempt():
+            try:
+                return NL2CM_INSTANCE.translate(question).query_text
+            except ReproError as exc:
+                return f"{type(exc).__name__}"
+
+        assert attempt() == attempt()
+
+
+class TestGarbageFuzz:
+    @given(st.text(max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_text_never_crashes_raw(self, text):
+        try:
+            result = NL2CM_INSTANCE.translate(text)
+        except ReproError:
+            return
+        assert parse_oassisql(result.query_text) == result.query
+
+    @given(st.lists(
+        st.sampled_from(PLACES + THINGS + OPINIONS + VERBS + SUBJECTS
+                        + ["the", "a", "?", ",", "and", "of", "in"]),
+        min_size=1, max_size=12,
+    ))
+    @settings(max_examples=150, deadline=None)
+    def test_word_salad_never_crashes(self, words):
+        text = " ".join(words)
+        try:
+            result = NL2CM_INSTANCE.translate(text)
+        except ReproError:
+            return
+        assert parse_oassisql(result.query_text) == result.query

@@ -1,0 +1,106 @@
+"""Tests for the interaction requests and providers."""
+
+import pytest
+
+from repro.errors import InteractionRequired
+from repro.rdf.ontology import EntityMatch
+from repro.rdf.terms import IRI
+from repro.ui.interaction import (
+    AutoInteraction,
+    ConsoleInteraction,
+    DisambiguationRequest,
+    LimitRequest,
+    ProjectionRequest,
+    ScriptedInteraction,
+    ThresholdRequest,
+    VerifyIXRequest,
+)
+
+
+def match(name):
+    return EntityMatch(IRI(f"http://x/{name}"), name, 0.9, "entity")
+
+
+class TestRequests:
+    def test_verify_default_accepts_all(self):
+        req = VerifyIXRequest(spans=("a", "b"))
+        assert req.default() == [True, True]
+        assert "[0] a" in req.prompt()
+
+    def test_disambiguation_default_is_top(self):
+        req = DisambiguationRequest("Buffalo", (match("NY"), match("IL")))
+        assert req.default() == 0
+        assert "NY" in req.prompt()
+
+    def test_limit_default(self):
+        assert LimitRequest("places", default_value=7).default() == 7
+
+    def test_threshold_default(self):
+        assert ThresholdRequest("visits").default() == 0.1
+
+    def test_projection_default_keeps_all(self):
+        req = ProjectionRequest(variables=(("x", "places"), ("y", "guide")))
+        assert req.default() == ["x", "y"]
+        assert "$x" in req.prompt()
+
+
+class TestAutoInteraction:
+    def test_configured_defaults(self):
+        auto = AutoInteraction(default_limit=9, default_threshold=0.3)
+        assert auto.ask(LimitRequest("p")) == 9
+        assert auto.ask(ThresholdRequest("p")) == 0.3
+
+    def test_other_requests_use_request_default(self):
+        auto = AutoInteraction()
+        assert auto.ask(VerifyIXRequest(spans=("a",))) == [True]
+
+
+class TestScriptedInteraction:
+    def test_answers_in_order(self):
+        provider = ScriptedInteraction([3, 0.5])
+        assert provider.ask(LimitRequest("p")) == 3
+        assert provider.ask(ThresholdRequest("p")) == 0.5
+
+    def test_transcript_records_pairs(self):
+        provider = ScriptedInteraction([3])
+        provider.ask(LimitRequest("p"))
+        assert len(provider.transcript) == 1
+
+    def test_fallback_to_defaults(self):
+        provider = ScriptedInteraction([])
+        assert provider.ask(LimitRequest("p")) == 5
+
+    def test_strict_raises_when_exhausted(self):
+        provider = ScriptedInteraction([], strict=True)
+        with pytest.raises(InteractionRequired):
+            provider.ask(LimitRequest("p"))
+
+
+class TestConsoleParsing:
+    def test_verify_parse(self):
+        parsed = ConsoleInteraction._parse(
+            VerifyIXRequest(spans=("a", "b", "c")), "yn"
+        )
+        assert parsed == [True, False, True]
+
+    def test_disambiguation_parse(self):
+        req = DisambiguationRequest("b", (match("NY"), match("IL")))
+        assert ConsoleInteraction._parse(req, "1") == 1
+        with pytest.raises(ValueError):
+            ConsoleInteraction._parse(req, "5")
+
+    def test_limit_parse(self):
+        assert ConsoleInteraction._parse(LimitRequest("p"), "12") == 12
+        with pytest.raises(ValueError):
+            ConsoleInteraction._parse(LimitRequest("p"), "0")
+
+    def test_threshold_parse(self):
+        assert ConsoleInteraction._parse(
+            ThresholdRequest("p"), "0.4"
+        ) == 0.4
+        with pytest.raises(ValueError):
+            ConsoleInteraction._parse(ThresholdRequest("p"), "3")
+
+    def test_projection_parse(self):
+        req = ProjectionRequest(variables=(("x", "a"), ("y", "b")))
+        assert ConsoleInteraction._parse(req, "$x, y") == ["x", "y"]

@@ -1,0 +1,110 @@
+"""Tests for the end-user session (translate -> edit -> submit)."""
+
+import pytest
+
+from repro import NL2CM, OassisEngine, SimulatedCrowd
+from repro.crowd.scenarios import buffalo_travel_truth
+from repro.data.ontologies import load_merged_ontology
+from repro.errors import (
+    OassisQLSyntaxError,
+    OassisQLValidationError,
+    ReproError,
+    VerificationError,
+)
+from repro.ui.session import NL2CMSession
+
+
+@pytest.fixture(scope="module")
+def session():
+    ontology = load_merged_ontology()
+    crowd = SimulatedCrowd(buffalo_travel_truth(), size=100, seed=9)
+    return NL2CMSession(
+        nl2cm=NL2CM(ontology=ontology),
+        engine=OassisEngine(ontology, crowd),
+    )
+
+
+QUESTION = ("What are the most interesting places near Forest Hotel, "
+            "Buffalo, we should visit in the fall?")
+
+
+class TestAsk:
+    def test_ask_returns_entry_with_query(self, session):
+        entry = session.ask(QUESTION)
+        assert entry.query_text.startswith("SELECT VARIABLES")
+        assert entry in session.history
+
+    def test_unsupported_question_raises(self, session):
+        with pytest.raises(VerificationError):
+            session.ask("How should I store coffee?")
+
+    def test_history_grows(self):
+        session = NL2CMSession()
+        session.ask("Where do you visit in Buffalo?")
+        session.ask("Is chocolate milk good for kids?")
+        assert len(session.history) == 2
+
+
+class TestEdit:
+    def test_edit_replaces_query(self, session):
+        entry = session.ask(QUESTION)
+        edited_text = entry.query_text.replace("LIMIT 5", "LIMIT 3")
+        session.edit(entry, edited_text)
+        assert entry.edited
+        assert "LIMIT 3" in entry.query_text
+
+    def test_broken_edit_rejected(self, session):
+        entry = session.ask(QUESTION)
+        with pytest.raises(OassisQLSyntaxError):
+            session.edit(entry, "SELECT banana")
+        assert not entry.edited  # original kept
+
+    def test_semantically_invalid_edit_rejected(self, session):
+        entry = session.ask(QUESTION)
+        bad = entry.query_text.replace("LIMIT 5", "LIMIT 0")
+        with pytest.raises(OassisQLValidationError):
+            session.edit(entry, bad)
+
+    def test_edit_clears_stale_execution(self, session):
+        entry = session.ask(QUESTION)
+        session.submit(entry)
+        session.edit(entry, entry.query_text.replace("LIMIT 5",
+                                                     "LIMIT 2"))
+        assert entry.execution is None
+
+
+class TestSubmit:
+    def test_submit_executes_with_crowd(self, session):
+        entry = session.ask(QUESTION)
+        result = session.submit(entry)
+        assert result.tasks_used > 0
+        assert entry.executed
+
+    def test_progress_before_and_after(self, session):
+        entry = session.ask(QUESTION)
+        assert session.progress(entry)["status"] == "not submitted"
+        session.submit(entry)
+        progress = session.progress(entry)
+        assert progress["status"] == "completed"
+        assert progress["tasks"] > 0
+        assert progress["results"] >= 1
+
+    def test_submit_without_engine_raises(self):
+        session = NL2CMSession()
+        entry = session.ask("Where do you visit in Buffalo?")
+        with pytest.raises(ReproError):
+            session.submit(entry)
+
+    def test_edited_query_changes_execution(self, session):
+        entry = session.ask(QUESTION)
+        full = session.submit(entry)
+        session.edit(entry, entry.query_text.replace("LIMIT 5",
+                                                     "LIMIT 1"))
+        narrowed = session.submit(entry)
+        assert len(narrowed.accepted) <= len(full.accepted)
+        assert len(narrowed.accepted) == 1
+
+    def test_transcript(self, session):
+        lines = session.transcript()
+        assert lines
+        assert any("mined pattern" in line for line in lines)
