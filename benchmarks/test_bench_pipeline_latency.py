@@ -12,8 +12,14 @@ from repro.data.corpus import supported_questions
 from repro.eval.harness import format_table
 
 STAGES = ("verification", "nl-parsing", "ix-finder", "ix-creator",
-          "general-query-generator", "individual-triple-creation",
-          "query-composition")
+          "ix-detection", "general-query-generator",
+          "individual-triple-creation", "query-composition", "final-query")
+
+# Stages that add up to the wall-clock total ("ix-detection" aggregates
+# the finder/creator sub-steps, which are shown as their own rows).
+TOTAL_STAGES = ("verification", "nl-parsing", "ix-detection",
+                "general-query-generator", "individual-triple-creation",
+                "query-composition", "final-query")
 
 
 def test_bench_stage_latency(nl2cm, report_writer):
@@ -25,16 +31,17 @@ def test_bench_stage_latency(nl2cm, report_writer):
             totals[stage] += seconds
         n += 1
 
+    total = sum(totals[stage] for stage in TOTAL_STAGES)
     rows = [
         [stage, f"{totals[stage] / n * 1000:.2f}"]
         for stage in STAGES
     ]
-    rows.append(["TOTAL", f"{sum(totals.values()) / n * 1000:.2f}"])
+    rows.append(["TOTAL", f"{total / n * 1000:.2f}"])
     table = format_table(["stage", "mean ms/question"], rows)
     report_writer("E6-stage-latency", table)
 
     # The pipeline is interactive-speed (well under a second).
-    assert sum(totals.values()) / n < 1.0
+    assert total / n < 1.0
 
 
 def test_bench_length_scaling(nl2cm, report_writer):
@@ -44,7 +51,7 @@ def test_bench_length_scaling(nl2cm, report_writer):
     timings = {}
     for label, text in (("short", short), ("long", long)):
         result = nl2cm.translate(text)
-        timings[label] = sum(result.trace.timings().values())
+        timings[label] = result.trace.total_seconds()
     table = format_table(
         ["sentence", "tokens", "total ms"],
         [

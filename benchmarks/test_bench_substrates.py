@@ -1,4 +1,4 @@
-"""E9: micro-benchmarks of the from-scratch substrates.
+"""E10: micro-benchmarks of the from-scratch substrates.
 
 Not a paper experiment — throughput sanity checks for the components
 the paper outsources (Stanford Parser, RDF stack): the triple store's

@@ -1,0 +1,107 @@
+"""E9: serving throughput — sequential vs. batched vs. cache-warm.
+
+The serving workload is a *repeated-question trace*: every supported
+corpus question appears ``REPEATS`` times, round-robin interleaved, the
+shape NLIDB front-ends actually see (many users ask the same things).
+Three ways to serve the same trace:
+
+* **sequential** — the status quo ante: one ``NL2CM.translate`` call per
+  question, no batching, no caching; every repeat re-runs the whole
+  Figure-2 pipeline.
+* **batched** — the :class:`~repro.service.TranslationService` batch
+  path, cold cache, 4 workers: single-flight deduplication plus the LRU
+  cache mean each distinct question is translated once per batch.
+* **cache-warm** — the same service after :meth:`warm`-ing the distinct
+  questions: the whole trace is served from cache.
+
+Acceptance floor (ISSUE 1): batched >= 2x sequential questions/sec at
+4+ workers; cache-warm >= 5x the cold sequential path.
+"""
+
+import time
+
+from repro import NL2CM
+from repro.data.corpus import supported_questions
+from repro.eval.harness import format_table
+from repro.service import TranslationService
+
+REPEATS = 4
+WORKERS = 4
+
+
+def serving_trace() -> list[str]:
+    """Each supported question, REPEATS times, round-robin."""
+    texts = [q.text for q in supported_questions()]
+    return [t for _ in range(REPEATS) for t in texts]
+
+
+def test_bench_serving_throughput(ontology, report_writer):
+    trace = serving_trace()
+    distinct = sorted(set(trace))
+
+    # Sequential baseline: the pre-service single-question path.
+    sequential = NL2CM(ontology=ontology)
+    start = time.perf_counter()
+    sequential_results = [sequential.translate(t) for t in trace]
+    sequential_s = time.perf_counter() - start
+    sequential_qps = len(trace) / sequential_s
+
+    # Batched, cold cache.
+    service = TranslationService(
+        NL2CM(ontology=ontology), workers=WORKERS, cache=len(distinct) * 2
+    )
+    start = time.perf_counter()
+    batched_items = service.translate_batch(trace, workers=WORKERS)
+    batched_s = time.perf_counter() - start
+    batched_qps = len(trace) / batched_s
+
+    # Cache-warm: same service, cache already holds every question.
+    service.warm(distinct)
+    start = time.perf_counter()
+    warm_items = service.translate_batch(trace, workers=WORKERS)
+    warm_s = time.perf_counter() - start
+    warm_qps = len(trace) / warm_s
+
+    rows = [
+        ["sequential (no cache)", len(trace), f"{sequential_s:.3f}",
+         f"{sequential_qps:.0f}", "1.0x"],
+        [f"batched cold ({WORKERS} workers)", len(trace),
+         f"{batched_s:.3f}", f"{batched_qps:.0f}",
+         f"{batched_qps / sequential_qps:.1f}x"],
+        [f"cache-warm ({WORKERS} workers)", len(trace),
+         f"{warm_s:.3f}", f"{warm_qps:.0f}",
+         f"{warm_qps / sequential_qps:.1f}x"],
+    ]
+    table = format_table(
+        ["mode", "questions", "seconds", "q/s", "speedup"], rows
+    )
+    stats = service.stats()
+    table += (
+        f"\n\ntrace: {len(distinct)} distinct questions x {REPEATS} "
+        f"repeats; cache hit rate {stats.cache_hit_rate:.1%}, "
+        f"{stats.translated} pipeline runs for "
+        f"{stats.requests} requests"
+    )
+    report_writer("E9-throughput", table)
+
+    # Correctness before speed: every path serves identical queries.
+    expected = [r.query_text for r in sequential_results]
+    assert [i.query_text for i in batched_items] == expected
+    assert [i.query_text for i in warm_items] == expected
+
+    # The acceptance floors.
+    assert batched_qps >= 2 * sequential_qps
+    assert warm_qps >= 5 * sequential_qps
+
+
+def test_bench_single_flight_saves_pipeline_runs(ontology):
+    trace = serving_trace()
+    distinct = set(trace)
+    service = TranslationService(
+        NL2CM(ontology=ontology), workers=WORKERS, cache=len(distinct) * 2
+    )
+    service.translate_batch(trace)
+    stats = service.stats()
+    # One pipeline run per distinct question; every repeat was shared.
+    assert stats.translated == len(distinct)
+    assert stats.served_from_cache == len(trace) - len(distinct)

@@ -33,6 +33,11 @@ from repro.crowd.simulator import SimulatedCrowd
 from repro.errors import ReproError, TranslationError, VerificationError
 from repro.oassis.engine import EngineConfig, OassisEngine, QueryResult
 from repro.oassisql import OassisQuery, parse_oassisql, print_oassisql
+from repro.service import (
+    ServiceStats,
+    TranslationCache,
+    TranslationService,
+)
 from repro.ui.interaction import (
     AutoInteraction,
     ConsoleInteraction,
@@ -53,6 +58,9 @@ __all__ = [
     "QueryResult",
     "SimulatedCrowd",
     "GroundTruth",
+    "TranslationService",
+    "TranslationCache",
+    "ServiceStats",
     "AutoInteraction",
     "ScriptedInteraction",
     "ConsoleInteraction",

@@ -6,16 +6,23 @@ Usage::
     python -m repro --interactive           # prompt loop
     python -m repro --admin "question"      # show the module trace
     python -m repro --execute "question"    # also run it on the demo crowd
+    python -m repro --batch questions.txt   # concurrent batch translation
 
 The demo crowd merges the three packaged scenarios (Buffalo travel,
 Vegas rides, the dietician's study) with a small default support for
 everything else.
+
+Batch mode reads one question per line (blank lines and ``#`` comments
+skipped), translates them through the caching
+:class:`~repro.service.TranslationService` with ``--workers`` threads,
+and prints each query; ``--admin`` appends the service stats panel.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro import (
     EngineConfig,
@@ -51,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the query on the packaged demo crowd")
     parser.add_argument("--crowd-size", type=int, default=120)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--batch", metavar="FILE",
+                        help="translate every question in FILE "
+                             "(one per line) concurrently")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="thread count for --batch (default 4)")
+    parser.add_argument("--cache-size", type=int, default=256,
+                        help="translation cache capacity for --batch "
+                             "(0 disables caching)")
     return parser
 
 
@@ -101,6 +116,44 @@ def run_question(nl2cm: NL2CM, args, question: str,
     return 0
 
 
+def run_batch(nl2cm: NL2CM, args) -> int:
+    from repro.service import TranslationService
+    from repro.ui.admin import render_service_stats
+
+    path = Path(args.batch)
+    try:
+        lines = path.read_text("utf-8").splitlines()
+    except OSError as err:
+        print(f"cannot read batch file: {err}", file=sys.stderr)
+        return 2
+    questions = [
+        line.strip() for line in lines
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not questions:
+        print("batch file contains no questions", file=sys.stderr)
+        return 2
+
+    service = TranslationService(
+        nl2cm,
+        workers=max(1, args.workers),
+        cache=args.cache_size if args.cache_size > 0 else None,
+    )
+    items = service.translate_batch(questions)
+    failed = 0
+    for item in items:
+        print(f"# {item.text}")
+        if item.ok:
+            print(item.query_text)
+        else:
+            failed += 1
+            print(f"error: {item.error}")
+        print()
+    if args.admin:
+        print(render_service_stats(service.stats()))
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     interaction = ConsoleInteraction() if args.interactive else None
@@ -110,6 +163,9 @@ def main(argv: list[str] | None = None) -> int:
         demo_engine(ontology, args.crowd_size, args.seed)
         if args.execute else None
     )
+
+    if args.batch:
+        return run_batch(nl2cm, args)
 
     if args.question:
         return run_question(nl2cm, args, " ".join(args.question), engine)

@@ -76,9 +76,20 @@ class TranslationTrace:
     def render(self) -> str:
         return "\n\n".join(e.render() for e in self.entries)
 
+    #: Entries whose elapsed time is already included in another entry
+    #: ("ix-detection" aggregates its finder/creator sub-steps).
+    SUBSUMED_STAGES = frozenset({"ix-finder", "ix-creator"})
+
     def timings(self) -> dict[str, float]:
         """Stage -> elapsed seconds (for the latency experiments)."""
         return {e.stage: e.elapsed for e in self.entries}
+
+    def total_seconds(self) -> float:
+        """Wall-clock total without double-counting aggregated stages."""
+        return sum(
+            e.elapsed for e in self.entries
+            if e.stage not in self.SUBSUMED_STAGES
+        )
 
 
 @dataclass
@@ -177,10 +188,17 @@ class NL2CM:
         matches = self._timed(
             trace, "ix-finder", lambda: self.finder.find(graph)
         )
+        finder_elapsed = trace.entries[-1].elapsed
         ixs = self._timed(
             trace, "ix-creator", lambda: self.creator.create(graph, matches)
         )
+        creator_elapsed = trace.entries[-1].elapsed
+        verify_start = time.perf_counter()
         ixs = self._verify_uncertain(graph, ixs, provider)
+        verify_elapsed = time.perf_counter() - verify_start
+        # The ix-detection entry summarizes the whole stage, so its
+        # elapsed aggregates the finder, creator and user-verification
+        # sub-steps (the first two also appear as their own entries).
         trace.add(
             "ix-detection",
             "\n".join(
@@ -188,7 +206,7 @@ class NL2CM:
                 f"{ix.span_text(graph)!r}"
                 for ix in ixs
             ) or "(no individual expressions)",
-            0.0,
+            finder_elapsed + creator_elapsed + verify_elapsed,
         )
 
         general = self._timed(
@@ -213,8 +231,11 @@ class NL2CM:
                 graph, ixs, individual, general, provider
             ),
         )
+        print_start = time.perf_counter()
         query_text = print_oassisql(composed.query)
-        trace.add("final-query", query_text, 0.0)
+        trace.add(
+            "final-query", query_text, time.perf_counter() - print_start
+        )
 
         return TranslationResult(
             text=text,

@@ -24,6 +24,7 @@ triples that overlap detected IXs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.ir import NodeTerm, ProtoTriple
@@ -73,17 +74,28 @@ class FeedbackStore:
     of optional entities in subsequent user interactions".  The store
     maps normalized phrases to the chosen IRI; matching candidates get
     a score boost on later lookups.
+
+    The store is the one piece of pipeline state mutated *during* a
+    translation, and a single store is shared by every translation of an
+    :class:`~repro.core.pipeline.NL2CM` instance — so reads and writes
+    are serialized under a lock, making a shared translator safe for the
+    concurrent batch service.
     """
 
     choices: dict[str, IRI] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def record(self, phrase: str, iri: IRI) -> None:
-        self.choices[normalize_label(phrase)] = iri
+        with self._lock:
+            self.choices[normalize_label(phrase)] = iri
 
     def boost(self, phrase: str, matches: list[EntityMatch]
               ) -> list[EntityMatch]:
         """Re-rank ``matches``, boosting the remembered choice."""
-        chosen = self.choices.get(normalize_label(phrase))
+        with self._lock:
+            chosen = self.choices.get(normalize_label(phrase))
         if chosen is None:
             return matches
         boosted = [
@@ -94,6 +106,11 @@ class FeedbackStore:
             for m in matches
         ]
         return sorted(boosted, key=lambda m: (-m.score, m.label))
+
+    def snapshot(self) -> dict[str, IRI]:
+        """A consistent copy of the recorded choices."""
+        with self._lock:
+            return dict(self.choices)
 
 
 @dataclass

@@ -62,6 +62,12 @@ class EngineConfig:
         topk_sample: fixed sample size used for top-k estimation.
         confidence_z: z-value of the decision interval (1.96 = 95%).
         task_budget: total crowd-task budget per query (None = no cap).
+        memoize_answers: reuse a member's previous answer when the same
+            (member, fact-set) pair comes up again — in another
+            subclause or a later query.  A consistent human answers the
+            same question the same way, so this only skips the simulated
+            answer computation; the task stream, budget accounting and
+            results are unchanged.
     """
 
     min_sample: int = 8
@@ -69,6 +75,7 @@ class EngineConfig:
     topk_sample: int = 25
     confidence_z: float = 1.96
     task_budget: int | None = None
+    memoize_answers: bool = True
 
 
 @dataclass(frozen=True)
@@ -137,6 +144,18 @@ class OassisEngine:
         self.ontology = ontology
         self.crowd = crowd
         self.config = config or EngineConfig()
+        # (member_id, fact_set.key()) -> answer; the crowd model is
+        # deterministic per member, so repeated subclauses and repeated
+        # queries need not recompute the simulated answer.
+        self._answer_cache: dict[tuple[int, str], float] = {}
+        self.answer_cache_hits = 0
+        self.answer_cache_misses = 0
+
+    def clear_answer_cache(self) -> None:
+        """Drop memoized crowd answers (e.g. after swapping the crowd)."""
+        self._answer_cache.clear()
+        self.answer_cache_hits = 0
+        self.answer_cache_misses = 0
 
     # -- public API ---------------------------------------------------------------
 
@@ -361,7 +380,17 @@ class OassisEngine:
                 tasks_used=len(tasks),
             )
         member = self.crowd.member(sample_index % self.crowd.size)
-        answer = self.crowd.ask(member, fact_set)
+        if self.config.memoize_answers:
+            key = (member.member_id, fact_set.key())
+            answer = self._answer_cache.get(key)
+            if answer is None:
+                answer = self.crowd.ask(member, fact_set)
+                self._answer_cache[key] = answer
+                self.answer_cache_misses += 1
+            else:
+                self.answer_cache_hits += 1
+        else:
+            answer = self.crowd.ask(member, fact_set)
         tasks.append(CrowdTask(
             member_id=member.member_id,
             fact_set=fact_set,

@@ -507,29 +507,61 @@ def evaluate_bgp(
     Patterns are joined in selectivity order (cheapest first, given the
     bindings accumulated so far); filters run as soon as every variable
     they mention is bound.
+
+    The store must not be mutated while the evaluation runs: selectivity
+    counts are memoized per bound pattern for the duration of the call,
+    since the same (pattern, bindings) shape recurs across sibling
+    branches of the join tree.
     """
     remaining = list(patterns)
-    pending_filters = list(filters)
+    # Filter variable sets are immutable; compute them once instead of
+    # on every recursion node.
+    pending_filters = [(f, frozenset(f.variables())) for f in filters]
     results: list[Solution] = []
 
-    def run(solution: Solution, todo: list[TriplePattern],
-            unchecked: list[FilterExpr]) -> None:
-        ready = [f for f in unchecked
-                 if f.variables() <= solution.keys()]
-        for f in ready:
-            if not f.evaluate(solution):
-                return
-        unchecked = [f for f in unchecked if f not in ready]
+    count_cache: dict[tuple[Term | None, Term | None, Term | None], int] = {}
+
+    def counted(pattern: TriplePattern) -> int:
+        s = None if isinstance(pattern.s, Variable) else pattern.s
+        p = None if isinstance(pattern.p, Variable) else pattern.p
+        o = None if isinstance(pattern.o, Variable) else pattern.o
+        key = (s, p, o)
+        cached = count_cache.get(key)
+        if cached is None:
+            cached = count_cache[key] = store.count(s, p, o)
+        return cached
+
+    def run(solution: Solution,
+            todo: list[TriplePattern],
+            unchecked: list[tuple[FilterExpr, frozenset[str]]]) -> None:
+        # Partition filters in one pass (by position, not O(n^2)
+        # equality scans) into those whose variables are now all bound
+        # and those still pending.
+        still_pending = unchecked
+        if unchecked:
+            bound_names = solution.keys()
+            still_pending = []
+            for entry in unchecked:
+                f, f_vars = entry
+                if f_vars <= bound_names:
+                    if not f.evaluate(solution):
+                        return
+                else:
+                    still_pending.append(entry)
         if not todo:
             results.append(solution)
             return
-        # Cheapest pattern next, under current bindings.
-        ranked = sorted(
-            todo,
-            key=lambda pt: _selectivity(store, _substitute(pt, solution)),
-        )
-        chosen = ranked[0]
-        rest = [pt for pt in todo if pt is not chosen]
+        # Cheapest pattern next, under current bindings; min() is a
+        # single O(n) scan (no need to rank the rest — they are
+        # re-scored on the next recursion level anyway).
+        if len(todo) == 1:
+            chosen = todo[0]
+            rest: list[TriplePattern] = []
+        else:
+            chosen = min(
+                todo, key=lambda pt: counted(_substitute(pt, solution))
+            )
+            rest = [pt for pt in todo if pt is not chosen]
         bound = _substitute(chosen, solution)
         s = None if isinstance(bound.s, Variable) else bound.s
         p = None if isinstance(bound.p, Variable) else bound.p
@@ -544,7 +576,7 @@ def evaluate_bgp(
                         break
                     new_solution[term.name] = value
             if ok:
-                run(new_solution, rest, unchecked)
+                run(new_solution, rest, still_pending)
 
     run(dict(initial or {}), remaining, pending_filters)
     return results

@@ -76,13 +76,35 @@ class TripleStore:
         return sum(1 for s, p, o in triples if self.add(s, p, o))
 
     def remove(self, s: Term, p: Term, o: Term) -> bool:
-        """Remove one triple; returns False if it was not present."""
-        try:
-            self._spo[s][p].remove(o)
-        except KeyError:
+        """Remove one triple; returns False if it was not present.
+
+        Emptied nested dicts/sets are pruned from all three indexes, so
+        wildcard scans and :meth:`count` stay proportional to the live
+        triples after heavy add/remove churn.
+        """
+        row = self._spo.get(s)
+        objs = row.get(p) if row is not None else None
+        if objs is None or o not in objs:
             return False
-        self._pos[p][o].discard(s)
-        self._osp[o][s].discard(p)
+        objs.remove(o)
+        if not objs:
+            del row[p]
+            if not row:
+                del self._spo[s]
+        by_o = self._pos[p]
+        subjs = by_o[o]
+        subjs.discard(s)
+        if not subjs:
+            del by_o[o]
+            if not by_o:
+                del self._pos[p]
+        by_s = self._osp[o]
+        preds = by_s[s]
+        preds.discard(p)
+        if not preds:
+            del by_s[s]
+            if not by_s:
+                del self._osp[o]
         self._size -= 1
         return True
 

@@ -1,8 +1,12 @@
 """RDF term types: IRIs, literals, blank nodes and query variables.
 
 All terms are immutable and hashable, so they can live in the store's
-set-based indexes and in solution bindings.  A :class:`Namespace` is a
-small convenience for minting IRIs::
+set-based indexes and in solution bindings.  Terms are ``__slots__``
+classes with their hash precomputed at construction: join evaluation
+hashes the same terms millions of times as index keys and solution
+values, so ``__hash__`` must be a plain attribute read rather than a
+field-tuple hash on every call.  A :class:`Namespace` is a small
+convenience for minting IRIs::
 
     KB = Namespace("http://repro.example/kb/")
     KB.Place            # IRI('http://repro.example/kb/Place')
@@ -11,7 +15,7 @@ small convenience for minting IRIs::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Union
 
 __all__ = [
@@ -25,6 +29,13 @@ class IRI:
     """An IRI reference, e.g. ``http://repro.example/kb/Place``."""
 
     value: str
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self):
+        object.__setattr__(self, "_hash", hash(("IRI", self.value)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def local_name(self) -> str:
@@ -57,10 +68,19 @@ class Literal:
     value: str | int | float | bool
     datatype: IRI | None = None
     lang: str | None = None
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self):
         if self.datatype is not None and self.lang is not None:
             raise ValueError("a literal cannot have both datatype and lang")
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(("Literal", self.value, self.datatype, self.lang)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_numeric(self) -> bool:
@@ -98,6 +118,13 @@ class BNode:
     """A blank node with a local identifier."""
 
     id: str
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self):
+        object.__setattr__(self, "_hash", hash(("BNode", self.id)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def n3(self) -> str:
         return f"_:{self.id}"
@@ -111,6 +138,13 @@ class Variable:
     """A query variable (``?x`` in SPARQL, ``$x`` in OASSIS-QL)."""
 
     name: str
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self):
+        object.__setattr__(self, "_hash", hash(("Variable", self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def n3(self) -> str:
         return f"?{self.name}"

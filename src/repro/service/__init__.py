@@ -1,0 +1,34 @@
+"""Serving layer: concurrent batching and caching over one translator.
+
+The ROADMAP's north star is serving heavy question traffic; this
+package is the front door for that.  A :class:`TranslationService`
+wraps one shared :class:`~repro.core.pipeline.NL2CM` with a bounded LRU
+:class:`TranslationCache`, a ``ThreadPoolExecutor`` batch path with
+single-flight deduplication, and a :class:`ServiceStats` snapshot the
+admin monitor renders (see :func:`repro.ui.admin.render_service_stats`).
+
+Quickstart::
+
+    from repro.service import TranslationService
+
+    service = TranslationService(workers=4, cache=512)
+    items = service.translate_batch(questions)
+    print(service.stats().cache_hit_rate)
+"""
+
+from repro.service.cache import CacheStats, TranslationCache
+from repro.service.service import (
+    BatchItem,
+    ServiceStats,
+    StageStat,
+    TranslationService,
+)
+
+__all__ = [
+    "BatchItem",
+    "CacheStats",
+    "ServiceStats",
+    "StageStat",
+    "TranslationCache",
+    "TranslationService",
+]

@@ -1,0 +1,148 @@
+"""Bounded, thread-safe LRU cache for translation results.
+
+Serving workloads repeat themselves: the same questions come back from
+different users (and the same user retries phrasings), so the single
+biggest lever for throughput is never running the Figure-2 pipeline
+twice for the same input.  The cache key combines the *normalized*
+question text (whitespace runs collapsed — case is preserved, because
+capitalization drives proper-noun detection) with the interaction
+provider's *fingerprint*: two requests only share a result when the
+provider would have answered every clarification dialog identically.
+
+The cache never mutates cached results; callers share the returned
+:class:`~repro.core.pipeline.TranslationResult` objects read-only.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = ["CacheStats", "TranslationCache"]
+
+#: A cache key: (normalized question text, interaction fingerprint).
+CacheKey = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot; hit rate is hits / (hits + misses)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class TranslationCache:
+    """A bounded LRU map from (question, fingerprint) to results.
+
+    Args:
+        capacity: maximum number of cached translations; the least
+            recently *used* (looked up or inserted) entry is evicted
+            when a new entry would exceed it.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- keys -------------------------------------------------------------------
+
+    @staticmethod
+    def normalize(text: str) -> str:
+        """Collapse whitespace runs; keep case (it carries signal)."""
+        return " ".join(text.split())
+
+    @classmethod
+    def make_key(cls, text: str, fingerprint: str) -> CacheKey:
+        return (cls.normalize(text), fingerprint)
+
+    # -- lookup / insert ----------------------------------------------------------
+
+    def get(self, text: str, fingerprint: str) -> Any | None:
+        """The cached result, or None; counts a hit or a miss."""
+        key = self.make_key(text, fingerprint)
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return result
+
+    def put(self, text: str, fingerprint: str, result: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU if full."""
+        key = self.make_key(text, fingerprint)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = result
+                return
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = result
+
+    def warm(
+        self, entries: Iterable[tuple[str, str, Any]]
+    ) -> int:
+        """Pre-load (text, fingerprint, result) triples.
+
+        Warming does not touch the hit/miss counters — it is not
+        traffic.  Returns the number of entries inserted.
+        """
+        n = 0
+        for text, fingerprint, result in entries:
+            self.put(text, fingerprint, result)
+            n += 1
+        return n
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters; entries are kept."""
+        with self._lock:
+            self._hits = self._misses = self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries

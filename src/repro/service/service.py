@@ -1,0 +1,370 @@
+"""High-throughput translation service over a shared :class:`NL2CM`.
+
+The translator itself is stateless after construction except for the
+FREyA feedback store (which serializes its own mutations under a lock),
+so one :class:`NL2CM` instance — with its ontology label indexes, IX
+patterns and vocabularies built once — can serve many questions.  The
+service adds the serving layer the paper's demo never needed:
+
+* :meth:`TranslationService.translate` — single question, through a
+  bounded LRU :class:`~repro.service.cache.TranslationCache`;
+* :meth:`TranslationService.translate_batch` — fan-out over a
+  ``ThreadPoolExecutor`` with single-flight deduplication (identical
+  questions in one batch are translated once);
+* :meth:`TranslationService.warm` — pre-translate a corpus so first
+  user traffic is served from cache;
+* :meth:`TranslationService.stats` — a :class:`ServiceStats` snapshot
+  (request counters, cache hit rate, per-stage latency aggregates) for
+  the admin monitor.
+
+Results are returned in request order and are byte-identical to what a
+sequential run of ``NL2CM.translate`` produces — determinism under
+threading is part of the service contract (and under test).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.pipeline import NL2CM, TranslationResult
+from repro.errors import ReproError
+from repro.service.cache import CacheStats, TranslationCache
+from repro.ui.interaction import InteractionProvider
+
+__all__ = [
+    "BatchItem", "ServiceStats", "StageStat", "TranslationService",
+]
+
+
+@dataclass(frozen=True)
+class StageStat:
+    """Aggregate latency of one pipeline stage."""
+
+    total_seconds: float
+    count: int
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_seconds / self.count * 1000 if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of the service's counters.
+
+    Attributes:
+        requests: translation requests served (cache hits included).
+        translated: fresh translations actually run through the pipeline.
+        served_from_cache: requests answered without running the pipeline.
+        errors: requests that raised a translation/verification error.
+        batches: ``translate_batch`` calls completed.
+        batch_questions: questions served through batches.
+        batch_seconds: wall-clock seconds spent inside batch calls.
+        busy_seconds: summed per-translation pipeline time (overlaps
+            under concurrency, so this is per-worker time, not wall).
+        stages: per-stage latency aggregates of fresh translations.
+        cache: cache counters, or None when caching is disabled.
+        workers: the configured fan-out width.
+    """
+
+    requests: int
+    translated: int
+    served_from_cache: int
+    errors: int
+    batches: int
+    batch_questions: int
+    batch_seconds: float
+    busy_seconds: float
+    stages: dict[str, StageStat]
+    cache: CacheStats | None
+    workers: int
+
+    @property
+    def mean_translation_ms(self) -> float:
+        if not self.translated:
+            return 0.0
+        return self.busy_seconds / self.translated * 1000
+
+    @property
+    def batch_throughput_qps(self) -> float:
+        """Questions/sec over the wall time spent in batch calls."""
+        if not self.batch_seconds:
+            return 0.0
+        return self.batch_questions / self.batch_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate if self.cache else 0.0
+
+
+@dataclass
+class BatchItem:
+    """One question's outcome within a batch (in request order)."""
+
+    text: str
+    result: TranslationResult | None = None
+    error: ReproError | None = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def query_text(self) -> str | None:
+        return self.result.query_text if self.result else None
+
+
+@dataclass
+class _Counters:
+    requests: int = 0
+    translated: int = 0
+    served_from_cache: int = 0
+    errors: int = 0
+    batches: int = 0
+    batch_questions: int = 0
+    batch_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    stage_totals: dict[str, float] = field(default_factory=dict)
+    stage_counts: dict[str, int] = field(default_factory=dict)
+
+
+class TranslationService:
+    """Concurrent, cached front-end to one shared translator.
+
+    Args:
+        nl2cm: the shared translator; a default one is built if omitted.
+        workers: default fan-out width of :meth:`translate_batch`.
+        cache: a :class:`TranslationCache`, a capacity for a fresh one,
+            or None to disable caching entirely.
+        interaction: default answer provider for requests that do not
+            carry their own; falls back to the translator's provider.
+    """
+
+    def __init__(
+        self,
+        nl2cm: NL2CM | None = None,
+        *,
+        workers: int = 4,
+        cache: TranslationCache | int | None = 256,
+        interaction: InteractionProvider | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.nl2cm = nl2cm or NL2CM()
+        self.workers = workers
+        if isinstance(cache, int):
+            cache = TranslationCache(capacity=cache)
+        self.cache = cache
+        self.interaction = interaction
+        self._lock = threading.Lock()
+        self._counters = _Counters()
+
+    # -- single-question path -------------------------------------------------------
+
+    def translate(
+        self,
+        text: str,
+        interaction: InteractionProvider | None = None,
+    ) -> TranslationResult:
+        """Translate one question, going through the cache when safe.
+
+        Raises exactly what ``NL2CM.translate`` raises; errors are
+        counted but never cached (a rephrasing tip costs nothing to
+        recompute and should not occupy a slot).
+        """
+        provider = self._provider(interaction)
+        fingerprint = self._fingerprint(provider)
+        if self.cache is not None and fingerprint is not None:
+            cached = self.cache.get(text, fingerprint)
+            if cached is not None:
+                with self._lock:
+                    self._counters.requests += 1
+                    self._counters.served_from_cache += 1
+                return cached
+        return self._translate_fresh(text, provider, fingerprint)
+
+    def _translate_fresh(
+        self,
+        text: str,
+        provider: InteractionProvider,
+        fingerprint: str | None,
+    ) -> TranslationResult:
+        start = time.perf_counter()
+        try:
+            result = self.nl2cm.translate(text, provider)
+        except ReproError:
+            with self._lock:
+                self._counters.requests += 1
+                self._counters.errors += 1
+            raise
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            c = self._counters
+            c.requests += 1
+            c.translated += 1
+            c.busy_seconds += elapsed
+            for stage, seconds in result.trace.timings().items():
+                c.stage_totals[stage] = (
+                    c.stage_totals.get(stage, 0.0) + seconds
+                )
+                c.stage_counts[stage] = c.stage_counts.get(stage, 0) + 1
+        if self.cache is not None and fingerprint is not None:
+            self.cache.put(text, fingerprint, result)
+        return result
+
+    # -- batch path -------------------------------------------------------------------
+
+    def translate_batch(
+        self,
+        texts: Sequence[str],
+        interaction: InteractionProvider | None = None,
+        workers: int | None = None,
+    ) -> list[BatchItem]:
+        """Translate many questions concurrently; results in order.
+
+        Identical questions (after normalization) are translated once
+        per batch — single-flight — and every duplicate shares the
+        leader's result.  Translation errors are captured per item
+        rather than raised, so one unsupported question does not sink
+        the batch.
+        """
+        texts = list(texts)
+        items = [BatchItem(text=t) for t in texts]
+        if not texts:
+            return items
+        provider = self._provider(interaction)
+        fingerprint = self._fingerprint(provider)
+        width = workers if workers is not None else self.workers
+        if width < 1:
+            raise ValueError("workers must be >= 1")
+
+        # Single-flight groups: all indexes that share a cache key run
+        # once.  Without a usable fingerprint every question runs alone.
+        groups: dict[object, list[int]] = {}
+        if fingerprint is not None:
+            for i, t in enumerate(texts):
+                groups.setdefault(TranslationCache.normalize(t), []).append(i)
+        else:
+            groups = {i: [i] for i in range(len(texts))}
+
+        start = time.perf_counter()
+
+        def run_group(indices: list[int]) -> None:
+            leader = indices[0]
+            try:
+                result = self.translate(texts[leader], provider)
+                error = None
+            except ReproError as exc:
+                result, error = None, exc
+            items[leader].result = result
+            items[leader].error = error
+            for i in indices[1:]:
+                items[i].result = result
+                items[i].error = error
+                items[i].cached = error is None
+                with self._lock:
+                    self._counters.requests += 1
+                    if error is None:
+                        self._counters.served_from_cache += 1
+                    else:
+                        self._counters.errors += 1
+
+        group_lists = list(groups.values())
+        if width == 1 or len(group_lists) == 1:
+            for indices in group_lists:
+                run_group(indices)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(width, len(group_lists))
+            ) as pool:
+                for future in [
+                    pool.submit(run_group, g) for g in group_lists
+                ]:
+                    future.result()
+
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._counters.batches += 1
+            self._counters.batch_questions += len(texts)
+            self._counters.batch_seconds += elapsed
+        return items
+
+    # -- warming ------------------------------------------------------------------------
+
+    def warm(
+        self,
+        texts: Iterable[str],
+        interaction: InteractionProvider | None = None,
+        workers: int | None = None,
+    ) -> int:
+        """Pre-translate ``texts`` into the cache; returns the number
+        cached.  Unsupported questions are skipped, not raised: warming
+        a corpus that contains a few rejects is routine."""
+        if self.cache is None:
+            raise ReproError("cannot warm a service with caching disabled")
+        provider = self._provider(interaction)
+        fingerprint = self._fingerprint(provider)
+        if fingerprint is None:
+            raise ReproError(
+                "cannot warm the cache through a provider without a "
+                "cache fingerprint (scripted/console providers are "
+                "stateful)"
+            )
+        items = self.translate_batch(
+            list(texts), interaction=provider, workers=workers
+        )
+        return sum(1 for item in items if item.ok)
+
+    # -- stats ---------------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        cache_stats = self.cache.stats() if self.cache is not None else None
+        with self._lock:
+            c = self._counters
+            stages = {
+                stage: StageStat(
+                    total_seconds=c.stage_totals[stage],
+                    count=c.stage_counts[stage],
+                )
+                for stage in c.stage_totals
+            }
+            return ServiceStats(
+                requests=c.requests,
+                translated=c.translated,
+                served_from_cache=c.served_from_cache,
+                errors=c.errors,
+                batches=c.batches,
+                batch_questions=c.batch_questions,
+                batch_seconds=c.batch_seconds,
+                busy_seconds=c.busy_seconds,
+                stages=stages,
+                cache=cache_stats,
+                workers=self.workers,
+            )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (cache contents are kept)."""
+        with self._lock:
+            self._counters = _Counters()
+        if self.cache is not None:
+            self.cache.reset_counters()
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _provider(
+        self, interaction: InteractionProvider | None
+    ) -> InteractionProvider:
+        return interaction or self.interaction or self.nl2cm.interaction
+
+    @staticmethod
+    def _fingerprint(provider: InteractionProvider) -> str | None:
+        """The provider's cache identity, or None if uncacheable."""
+        fp = getattr(provider, "cache_fingerprint", None)
+        if callable(fp):
+            fp = fp()
+        return fp if isinstance(fp, str) else None

@@ -34,6 +34,7 @@ __all__ = [
     "SessionEntry",
     "ThresholdRequest",
     "VerifyIXRequest",
+    "render_service_stats",
 ]
 
 _LOCATIONS = {
@@ -48,6 +49,7 @@ _LOCATIONS = {
     "VerifyIXRequest": "repro.ui.interaction",
     "NL2CMSession": "repro.ui.session",
     "SessionEntry": "repro.ui.session",
+    "render_service_stats": "repro.ui.admin",
 }
 
 

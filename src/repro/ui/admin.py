@@ -1,0 +1,79 @@
+"""Admin-monitor rendering of the serving-layer statistics.
+
+The demo's admin mode (Section 4.2) gives "a peek under the hood" of a
+single translation; :func:`render_service_stats` is the same peek for
+the serving layer — request counters, cache effectiveness and per-stage
+latency aggregates of a :class:`~repro.service.service.ServiceStats`
+snapshot, as a plain-text panel the CLI and examples can print.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.service import ServiceStats
+
+__all__ = ["render_service_stats"]
+
+# Aggregated stages first (the ix-detection entry subsumes its
+# finder/creator sub-steps), then everything else alphabetically.
+_STAGE_ORDER = (
+    "verification", "nl-parsing", "ix-finder", "ix-creator",
+    "ix-detection", "general-query-generator",
+    "individual-triple-creation", "query-composition", "final-query",
+)
+
+
+def _rows_to_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def render_service_stats(stats: "ServiceStats") -> str:
+    """A plain-text admin panel for a service stats snapshot."""
+    lines = ["== translation service =="]
+    lines.append(
+        f"requests: {stats.requests}  "
+        f"translated: {stats.translated}  "
+        f"from cache: {stats.served_from_cache}  "
+        f"errors: {stats.errors}"
+    )
+    lines.append(
+        f"workers: {stats.workers}  "
+        f"batches: {stats.batches}  "
+        f"batch throughput: {stats.batch_throughput_qps:.1f} q/s  "
+        f"mean translation: {stats.mean_translation_ms:.1f} ms"
+    )
+    if stats.cache is not None:
+        c = stats.cache
+        lines.append(
+            f"cache: {c.size}/{c.capacity} entries  "
+            f"hits: {c.hits}  misses: {c.misses}  "
+            f"evictions: {c.evictions}  "
+            f"hit rate: {c.hit_rate:.1%}"
+        )
+    else:
+        lines.append("cache: disabled")
+
+    if stats.stages:
+        ordered = [s for s in _STAGE_ORDER if s in stats.stages]
+        ordered += sorted(set(stats.stages) - set(ordered))
+        rows = [
+            [stage, f"{stats.stages[stage].mean_ms:.2f}",
+             str(stats.stages[stage].count)]
+            for stage in ordered
+        ]
+        lines.append("")
+        lines.append(_rows_to_table(["stage", "mean ms", "n"], rows))
+    return "\n".join(lines)

@@ -147,6 +147,19 @@ class AutoInteraction:
         self.default_limit = default_limit
         self.default_threshold = default_threshold
 
+    def cache_fingerprint(self) -> str:
+        """Stable identity for the translation cache.
+
+        Two translations under providers with equal fingerprints answer
+        every interaction identically, so their results are
+        interchangeable.  Stateful providers (scripted, console) define
+        no fingerprint and therefore bypass the cache.
+        """
+        return (
+            f"auto:limit={self.default_limit}"
+            f":threshold={self.default_threshold}"
+        )
+
     def ask(self, request: InteractionRequest) -> Any:
         if isinstance(request, LimitRequest):
             return self.default_limit

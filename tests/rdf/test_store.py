@@ -49,6 +49,46 @@ class TestMutation:
         with pytest.raises(TypeError):
             s.add(A, P, "oops")  # type: ignore[arg-type]
 
+    def test_remove_prunes_empty_index_rows(self):
+        # Regression: remove() used to leave empty nested dicts/sets
+        # behind, so wildcard scans and count() slowed down after churn.
+        s = TripleStore()
+        s.add(A, P, B)
+        s.remove(A, P, B)
+        assert s._spo == {}
+        assert s._pos == {}
+        assert s._osp == {}
+        assert len(s) == 0
+        assert s.count() == 0
+
+    def test_remove_keeps_sibling_entries(self):
+        s = TripleStore()
+        s.add(A, P, B)
+        s.add(A, P, C)
+        s.add(A, Q, B)
+        s.remove(A, P, B)
+        assert (A, P, C) in s
+        assert (A, Q, B) in s
+        assert s.count(A, None, None) == 2
+        # Only the (P, B) rows emptied; the subject row survives.
+        assert A in s._spo and P in s._spo[A]
+        assert B not in s._pos.get(P, {})
+
+    def test_churn_leaves_no_empty_rows(self):
+        s = TripleStore()
+        subjects = [IRI(f"http://x/s{i}") for i in range(20)]
+        for subj in subjects:
+            s.add(subj, P, B)
+            s.add(subj, Q, C)
+        for subj in subjects:
+            s.remove(subj, P, B)
+            s.remove(subj, Q, C)
+        assert len(s) == 0
+        assert s._spo == {} and s._pos == {} and s._osp == {}
+        # Interleaved re-adds still behave.
+        assert s.add(A, P, B) is True
+        assert s.count(None, P, None) == 1
+
 
 class TestPatterns:
     def test_fully_bound(self, store):
