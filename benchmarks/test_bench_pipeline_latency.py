@@ -13,13 +13,14 @@ from repro.eval.harness import format_table
 
 STAGES = ("verification", "nl-parsing", "ix-finder", "ix-creator",
           "ix-detection", "general-query-generator",
-          "individual-triple-creation", "query-composition", "final-query")
+          "individual-triple-creation", "query-composition",
+          "query-lint", "final-query")
 
 # Stages that add up to the wall-clock total ("ix-detection" aggregates
 # the finder/creator sub-steps, which are shown as their own rows).
 TOTAL_STAGES = ("verification", "nl-parsing", "ix-detection",
                 "general-query-generator", "individual-triple-creation",
-                "query-composition", "final-query")
+                "query-composition", "query-lint", "final-query")
 
 
 def test_bench_stage_latency(nl2cm, report_writer):
@@ -42,6 +43,8 @@ def test_bench_stage_latency(nl2cm, report_writer):
 
     # The pipeline is interactive-speed (well under a second).
     assert total / n < 1.0
+    # Static analysis must stay in the noise: < 5% of the mean total.
+    assert totals["query-lint"] < 0.05 * total
 
 
 def test_bench_length_scaling(nl2cm, report_writer):

@@ -26,11 +26,23 @@ Executing the translated query against a simulated crowd::
         print(binding["x"].local_name)
 """
 
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    PatternLint,
+    QueryLint,
+    Severity,
+)
 from repro.core.pipeline import NL2CM, TranslationResult
 from repro.core.verification import VerificationResult
 from repro.crowd.model import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
-from repro.errors import ReproError, TranslationError, VerificationError
+from repro.errors import (
+    QueryLintError,
+    ReproError,
+    TranslationError,
+    VerificationError,
+)
 from repro.oassis.engine import EngineConfig, OassisEngine, QueryResult
 from repro.oassisql import OassisQuery, parse_oassisql, print_oassisql
 from repro.service import (
@@ -64,8 +76,14 @@ __all__ = [
     "AutoInteraction",
     "ScriptedInteraction",
     "ConsoleInteraction",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "QueryLint",
+    "PatternLint",
     "ReproError",
     "TranslationError",
     "VerificationError",
+    "QueryLintError",
     "__version__",
 ]

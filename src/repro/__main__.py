@@ -16,6 +16,16 @@ Batch mode reads one question per line (blank lines and ``#`` comments
 skipped), translates them through the caching
 :class:`~repro.service.TranslationService` with ``--workers`` threads,
 and prints each query; ``--admin`` appends the service stats panel.
+
+Static analysis (exit status 1 when any ERROR-level diagnostic fires)::
+
+    python -m repro --lint query.oql        # one saved OASSIS-QL query
+    python -m repro --lint questions.txt    # translate + lint each line
+    python -m repro --lint-patterns         # the IX pattern bank
+    python -m repro --lint q.oql --lint-report counts.json
+
+``--lint`` sniffs the file: if the first non-comment line starts with
+``SELECT`` it is a query file, otherwise a question batch.
 """
 
 from __future__ import annotations
@@ -66,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-size", type=int, default=256,
                         help="translation cache capacity for --batch "
                              "(0 disables caching)")
+    parser.add_argument("--lint", metavar="FILE",
+                        help="statically analyze FILE (an OASSIS-QL "
+                             "query, or a question batch to translate "
+                             "and lint); exit 1 on errors")
+    parser.add_argument("--lint-patterns", action="store_true",
+                        help="statically analyze the IX detection "
+                             "pattern bank; exit 1 on errors")
+    parser.add_argument("--lint-report", metavar="FILE",
+                        help="also write the diagnostic counts of a "
+                             "lint run to FILE as JSON")
     return parser
 
 
@@ -154,8 +174,72 @@ def run_batch(nl2cm: NL2CM, args) -> int:
     return 1 if failed else 0
 
 
+def _looks_like_query(text: str) -> bool:
+    """True when the first non-comment line is an OASSIS-QL SELECT."""
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        return stripped.upper().startswith("SELECT")
+    return False
+
+
+def run_lint(args) -> int:
+    import json
+
+    from repro.analysis import (
+        LintOutcome,
+        lint_pattern_bank,
+        lint_query_source,
+        lint_questions,
+    )
+
+    outcome = LintOutcome()
+    if args.lint_patterns:
+        outcome.reports.extend(lint_pattern_bank().reports)
+    if args.lint:
+        path = Path(args.lint)
+        try:
+            text = path.read_text("utf-8")
+        except OSError as err:
+            print(f"cannot read lint file: {err}", file=sys.stderr)
+            return 2
+        if _looks_like_query(text):
+            sub = lint_query_source(
+                text,
+                ontology=load_merged_ontology(),
+                subject=path.name,
+            )
+        else:
+            questions = [
+                line.strip() for line in text.splitlines()
+                if line.strip() and not line.lstrip().startswith("#")
+            ]
+            if not questions:
+                print("lint file contains no questions", file=sys.stderr)
+                return 2
+            sub = lint_questions(
+                questions, NL2CM(ontology=load_merged_ontology())
+            )
+        outcome.reports.extend(sub.reports)
+    print(outcome.render())
+    if args.lint_report:
+        try:
+            Path(args.lint_report).write_text(
+                json.dumps(outcome.counts(), indent=2) + "\n", "utf-8"
+            )
+        except OSError as err:
+            print(f"cannot write lint report: {err}", file=sys.stderr)
+            return 2
+    return outcome.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.lint or args.lint_patterns:
+        return run_lint(args)
+
     interaction = ConsoleInteraction() if args.interactive else None
     ontology = load_merged_ontology()
     nl2cm = NL2CM(ontology=ontology, interaction=interaction)

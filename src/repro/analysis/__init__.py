@@ -1,0 +1,66 @@
+"""Static analysis for OASSIS-QL queries and IX detection patterns.
+
+The cheap gate in front of crowd execution: a translated query that is
+syntactically fine but semantically broken — unbound SATISFYING
+variables, a cartesian WHERE product, predicates the ontology has never
+heard of — would burn (simulated) crowd budget before anyone noticed.
+Two analyzers share one diagnostic core:
+
+* :class:`QueryLint` — rule-based checks over
+  :class:`~repro.oassisql.ast.OassisQuery` ASTs;
+* :class:`PatternLint` — checks over the IX detection pattern bank.
+
+Quickstart::
+
+    from repro.analysis import QueryLint
+    from repro.oassisql import parse_oassisql
+
+    report = QueryLint().lint(parse_oassisql(text))
+    for diagnostic in report.diagnostics:
+        print(diagnostic.render())
+
+Rules are declared in :data:`~repro.analysis.querylint.QUERY_RULES` /
+:data:`~repro.analysis.patternlint.PATTERN_RULES`; a
+:class:`RuleRegistry` lets an administrator disable rules or override
+severities without touching analyzer code.  The rule catalog lives in
+``docs/query-lint.md``.
+"""
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Location,
+    Severity,
+)
+from repro.analysis.patternlint import PATTERN_RULES, PatternLint
+from repro.analysis.querylint import QUERY_RULES, QueryLint, query_locations
+from repro.analysis.registry import Rule, RuleRegistry
+from repro.analysis.runner import (
+    LintOutcome,
+    lint_pattern_bank,
+    lint_query_source,
+    lint_questions,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "Location",
+    "Severity",
+    "Rule",
+    "RuleRegistry",
+    "QueryLint",
+    "QUERY_RULES",
+    "PatternLint",
+    "PATTERN_RULES",
+    "LintOutcome",
+    "lint_query_source",
+    "lint_questions",
+    "lint_pattern_bank",
+    "default_registry",
+]
+
+
+def default_registry() -> RuleRegistry:
+    """A registry holding every rule of both analyzers."""
+    return RuleRegistry(QUERY_RULES + PATTERN_RULES)

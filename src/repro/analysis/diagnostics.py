@@ -1,0 +1,165 @@
+"""The diagnostic core shared by QueryLint and PatternLint.
+
+A static-analysis pass reports :class:`Diagnostic` records — rule id,
+severity, human message, an optional :class:`Location` into the analyzed
+artifact and an optional fix hint — collected into an
+:class:`AnalysisReport`.  The report is the unit the pipeline stores in
+its trace, the serving layer counts, and the CLI renders.
+
+Severities follow the usual compiler convention: ERROR means the query
+(or pattern bank) must not be shipped to the crowd engine; WARNING means
+it will run but almost certainly not as intended; INFO is stylistic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Location", "Diagnostic", "AnalysisReport"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, value: "Severity | str") -> "Severity":
+        """Accept a member or its (case-insensitive) name."""
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls[value.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {value!r} (expected one of "
+                f"{', '.join(m.name for m in cls)})"
+            ) from None
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """Where in the analyzed artifact a diagnostic points.
+
+    ``path`` addresses the AST node (``where[1]``,
+    ``satisfying[0].triples[2]``, ``pattern lexical_opinion``); ``line``
+    is the 1-based line of the canonical printed form, when the artifact
+    has one (the printer/parser round-trip guarantees the printed text
+    is faithful, so lines are stable coordinates).
+    """
+
+    path: str
+    line: int | None = None
+
+    def __str__(self) -> str:
+        if self.line is None:
+            return self.path
+        return f"{self.path} (line {self.line})"
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding of a static-analysis rule."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location | None = None
+    hint: str | None = None
+
+    def render(self) -> str:
+        """One- or two-line human rendering, ``severity [rule] ...``."""
+        where = f" at {self.location}" if self.location else ""
+        text = f"{self.severity} [{self.rule}] {self.message}{where}"
+        if self.hint:
+            text += f"\n  hint: {self.hint}"
+        return text
+
+
+@dataclass
+class AnalysisReport:
+    """All diagnostics one analyzer produced for one subject.
+
+    ``subject`` names what was analyzed — a question, a query file, the
+    pattern bank — so reports remain readable when aggregated.
+    """
+
+    subject: str = "query"
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: "AnalysisReport | list[Diagnostic]") -> None:
+        if isinstance(diagnostics, AnalysisReport):
+            diagnostics = diagnostics.diagnostics
+        self.diagnostics.extend(diagnostics)
+
+    # -- queries -------------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing at all was reported."""
+        return not self.diagnostics
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        """Severity name -> count (always includes all three keys)."""
+        out = {str(s): 0 for s in Severity}
+        for d in self.diagnostics:
+            out[str(d.severity)] += 1
+        return out
+
+    def rules_fired(self) -> list[str]:
+        """Distinct rule ids, in first-fired order."""
+        seen: dict[str, None] = {}
+        for d in self.diagnostics:
+            seen.setdefault(d.rule, None)
+        return list(seen)
+
+    # -- rendering ------------------------------------------------------------
+
+    def summary(self) -> str:
+        c = self.counts()
+        return (
+            f"{self.subject}: {c['error']} error(s), "
+            f"{c['warning']} warning(s), {c['info']} info(s)"
+        )
+
+    def render(self) -> str:
+        """Plain-text rendering: one diagnostic per block plus summary."""
+        if self.ok:
+            return f"{self.subject}: no diagnostics"
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)

@@ -1,0 +1,369 @@
+"""PatternLint: static analysis of the IX detection pattern bank.
+
+Detection patterns are *data* (``repro/data/ix_patterns.txt``) that an
+administrator edits without touching the matcher — which is exactly why
+they deserve a linter: a typo'd vocabulary name or an impossible POS
+comparison silently turns a pattern into dead weight, and the system
+just stops detecting that individuality type.
+
+PatternLint analyzes a whole bank at once, so it can also catch
+cross-pattern problems (duplicate names, structurally overlapping
+patterns).  Within one pattern it checks:
+
+* filters referencing variables no edge declares;
+* capture variables that constrain nothing (one edge mention, not the
+  anchor, unused by the filter);
+* vocabulary references that are unknown or empty;
+* ``POS($x)`` comparisons against classes the tagger can never produce
+  and conjunctions that are statically unsatisfiable — patterns that
+  can never fire.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.diagnostics import AnalysisReport, Location, Severity
+from repro.analysis.registry import Rule, RuleRegistry
+from repro.core.ixpatterns import (
+    IXPattern,
+    PatternFilter,
+    achievable_pos_classes,
+)
+from repro.data.vocabularies import VocabularyRegistry
+
+__all__ = ["PATTERN_RULES", "PatternLint"]
+
+_E = Severity.ERROR
+_W = Severity.WARNING
+
+#: Every PatternLint rule, in catalog order (see docs/query-lint.md).
+PATTERN_RULES: list[Rule] = [
+    Rule("duplicate-pattern-name", "pattern", _E,
+         "two patterns share a name; matches become unattributable"),
+    Rule("filter-undeclared-variable", "pattern", _E,
+         "the filter references a variable no edge declares"),
+    Rule("edge-free-multi-variable", "pattern", _E,
+         "an edge-free pattern must use exactly one variable"),
+    Rule("unknown-vocabulary", "pattern", _E,
+         "the filter references a vocabulary the registry does not "
+         "know"),
+    Rule("empty-vocabulary", "pattern", _W,
+         "the filter tests membership in an empty vocabulary"),
+    Rule("unconstrained-variable", "pattern", _W,
+         "a variable is mentioned by one edge only and never "
+         "constrained"),
+    Rule("unreachable-pos-class", "pattern", _W,
+         "POS() is compared against a class the tagger never produces"),
+    Rule("contradictory-filter", "pattern", _W,
+         "the filter requires one node function to equal two different "
+         "constants"),
+    Rule("disconnected-pattern", "pattern", _W,
+         "the edge set splits into unconnected variable groups "
+         "(cartesian matching)"),
+    Rule("overlapping-pattern", "pattern", _W,
+         "two patterns have the same structure; one duplicates or "
+         "subsumes the other"),
+]
+
+
+def _pattern_location(pattern: IXPattern) -> Location:
+    return Location(f"pattern {pattern.name}")
+
+
+class PatternLint:
+    """Rule-based static analyzer for IX pattern banks.
+
+    Args:
+        vocabularies: the registry patterns resolve ``V_name`` against;
+            omit to skip the vocabulary rules.
+        registry: a configured :class:`RuleRegistry`; a fresh one with
+            every pattern rule at default severity if omitted.
+    """
+
+    def __init__(
+        self,
+        vocabularies: VocabularyRegistry | None = None,
+        registry: RuleRegistry | None = None,
+    ):
+        self.vocabularies = vocabularies
+        self.registry = registry or RuleRegistry(PATTERN_RULES)
+
+    def lint(
+        self,
+        patterns: list[IXPattern],
+        subject: str = "pattern bank",
+    ) -> AnalysisReport:
+        """Analyze a whole bank; never raises on pattern content."""
+        report = AnalysisReport(subject=subject)
+        names = Counter(p.name for p in patterns)
+        for name, count in sorted(names.items()):
+            if count > 1:
+                self.registry.emit(
+                    report, "duplicate-pattern-name",
+                    f"{count} patterns are named {name!r}",
+                    Location(f"pattern {name}"),
+                    hint="give each pattern a unique name",
+                )
+        for pattern in patterns:
+            self._check_variables(pattern, report)
+            self._check_filter(pattern, report)
+            self._check_connectivity(pattern, report)
+        self._check_overlaps(patterns, report)
+        return report
+
+    # -- per-pattern variable dataflow ---------------------------------------
+
+    def _check_variables(self, pattern: IXPattern, report) -> None:
+        edge_vars: Counter[str] = Counter()
+        for edge in pattern.edges:
+            edge_vars[edge.head] += 1
+            edge_vars[edge.dependent] += 1
+        filter_vars = (
+            pattern.filter.variables() if pattern.filter else set()
+        )
+
+        if not pattern.edges:
+            if len(pattern.variables()) != 1:
+                self.registry.emit(
+                    report, "edge-free-multi-variable",
+                    f"edge-free pattern uses "
+                    f"{len(pattern.variables())} variables",
+                    _pattern_location(pattern),
+                    hint="an edge-free pattern matches single nodes; "
+                         "use one variable",
+                )
+            return
+
+        for name in sorted(filter_vars - set(edge_vars)):
+            self.registry.emit(
+                report, "filter-undeclared-variable",
+                f"filter references ${name}, but no edge mentions it",
+                _pattern_location(pattern),
+                hint=f"add an edge constraining ${name} or fix the "
+                     f"variable name",
+            )
+        for name in sorted(edge_vars):
+            if (
+                edge_vars[name] == 1
+                and name != pattern.anchor
+                and name not in filter_vars
+            ):
+                self.registry.emit(
+                    report, "unconstrained-variable",
+                    f"${name} appears in one edge and is never "
+                    f"constrained or anchored",
+                    _pattern_location(pattern),
+                    hint=f"constrain ${name} in the filter or drop the "
+                         f"edge",
+                )
+
+    # -- filter semantics ----------------------------------------------------
+
+    def _check_filter(self, pattern: IXPattern, report) -> None:
+        if pattern.filter is None:
+            return
+        location = _pattern_location(pattern)
+
+        for vocab_name in sorted(_vocabulary_refs(pattern.filter)):
+            if self.vocabularies is None:
+                continue
+            if vocab_name not in self.vocabularies:
+                self.registry.emit(
+                    report, "unknown-vocabulary",
+                    f"filter tests membership in {vocab_name}, which is "
+                    f"not registered",
+                    location,
+                    hint="known vocabularies: "
+                         + ", ".join(self.vocabularies.names()),
+                )
+            elif len(self.vocabularies[vocab_name]) == 0:
+                self.registry.emit(
+                    report, "empty-vocabulary",
+                    f"{vocab_name} is empty; the membership test never "
+                    f"holds",
+                    location,
+                    hint=f"populate {vocab_name} or drop the test",
+                )
+
+        classes = achievable_pos_classes()
+        for value in _pos_comparisons(pattern.filter):
+            if value not in classes:
+                self.registry.emit(
+                    report, "unreachable-pos-class",
+                    f'POS() can never equal "{value}"',
+                    location,
+                    hint="achievable classes include: "
+                         + ", ".join(sorted(
+                             c for c in classes if c.isalpha()
+                         )),
+                )
+
+        for fn, var, values in _contradictions(pattern.filter):
+            rendered = ", ".join(f'"{v}"' for v in values)
+            self.registry.emit(
+                report, "contradictory-filter",
+                f"{fn}(${var}) is required to equal {rendered} at once",
+                location,
+                hint="use || between alternative values",
+            )
+
+    # -- structure -----------------------------------------------------------
+
+    def _check_connectivity(self, pattern: IXPattern, report) -> None:
+        if len(pattern.edges) < 2:
+            return
+        groups: list[set[str]] = []
+        for edge in pattern.edges:
+            touching = [
+                g for g in groups
+                if edge.head in g or edge.dependent in g
+            ]
+            merged = {edge.head, edge.dependent}
+            for g in touching:
+                merged |= g
+                groups.remove(g)
+            groups.append(merged)
+        if len(groups) > 1:
+            self.registry.emit(
+                report, "disconnected-pattern",
+                f"the edges form {len(groups)} unconnected variable "
+                f"groups",
+                _pattern_location(pattern),
+                hint="connect the groups through a shared variable; "
+                     "disconnected groups match all combinations",
+            )
+
+    def _check_overlaps(self, patterns: list[IXPattern], report) -> None:
+        by_shape: dict[tuple, list[IXPattern]] = {}
+        for pattern in patterns:
+            by_shape.setdefault(_shape_key(pattern), []).append(pattern)
+        for group in by_shape.values():
+            if len(group) < 2:
+                continue
+            first = group[0]
+            for other in group[1:]:
+                first_filter = _normalized_filter(first)
+                other_filter = _normalized_filter(other)
+                if first_filter == other_filter:
+                    relation = "duplicates"
+                elif first_filter is None or other_filter is None:
+                    relation = "is subsumed by" if (
+                        other_filter is not None
+                    ) else "subsumes"
+                else:
+                    continue  # same shape, genuinely different filters
+                self.registry.emit(
+                    report, "overlapping-pattern",
+                    f"pattern {other.name!r} {relation} pattern "
+                    f"{first.name!r}",
+                    _pattern_location(other),
+                    hint="merge the patterns or differentiate their "
+                         "filters",
+                )
+
+
+# ---------------------------------------------------------------------------
+# Filter-tree walks
+# ---------------------------------------------------------------------------
+
+def _walk(filter_expr: PatternFilter):
+    yield filter_expr
+    for arg in filter_expr.args:
+        if isinstance(arg, PatternFilter):
+            yield from _walk(arg)
+
+
+def _vocabulary_refs(filter_expr: PatternFilter) -> set[str]:
+    return {
+        node.args[1] for node in _walk(filter_expr) if node.op == "in"
+    }
+
+
+def _pos_comparisons(filter_expr: PatternFilter) -> list[str]:
+    """Constants that ``POS($x)`` is compared to with ``=``/``!=``."""
+    out: list[str] = []
+    for node in _walk(filter_expr):
+        if node.op != "cmp":
+            continue
+        _, left, right = node.args
+        for a, b in ((left, right), (right, left)):
+            if (
+                a.op == "func" and a.args[0] == "POS"
+                and b.op == "const"
+            ):
+                out.append(b.args[0])
+    return out
+
+
+def _conjuncts(filter_expr: PatternFilter) -> list[PatternFilter]:
+    if filter_expr.op == "and":
+        out: list[PatternFilter] = []
+        for arg in filter_expr.args:
+            out.extend(_conjuncts(arg))
+        return out
+    return [filter_expr]
+
+
+def _contradictions(filter_expr: PatternFilter):
+    """(fn, var, sorted values) for functions pinned to >1 constant."""
+    pinned: dict[tuple[str, str], set[str]] = {}
+    for node in _conjuncts(filter_expr):
+        if node.op != "cmp" or node.args[0] != "=":
+            continue
+        _, left, right = node.args
+        for a, b in ((left, right), (right, left)):
+            if a.op == "func" and b.op == "const":
+                pinned.setdefault(tuple(a.args), set()).add(b.args[0])
+    for (fn, var), values in sorted(pinned.items()):
+        if len(values) > 1:
+            yield fn, var, sorted(values)
+
+
+# ---------------------------------------------------------------------------
+# Structural normalization (for overlap detection)
+# ---------------------------------------------------------------------------
+
+def _renamer(pattern: IXPattern) -> dict[str, str]:
+    """Canonical variable names, in order of appearance in the edges."""
+    mapping: dict[str, str] = {}
+
+    def rename(name: str) -> str:
+        if name not in mapping:
+            mapping[name] = f"v{len(mapping)}"
+        return mapping[name]
+
+    for edge in pattern.edges:
+        rename(edge.head)
+        rename(edge.dependent)
+    rename(pattern.anchor)
+    for name in sorted(pattern.variables()):
+        rename(name)
+    return mapping
+
+
+def _shape_key(pattern: IXPattern) -> tuple:
+    mapping = _renamer(pattern)
+    edges = tuple(
+        (mapping[e.head], e.label, mapping[e.dependent])
+        for e in pattern.edges
+    )
+    return (pattern.ix_type, edges, mapping[pattern.anchor])
+
+
+def _normalized_filter(pattern: IXPattern):
+    if pattern.filter is None:
+        return None
+    mapping = _renamer(pattern)
+
+    def normalize(node: PatternFilter) -> tuple:
+        if node.op == "func":
+            fn, var = node.args
+            return ("func", fn, mapping.get(var, var))
+        args = tuple(
+            normalize(a) if isinstance(a, PatternFilter) else a
+            for a in node.args
+        )
+        return (node.op, args)
+
+    return normalize(pattern.filter)

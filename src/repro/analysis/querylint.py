@@ -1,0 +1,476 @@
+"""QueryLint: static analysis of OASSIS-QL query ASTs.
+
+The paper's value proposition is that the translated query is
+*well-formed and faithful* before it is shipped to an expensive crowd
+(Sections 2-3).  ``OassisQuery.validate()`` checks only the hard
+structural constraints; QueryLint adds the semantic checks that separate
+an executable query from one that silently burns crowd budget:
+
+* **dataflow** — projected SELECT variables must be bound somewhere,
+  SATISFYING variables must be bound in WHERE or locally within their
+  fact-set (the composition rules of Section 2.6);
+* **connectivity** — a WHERE basic-graph-pattern split into several
+  variable-disjoint components is a cartesian product;
+* **ontology awareness** — WHERE predicates and entity IRIs must
+  resolve against the loaded ontology (SATISFYING triples are exempt:
+  their relations are crowd relations, not ontology properties);
+* **SATISFYING sanity** — duplicate fact-set triples, ``[]`` as both
+  subject and object, contradictory qualifiers over the same fact-set,
+  thresholds outside (0, 1], non-positive LIMITs;
+* **dead/shadowed triples** — fully ground WHERE triples and exact
+  duplicates that cannot change the result.
+
+Locations carry both an AST path and the 1-based line of the canonical
+printed text (:func:`query_locations`); the printer/parser round-trip
+(under test) makes those line numbers stable coordinates.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import AnalysisReport, Location, Severity
+from repro.analysis.registry import Rule, RuleRegistry
+from repro.oassisql.ast import (
+    Anything,
+    OassisQuery,
+    QueryTriple,
+    SupportThreshold,
+    TopK,
+)
+from repro.oassisql.printer import format_triple
+from repro.rdf.ontology import Ontology
+from repro.rdf.terms import IRI, Literal, Variable
+
+__all__ = ["QUERY_RULES", "QueryLint", "query_locations"]
+
+_E = Severity.ERROR
+_W = Severity.WARNING
+
+#: Every QueryLint rule, in catalog order (see docs/query-lint.md).
+QUERY_RULES: list[Rule] = [
+    Rule("empty-query", "query", _E,
+         "the query has neither a WHERE nor a SATISFYING clause"),
+    Rule("select-unknown-variable", "query", _E,
+         "SELECT projects a variable bound nowhere in the query"),
+    Rule("satisfying-unbound-variable", "query", _E,
+         "a SATISFYING variable is bound neither in WHERE nor locally "
+         "in its fact-set"),
+    Rule("where-cartesian-product", "query", _W,
+         "the WHERE pattern splits into variable-disjoint components "
+         "(cartesian product)"),
+    Rule("where-ground-triple", "query", _W,
+         "a WHERE triple has no variables: it is a constant gate, not "
+         "a selection"),
+    Rule("where-duplicate-triple", "query", _W,
+         "a WHERE triple repeats an earlier one (shadowed filter)"),
+    Rule("anything-in-where", "query", _E,
+         "the [] wildcard is a SATISFYING construct; WHERE is evaluated "
+         "against the ontology"),
+    Rule("anything-sole-terms", "query", _E,
+         "[] appears as both subject and object of one triple"),
+    Rule("invalid-predicate-term", "query", _E,
+         "a literal or [] cannot be a predicate"),
+    Rule("literal-subject", "query", _W,
+         "a literal as triple subject matches nothing"),
+    Rule("duplicate-fact-triple", "query", _W,
+         "a fact-set repeats a triple: the crowd is asked twice"),
+    Rule("duplicate-fact-set", "query", _W,
+         "two SATISFYING subclauses mine the same fact-set"),
+    Rule("contradictory-qualifiers", "query", _E,
+         "identical fact-sets carry conflicting support qualifiers"),
+    Rule("threshold-out-of-range", "query", _E,
+         "a support threshold outside (0, 1] accepts everything or "
+         "nothing"),
+    Rule("limit-not-positive", "query", _E,
+         "LIMIT must be a positive number of patterns"),
+    Rule("unknown-predicate", "query", _W,
+         "a WHERE predicate is not a property of the loaded ontology"),
+    Rule("unknown-entity", "query", _W,
+         "a WHERE entity IRI does not resolve against the loaded "
+         "ontology"),
+]
+
+
+def query_locations(query: OassisQuery) -> dict[str, int]:
+    """AST path -> 1-based line in ``print_oassisql(query)``.
+
+    Mirrors the printer's Figure 1 layout exactly (one triple per line,
+    clause keywords on their own lines, ``AND`` between subclauses, two
+    lines for a top-k qualifier) — the property the round-trip tests
+    pin down.
+    """
+    lines: dict[str, int] = {}
+    n = 1
+    lines["select"] = n
+    if query.where:
+        n += 1  # the WHERE keyword line
+        for i in range(len(query.where)):
+            n += 1
+            lines[f"where[{i}]"] = n
+    if query.satisfying:
+        n += 1  # the SATISFYING keyword line
+        for ci, clause in enumerate(query.satisfying):
+            if ci:
+                n += 1  # the AND line
+            for ti in range(len(clause.triples)):
+                n += 1
+                if ti == 0:
+                    lines[f"satisfying[{ci}]"] = n
+                lines[f"satisfying[{ci}].triples[{ti}]"] = n
+            n += 1
+            lines[f"satisfying[{ci}].qualifier"] = n
+            if isinstance(clause.qualifier, TopK):
+                n += 1  # the LIMIT line
+    return lines
+
+
+class QueryLint:
+    """Rule-based static analyzer for :class:`OassisQuery` ASTs.
+
+    Args:
+        ontology: enables the ontology-aware rules; omit to run the
+            purely structural rules only.
+        registry: a configured :class:`RuleRegistry`; a fresh one with
+            every query rule at default severity if omitted.
+    """
+
+    def __init__(
+        self,
+        ontology: Ontology | None = None,
+        registry: RuleRegistry | None = None,
+    ):
+        self.ontology = ontology
+        self.registry = registry or RuleRegistry(QUERY_RULES)
+        # Entity resolution scans the triple store; queries keep
+        # mentioning the same handful of IRIs, so memoize per linter.
+        self._entity_cache: dict[IRI, bool] = {}
+
+    def lint(self, query: OassisQuery, subject: str = "query"
+             ) -> AnalysisReport:
+        """Run every enabled rule; never raises on query content."""
+        report = AnalysisReport(subject=subject)
+        # Line numbers are only needed when something fires; clean
+        # queries (the common case) skip the layout computation.
+        lines: dict[str, int] | None = None
+
+        def loc(path: str) -> Location:
+            nonlocal lines
+            if lines is None:
+                lines = query_locations(query)
+            return Location(path, line=lines.get(path))
+
+        self._check_clauses_present(query, report, loc)
+        where_vars = self._check_where(query, report, loc)
+        satisfying_vars = self._check_satisfying(
+            query, report, loc, where_vars
+        )
+        self._check_select(query, report, loc, where_vars | satisfying_vars)
+        return report
+
+    # -- dataflow ------------------------------------------------------------
+
+    def _check_clauses_present(self, query, report, loc) -> None:
+        if not query.where and not query.satisfying:
+            self.registry.emit(
+                report, "empty-query",
+                "query has neither a WHERE nor a SATISFYING clause",
+                loc("select"),
+                hint="add a WHERE selection or a SATISFYING fact-set",
+            )
+
+    def _check_select(self, query, report, loc, known) -> None:
+        if query.select.projects_all:
+            return
+        for name in query.select.variables:
+            if name not in known:
+                self.registry.emit(
+                    report, "select-unknown-variable",
+                    f"SELECT projects ${name}, which no clause binds",
+                    loc("select"),
+                    hint=f"drop ${name} from SELECT or bind it in WHERE",
+                )
+
+    # -- WHERE: shape, terms and ontology in one pass ------------------------
+
+    def _check_where(self, query, report, loc) -> set[str]:
+        emit = self.registry.emit
+        ontology = self.ontology
+        # Triple hashing is the expensive part of duplicate detection;
+        # a single-triple WHERE cannot contain a duplicate, so skip it.
+        seen: dict[QueryTriple, int] | None = (
+            {} if len(query.where) > 1 else None
+        )
+        var_triples: list[tuple[int, set[str]]] = []
+        where_vars: set[str] = set()
+        for i, triple in enumerate(query.where):
+            path = f"where[{i}]"
+            if seen is not None:
+                if triple in seen:
+                    emit(
+                        report, "where-duplicate-triple",
+                        f"'{format_triple(triple)}' repeats the triple "
+                        f"at line {loc(f'where[{seen[triple]}]').line}",
+                        loc(path),
+                        hint="delete the repeated triple",
+                    )
+                else:
+                    seen[triple] = i
+            variables = triple.variables()
+            if variables:
+                var_triples.append((i, variables))
+                where_vars |= variables
+            else:
+                emit(
+                    report, "where-ground-triple",
+                    f"'{format_triple(triple)}' mentions no variable; "
+                    f"it can only switch the whole query on or off",
+                    loc(path),
+                    hint="remove it or replace a constant with a "
+                         "variable",
+                )
+            if isinstance(triple.s, Anything) or isinstance(
+                triple.o, Anything
+            ):
+                emit(
+                    report, "anything-in-where",
+                    f"'{format_triple(triple)}' uses [] inside WHERE",
+                    loc(path),
+                    hint="move the triple into a SATISFYING fact-set or "
+                         "use a variable",
+                )
+            self._check_triple_terms(triple, path, report, loc)
+            if ontology is not None:
+                if isinstance(triple.p, IRI) and (
+                    triple.p not in ontology.properties
+                ):
+                    emit(
+                        report, "unknown-predicate",
+                        f"'{triple.p.local_name}' is not a property of "
+                        f"the loaded ontology",
+                        loc(path),
+                        hint="check the spelling against the ontology's "
+                             "property list",
+                    )
+                for term in (triple.s, triple.o):
+                    if isinstance(term, IRI) and not self._entity_known(
+                        term
+                    ):
+                        emit(
+                            report, "unknown-entity",
+                            f"'{term.local_name}' does not resolve "
+                            f"against the loaded ontology",
+                            loc(path),
+                            hint="the WHERE clause can only select what "
+                                 "the ontology knows about",
+                        )
+
+        if len(var_triples) > 1:
+            components = _connected_components(var_triples)
+            if len(components) > 1:
+                parts = ", ".join(
+                    "{" + ", ".join(f"${v}" for v in sorted(vars_)) + "}"
+                    for _, vars_ in components
+                )
+                first_of_second = components[1][0][0]
+                emit(
+                    report, "where-cartesian-product",
+                    f"WHERE splits into {len(components)} "
+                    f"variable-disjoint components ({parts}); their "
+                    f"bindings multiply",
+                    loc(f"where[{first_of_second}]"),
+                    hint="join the components through a shared variable, "
+                         "or split the request into separate queries",
+                )
+        return where_vars
+
+    # -- SATISFYING: dataflow, terms, duplicates, qualifiers -----------------
+
+    def _check_satisfying(self, query, report, loc, where_vars
+                          ) -> set[str]:
+        emit = self.registry.emit
+        # One pass per clause: occurrence counts, crowd-bound names,
+        # duplicate triples, term checks and the qualifier, together.
+        per_clause: list[tuple[dict[str, int], set[str]]] = []
+        seen_sets: dict[frozenset[QueryTriple], tuple[int, object]] | None
+        seen_sets = {} if len(query.satisfying) > 1 else None
+        for ci, clause in enumerate(query.satisfying):
+            occurrences: dict[str, int] = {}
+            crowd_bound: set[str] = set()
+            first_seen: dict[QueryTriple, int] | None = (
+                {} if len(clause.triples) > 1 else None
+            )
+            for ti, triple in enumerate(clause.triples):
+                path = f"satisfying[{ci}].triples[{ti}]"
+                if first_seen is not None:
+                    if triple in first_seen:
+                        emit(
+                            report, "duplicate-fact-triple",
+                            f"'{format_triple(triple)}' repeats within "
+                            f"the fact-set",
+                            loc(path),
+                            hint="delete the repeated fact triple",
+                        )
+                    else:
+                        first_seen[triple] = ti
+                s, p, o = triple.s, triple.p, triple.o
+                open_fact = (
+                    isinstance(s, Anything) or isinstance(p, Anything)
+                    or isinstance(o, Anything)
+                )
+                if open_fact and isinstance(s, Anything) and isinstance(
+                    o, Anything
+                ):
+                    emit(
+                        report, "anything-sole-terms",
+                        f"'{format_triple(triple)}' projects out both "
+                        f"ends of the fact",
+                        loc(path),
+                        hint="name at least one side of the fact with "
+                             "an entity or a variable",
+                    )
+                for term in (s, p, o):
+                    if isinstance(term, Variable):
+                        name = term.name
+                        occurrences[name] = occurrences.get(name, 0) + 1
+                        # "[] buy $x" is an open fact: the [] wildcard
+                        # projects a participant out, the crowd's
+                        # answers bind $x (paper Section 2.1).
+                        if open_fact:
+                            crowd_bound.add(name)
+                self._check_triple_terms(triple, path, report, loc)
+            per_clause.append((occurrences, crowd_bound))
+
+            qualifier = clause.qualifier
+            qpath = f"satisfying[{ci}].qualifier"
+            if isinstance(qualifier, SupportThreshold):
+                if not 0.0 < qualifier.threshold <= 1.0:
+                    emit(
+                        report, "threshold-out-of-range",
+                        f"support threshold {qualifier.threshold!r} is "
+                        f"outside (0, 1]",
+                        loc(qpath),
+                        hint="support is a frequency; pick a value such "
+                             "as 0.1",
+                    )
+            elif isinstance(qualifier, TopK) and qualifier.k <= 0:
+                emit(
+                    report, "limit-not-positive",
+                    f"LIMIT {qualifier.k} returns no patterns",
+                    loc(qpath),
+                    hint="use a positive k, e.g. LIMIT 5",
+                )
+
+            if seen_sets is not None:
+                key = frozenset(clause.triples)
+                if key in seen_sets:
+                    first_ci, first_qualifier = seen_sets[key]
+                    if first_qualifier == qualifier:
+                        emit(
+                            report, "duplicate-fact-set",
+                            f"subclause #{ci + 1} repeats the fact-set "
+                            f"of subclause #{first_ci + 1}",
+                            loc(f"satisfying[{ci}]"),
+                            hint="delete the repeated subclause",
+                        )
+                    else:
+                        emit(
+                            report, "contradictory-qualifiers",
+                            f"subclauses #{first_ci + 1} and #{ci + 1} "
+                            f"mine the same fact-set under different "
+                            f"qualifiers",
+                            loc(qpath),
+                            hint="keep one qualifier per fact-set",
+                        )
+                else:
+                    seen_sets[key] = (ci, qualifier)
+
+        # Unbound-variable emission runs after the main pass: a variable
+        # may be bound by a *later* subclause (cross-subclause join).
+        satisfying_vars: set[str] = set()
+        for occurrences, _ in per_clause:
+            satisfying_vars.update(occurrences)
+        for ci, (occurrences, crowd_bound) in enumerate(per_clause):
+            elsewhere = set().union(
+                *(v for cj, (v, _) in enumerate(per_clause) if cj != ci),
+                where_vars,
+            ) if len(per_clause) > 1 else where_vars
+            for name in sorted(occurrences):
+                if name in where_vars:
+                    continue
+                if name in crowd_bound:
+                    continue  # bound by crowd answers to the open fact
+                if occurrences[name] >= 2:
+                    continue  # locally joined within the fact-set
+                if name in elsewhere:
+                    continue  # cross-subclause join (unusual but bound)
+                emit(
+                    report, "satisfying-unbound-variable",
+                    f"${name} occurs once in this fact-set and is not "
+                    f"bound in WHERE",
+                    loc(f"satisfying[{ci}]"),
+                    hint=f"add a WHERE triple such as "
+                         f"'${name} instanceOf <Class>', or project the "
+                         f"free participant with []",
+                )
+        return satisfying_vars
+
+    def _check_triple_terms(self, triple, path, report, loc) -> None:
+        if isinstance(triple.p, (Literal, Anything)):
+            self.registry.emit(
+                report, "invalid-predicate-term",
+                f"'{format_triple(triple)}' has "
+                f"{'[]' if isinstance(triple.p, Anything) else 'a literal'}"
+                f" in predicate position",
+                loc(path),
+                hint="predicates must be IRIs or variables",
+            )
+        if isinstance(triple.s, Literal):
+            self.registry.emit(
+                report, "literal-subject",
+                f"'{format_triple(triple)}' has a literal subject",
+                loc(path),
+                hint="literals can only appear in object position",
+            )
+
+    # -- ontology helpers ----------------------------------------------------
+
+    def _entity_known(self, iri: IRI) -> bool:
+        cached = self._entity_cache.get(iri)
+        if cached is not None:
+            return cached
+        ontology = self.ontology
+        known = (
+            iri in ontology.classes
+            or iri in ontology.properties
+            or ontology.store.count(iri, None, None) > 0
+            or ontology.store.count(None, None, iri) > 0
+        )
+        self._entity_cache[iri] = known
+        return known
+
+
+def _connected_components(
+    var_triples: list[tuple[int, set[str]]]
+) -> list[tuple[list[int], set[str]]]:
+    """Group variable-bearing triples by shared variables.
+
+    Returns (triple indexes, variables) per component, in order of the
+    first triple of each component.
+    """
+    components: list[tuple[list[int], set[str]]] = []
+    for index, variables in var_triples:
+        touching = [
+            c for c in components if c[1] & variables
+        ]
+        if not touching:
+            components.append(([index], set(variables)))
+            continue
+        merged_indexes, merged_vars = touching[0]
+        for other in touching[1:]:
+            merged_indexes.extend(other[0])
+            merged_vars |= other[1]
+            components.remove(other)
+        merged_indexes.append(index)
+        merged_vars |= variables
+    for indexes, _ in components:
+        indexes.sort()
+    return components

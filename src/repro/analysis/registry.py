@@ -1,0 +1,129 @@
+"""Rule registry: declaration, per-rule configuration, and emission.
+
+Every lint rule is declared once as a :class:`Rule` (stable id, default
+severity, one-line description).  A :class:`RuleRegistry` holds the
+declarations plus the administrator's configuration — rules can be
+disabled and their severity overridden without touching analyzer code,
+the same extensibility argument the paper makes for detection patterns.
+
+Analyzers never construct :class:`~repro.analysis.diagnostics.Diagnostic`
+records directly; they go through :meth:`RuleRegistry.emit`, which
+applies the configuration (and silently drops findings of disabled
+rules), so configuration is honoured uniformly across analyzers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Location,
+    Severity,
+)
+from repro.errors import LintConfigError
+
+__all__ = ["Rule", "RuleRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A lint rule declaration.
+
+    ``id`` is the stable kebab-case identifier diagnostics are tagged
+    with; ``analyzer`` names which analyzer owns it (``query`` /
+    ``pattern``); ``description`` is the catalog one-liner.
+    """
+
+    id: str
+    analyzer: str
+    severity: Severity
+    description: str
+
+
+class RuleRegistry:
+    """Declared rules plus enable/disable and severity overrides."""
+
+    def __init__(self, rules: list[Rule] = ()):  # type: ignore[assignment]
+        self._rules: dict[str, Rule] = {}
+        self._disabled: set[str] = set()
+        self._severity_overrides: dict[str, Severity] = {}
+        for rule in rules:
+            self.register(rule)
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise LintConfigError(f"rule {rule.id!r} already registered")
+        self._rules[rule.id] = rule
+        return rule
+
+    # -- introspection -------------------------------------------------------
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __getitem__(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise LintConfigError(f"unknown rule {rule_id!r}") from None
+
+    def rules(self, analyzer: str | None = None) -> list[Rule]:
+        """All declared rules (optionally one analyzer's), sorted by id."""
+        out = [
+            r for r in self._rules.values()
+            if analyzer is None or r.analyzer == analyzer
+        ]
+        return sorted(out, key=lambda r: r.id)
+
+    def is_enabled(self, rule_id: str) -> bool:
+        return self[rule_id].id not in self._disabled
+
+    def severity_of(self, rule_id: str) -> Severity:
+        rule = self[rule_id]
+        return self._severity_overrides.get(rule.id, rule.severity)
+
+    # -- configuration -------------------------------------------------------
+
+    def disable(self, rule_id: str) -> None:
+        self._disabled.add(self[rule_id].id)
+
+    def enable(self, rule_id: str) -> None:
+        self._disabled.discard(self[rule_id].id)
+
+    def override_severity(
+        self, rule_id: str, severity: Severity | str
+    ) -> None:
+        self._severity_overrides[self[rule_id].id] = Severity.parse(severity)
+
+    def reset_overrides(self) -> None:
+        self._disabled.clear()
+        self._severity_overrides.clear()
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(
+        self,
+        report: AnalysisReport,
+        rule_id: str,
+        message: str,
+        location: Location | None = None,
+        hint: str | None = None,
+    ) -> Diagnostic | None:
+        """Record one finding, honouring the configuration.
+
+        Returns the emitted diagnostic, or None when the rule is
+        disabled (nothing is recorded).
+        """
+        if not self.is_enabled(rule_id):
+            return None
+        diagnostic = Diagnostic(
+            rule=rule_id,
+            severity=self.severity_of(rule_id),
+            message=message,
+            location=location,
+            hint=hint,
+        )
+        report.add(diagnostic)
+        return diagnostic

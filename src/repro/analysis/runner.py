@@ -1,0 +1,185 @@
+"""Batch lint entry points shared by the CLI and the CI corpus job.
+
+Three front doors, all returning :class:`LintOutcome`:
+
+* :func:`lint_query_source` — one saved OASSIS-QL query text (parsed
+  *without* semantic validation, so lint can report what ``validate()``
+  would have raised, plus everything it would not);
+* :func:`lint_questions` — translate each NL question through a shared
+  :class:`~repro.core.pipeline.NL2CM` and lint the result (reusing the
+  pipeline's own lint report when the translator produced one);
+* :func:`lint_pattern_bank` — the IX pattern bank + vocabularies.
+
+A :class:`LintOutcome` aggregates the per-subject reports, knows the
+process exit code (nonzero iff any ERROR diagnostic) and serializes the
+diagnostic counts for the CI build artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import AnalysisReport, Location, Severity
+from repro.analysis.patternlint import PatternLint
+from repro.analysis.querylint import QueryLint
+from repro.core.ixdetect import load_default_patterns
+from repro.core.ixpatterns import IXPattern
+from repro.data.vocabularies import VocabularyRegistry, load_vocabularies
+from repro.errors import OassisQLSyntaxError, ReproError
+from repro.rdf.ontology import Ontology
+
+__all__ = [
+    "LintOutcome", "lint_query_source", "lint_questions",
+    "lint_pattern_bank",
+]
+
+
+@dataclass
+class LintOutcome:
+    """Aggregated result of one lint run over one or more subjects."""
+
+    reports: list[AnalysisReport] = field(default_factory=list)
+
+    def add(self, report: AnalysisReport) -> None:
+        self.reports.append(report)
+
+    @property
+    def errors(self) -> int:
+        return sum(len(r.errors) for r in self.reports)
+
+    @property
+    def warnings(self) -> int:
+        return sum(len(r.warnings) for r in self.reports)
+
+    @property
+    def infos(self) -> int:
+        return sum(len(r.infos) for r in self.reports)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no ERROR-level diagnostic was reported, else 1."""
+        return 1 if self.errors else 0
+
+    def counts(self) -> dict:
+        """JSON-ready summary (the CI job's build artifact)."""
+        by_rule: dict[str, int] = {}
+        for report in self.reports:
+            for diagnostic in report.diagnostics:
+                by_rule[diagnostic.rule] = (
+                    by_rule.get(diagnostic.rule, 0) + 1
+                )
+        return {
+            "subjects": len(self.reports),
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "infos": self.infos,
+            "rules": dict(sorted(by_rule.items())),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.reports)} subject(s): {self.errors} error(s), "
+            f"{self.warnings} warning(s), {self.infos} info(s)"
+        )
+
+    def render(self) -> str:
+        """All per-subject reports plus the aggregate summary line."""
+        blocks = [r.render() for r in self.reports]
+        blocks.append(self.summary())
+        return "\n\n".join(blocks)
+
+
+def lint_query_source(
+    text: str,
+    ontology: Ontology | None = None,
+    subject: str = "query",
+) -> LintOutcome:
+    """Lint one OASSIS-QL query text.
+
+    Syntax errors are reported as a ``syntax-error`` diagnostic rather
+    than raised, so a lint run over many files never aborts midway.
+    """
+    from repro.oassisql.parser import parse_oassisql
+
+    outcome = LintOutcome()
+    try:
+        query = parse_oassisql(text, validate=False)
+    except OassisQLSyntaxError as err:
+        report = AnalysisReport(subject=subject)
+        report.add(_syntax_diagnostic(err))
+        outcome.add(report)
+        return outcome
+    linter = QueryLint(ontology=ontology)
+    outcome.add(linter.lint(query, subject=subject))
+    return outcome
+
+
+def _syntax_diagnostic(err: OassisQLSyntaxError):
+    from repro.analysis.diagnostics import Diagnostic
+
+    location = (
+        Location("query", line=err.line) if err.line is not None else None
+    )
+    return Diagnostic(
+        rule="syntax-error",
+        severity=Severity.ERROR,
+        message=str(err),
+        location=location,
+        hint="fix the OASSIS-QL syntax before linting semantics",
+    )
+
+
+def lint_questions(questions: list[str], nl2cm) -> LintOutcome:
+    """Translate and lint each question through a shared translator.
+
+    Questions that fail to translate (unsupported form, composition
+    failure) are reported as a ``translation-failed`` ERROR diagnostic;
+    a lint sweep over a question file must account for every line.
+    """
+    from repro.analysis.diagnostics import Diagnostic
+
+    from repro.errors import QueryLintError
+
+    outcome = LintOutcome()
+    linter = QueryLint(ontology=nl2cm.ontology)
+    for question in questions:
+        try:
+            result = nl2cm.translate(question)
+        except QueryLintError as err:
+            # The pipeline's own gate fired: its report IS the finding.
+            report = err.report
+            report.subject = question
+            outcome.add(report)
+            continue
+        except ReproError as err:
+            report = AnalysisReport(subject=question)
+            report.add(Diagnostic(
+                rule="translation-failed",
+                severity=Severity.ERROR,
+                message=f"{type(err).__name__}: {err}",
+                hint="only translatable questions can be linted",
+            ))
+            outcome.add(report)
+            continue
+        if result.lint is not None:
+            report = result.lint
+            report.subject = question
+        else:
+            report = linter.lint(result.query, subject=question)
+        outcome.add(report)
+    return outcome
+
+
+def lint_pattern_bank(
+    patterns: list[IXPattern] | None = None,
+    vocabularies: VocabularyRegistry | None = None,
+) -> LintOutcome:
+    """Lint an IX pattern bank (the packaged defaults if omitted)."""
+    if patterns is None:
+        patterns = load_default_patterns()
+    if vocabularies is None:
+        vocabularies = load_vocabularies()
+    outcome = LintOutcome()
+    linter = PatternLint(vocabularies=vocabularies)
+    outcome.add(linter.lint(patterns))
+    return outcome

@@ -43,9 +43,11 @@ from dataclasses import dataclass, field
 from repro.data.vocabularies import VocabularyRegistry
 from repro.errors import PatternSyntaxError
 from repro.nlp.graph import DEPENDENCY_LABELS, DepGraph, DepNode
+from repro.nlp.postag_lexicon import TAGSET
 
 __all__ = ["IXPattern", "PatternEdge", "PatternFilter", "PatternMatcher",
-           "parse_patterns", "IX_TYPES"]
+           "parse_patterns", "IX_TYPES", "pos_class_of_tag",
+           "achievable_pos_classes"]
 
 IX_TYPES = ("lexical", "participant", "syntactic")
 
@@ -126,14 +128,13 @@ class PatternFilter:
         raise PatternSyntaxError(f"unknown filter op {self.op!r}")
 
 
-def _pos_class(node: DepNode) -> str:
+def pos_class_of_tag(tag: str) -> str:
     """Map a PTB tag to the coarse class names filters use.
 
     Modal auxiliaries get their own class: a pattern anchored on a
     "verb" must not fire on the bare modal ("should" is the *marker* of
     syntactic individuality, not the habit verb).
     """
-    tag = node.tag
     if tag == "MD":
         return "modal"
     if tag.startswith("V"):
@@ -145,6 +146,19 @@ def _pos_class(node: DepNode) -> str:
     if tag.startswith("R") or tag == "WRB":
         return "adverb"
     return tag.lower()
+
+
+def achievable_pos_classes() -> frozenset[str]:
+    """Every class ``POS($x)`` can evaluate to, given the tagger's tagset.
+
+    A filter comparing ``POS($x)`` against anything else can never match
+    — PatternLint's unreachable-pattern check.
+    """
+    return frozenset(pos_class_of_tag(tag) for tag in TAGSET)
+
+
+def _pos_class(node: DepNode) -> str:
+    return pos_class_of_tag(node.tag)
 
 
 @dataclass(frozen=True)
@@ -175,6 +189,11 @@ class IXPattern:
         if self.anchor not in self.variables():
             raise PatternSyntaxError(
                 f"pattern {self.name}: ANCHOR ${self.anchor} is not used"
+            )
+        if not self.edges and len(self.variables()) != 1:
+            raise PatternSyntaxError(
+                f"pattern {self.name}: edge-free patterns must use "
+                f"exactly one variable"
             )
         for edge in self.edges:
             if edge.label not in DEPENDENCY_LABELS and edge.label != _ANY_LABEL:

@@ -8,7 +8,9 @@ The stages run top-down exactly as the architecture figure draws them:
    IXCreator);
 4. general query generation (FREyA stand-in, may ask disambiguation);
 5. individual triple creation;
-6. query composition (may ask LIMIT/THRESHOLD/projection).
+6. query composition (may ask LIMIT/THRESHOLD/projection);
+7. query lint (static analysis of the composed query; see
+   :mod:`repro.analysis`).
 
 Every stage deposits its intermediate output into a
 :class:`TranslationTrace` — the admin-mode monitor of the demo
@@ -21,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.querylint import QueryLint
 from repro.core.compose import ComposedQuery, QueryComposer
 from repro.core.ixdetect import IX, IXCreator, IXFinder
 from repro.core.ixpatterns import IXPattern
@@ -28,7 +32,7 @@ from repro.core.triples import IndividualTripleCreator
 from repro.core.verification import VerificationResult, Verifier
 from repro.data.ontologies import load_merged_ontology
 from repro.data.vocabularies import VocabularyRegistry
-from repro.errors import VerificationError
+from repro.errors import QueryLintError, VerificationError
 from repro.freya.generator import FeedbackStore, GeneralQueryGenerator
 from repro.nlp.depparse import DependencyParser
 from repro.nlp.graph import DepGraph
@@ -103,6 +107,9 @@ class TranslationResult:
     ixs: list[IX]
     composed: ComposedQuery
     trace: TranslationTrace
+    #: The QueryLint report of the composed query (None when the
+    #: translator was built with ``lint="off"``).
+    lint: AnalysisReport | None = None
 
     @property
     def variable_phrases(self) -> dict[str, str]:
@@ -124,7 +131,15 @@ class NL2CM:
         vocabularies: vocabulary registry for the patterns.
         feedback: FREyA-style disambiguation feedback store, shared
             across translations.
+        lint: what to do with the post-composition QueryLint stage:
+            ``"error"`` (default) raises :class:`QueryLintError` when the
+            composed query has ERROR-level diagnostics, ``"warn"`` keeps
+            the report on the result without raising, ``"off"`` skips
+            the stage entirely.
     """
+
+    #: Legal values of the ``lint`` constructor argument.
+    LINT_MODES = ("error", "warn", "off")
 
     def __init__(
         self,
@@ -133,7 +148,13 @@ class NL2CM:
         patterns: list[IXPattern] | None = None,
         vocabularies: VocabularyRegistry | None = None,
         feedback: FeedbackStore | None = None,
+        lint: str = "error",
     ):
+        if lint not in self.LINT_MODES:
+            raise ValueError(
+                f"lint must be one of {self.LINT_MODES}, got {lint!r}"
+            )
+        self.lint_mode = lint
         self.ontology = ontology or load_merged_ontology()
         self.interaction = interaction or AutoInteraction()
         self.verifier = Verifier()
@@ -150,6 +171,7 @@ class NL2CM:
             vocabularies=self.finder.vocabularies
         )
         self.composer = QueryComposer()
+        self.linter = QueryLint(ontology=self.ontology)
 
     # -- public API ------------------------------------------------------------
 
@@ -168,6 +190,10 @@ class NL2CM:
             VerificationError: for unsupported question forms (carries
                 the rephrasing tips).
             TranslationError: when no query can be composed.
+            QueryLintError: when the composed query has ERROR-level
+                lint diagnostics and the translator was built with
+                ``lint="error"`` (the default).  The raised error
+                carries the full :class:`AnalysisReport`.
         """
         provider = interaction or self.interaction
         trace = TranslationTrace()
@@ -231,6 +257,19 @@ class NL2CM:
                 graph, ixs, individual, general, provider
             ),
         )
+        lint_report: AnalysisReport | None = None
+        if self.lint_mode != "off":
+            lint_report = self._timed(
+                trace, "query-lint",
+                lambda: self.linter.lint(composed.query),
+            )
+            trace.entries[-1].artifact = (
+                lint_report.render() if lint_report.diagnostics
+                else "(no diagnostics)"
+            )
+            if self.lint_mode == "error" and lint_report.has_errors:
+                raise QueryLintError(lint_report)
+
         print_start = time.perf_counter()
         query_text = print_oassisql(composed.query)
         trace.add(
@@ -245,6 +284,7 @@ class NL2CM:
             ixs=ixs,
             composed=composed,
             trace=trace,
+            lint=lint_report,
         )
 
     # -- internals ----------------------------------------------------------------

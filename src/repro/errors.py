@@ -113,6 +113,31 @@ class InteractionRequired(TranslationError):
 
 
 # ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+class LintConfigError(ReproError):
+    """A lint rule registry was misconfigured (unknown rule id, ...)."""
+
+
+class QueryLintError(TranslationError):
+    """A translated query failed the static-analysis gate.
+
+    Carries the full :class:`~repro.analysis.diagnostics.AnalysisReport`
+    so callers can show every diagnostic, not just the first.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        errors = report.errors
+        message = f"query lint found {len(errors)} error(s)"
+        if errors:
+            first = errors[0]
+            message += f": [{first.rule}] {first.message}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
 # Crowd mining engine
 # ---------------------------------------------------------------------------
 

@@ -27,7 +27,14 @@ __all__ = [
 
 
 class Anything:
-    """The ``[]`` wildcard: an existential that is projected out."""
+    """The ``[]`` wildcard: an existential that is projected out.
+
+    A process-wide singleton, so ``term is ANYTHING`` works everywhere.
+    Equality and hashing are defined defensively anyway (any two
+    ``Anything`` instances are equal), and copying/pickling returns the
+    singleton — AST analysis passes may ``copy.deepcopy`` a query and
+    must still see ``ANYTHING`` identity preserved.
+    """
 
     _instance: "Anything | None" = None
 
@@ -35,6 +42,22 @@ class Anything:
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Anything)
+
+    def __hash__(self) -> int:
+        return hash(Anything)
+
+    def __copy__(self) -> "Anything":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Anything":
+        return self
+
+    def __reduce__(self):
+        # Unpickling calls Anything(), which returns the singleton.
+        return (Anything, ())
 
     def __repr__(self) -> str:
         return "[]"

@@ -115,12 +115,15 @@ class _Lexer:
         return tok
 
 
-def parse_oassisql(text: str) -> OassisQuery:
+def parse_oassisql(text: str, validate: bool = True) -> OassisQuery:
     """Parse OASSIS-QL text into an :class:`OassisQuery`.
 
     The parsed query is validated (``query.validate()``) before being
     returned, so a syntactically legal but semantically broken query —
-    e.g. ``LIMIT 0`` — raises rather than round-tripping.
+    e.g. ``LIMIT 0`` — raises rather than round-tripping.  Pass
+    ``validate=False`` to get the raw AST anyway — QueryLint does, so it
+    can *report* what validation would have raised instead of dying on
+    the first problem.
     """
     lexer = _Lexer(text)
 
@@ -140,7 +143,8 @@ def parse_oassisql(text: str) -> OassisQuery:
     query = OassisQuery(
         select=select, where=tuple(where), satisfying=tuple(satisfying)
     )
-    query.validate()
+    if validate:
+        query.validate()
     return query
 
 

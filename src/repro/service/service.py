@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.pipeline import NL2CM, TranslationResult
-from repro.errors import ReproError
+from repro.errors import QueryLintError, ReproError
 from repro.service.cache import CacheStats, TranslationCache
 from repro.ui.interaction import InteractionProvider
 
@@ -69,6 +69,10 @@ class ServiceStats:
         stages: per-stage latency aggregates of fresh translations.
         cache: cache counters, or None when caching is disabled.
         workers: the configured fan-out width.
+        lint_errors: ERROR-level lint diagnostics across fresh
+            translations (including ones that raised ``QueryLintError``).
+        lint_warnings: WARNING-level lint diagnostics, same scope.
+        lint_infos: INFO-level lint diagnostics, same scope.
     """
 
     requests: int
@@ -82,6 +86,9 @@ class ServiceStats:
     stages: dict[str, StageStat]
     cache: CacheStats | None
     workers: int
+    lint_errors: int = 0
+    lint_warnings: int = 0
+    lint_infos: int = 0
 
     @property
     def mean_translation_ms(self) -> float:
@@ -131,6 +138,9 @@ class _Counters:
     busy_seconds: float = 0.0
     stage_totals: dict[str, float] = field(default_factory=dict)
     stage_counts: dict[str, int] = field(default_factory=dict)
+    lint_errors: int = 0
+    lint_warnings: int = 0
+    lint_infos: int = 0
 
 
 class TranslationService:
@@ -197,6 +207,13 @@ class TranslationService:
         start = time.perf_counter()
         try:
             result = self.nl2cm.translate(text, provider)
+        except QueryLintError as err:
+            with self._lock:
+                c = self._counters
+                c.requests += 1
+                c.errors += 1
+                self._count_lint(c, err.report)
+            raise
         except ReproError:
             with self._lock:
                 self._counters.requests += 1
@@ -213,9 +230,25 @@ class TranslationService:
                     c.stage_totals.get(stage, 0.0) + seconds
                 )
                 c.stage_counts[stage] = c.stage_counts.get(stage, 0) + 1
-        if self.cache is not None and fingerprint is not None:
+            if result.lint is not None:
+                self._count_lint(c, result.lint)
+        if (
+            self.cache is not None
+            and fingerprint is not None
+            and not (result.lint is not None and result.lint.has_errors)
+        ):
+            # A result with ERROR-level diagnostics must never be
+            # served from cache: in lint="warn" mode it is returned to
+            # this caller, but recomputing keeps the red flag visible
+            # in the stats instead of amortizing it away.
             self.cache.put(text, fingerprint, result)
         return result
+
+    @staticmethod
+    def _count_lint(c: _Counters, report) -> None:
+        c.lint_errors += len(report.errors)
+        c.lint_warnings += len(report.warnings)
+        c.lint_infos += len(report.infos)
 
     # -- batch path -------------------------------------------------------------------
 
@@ -345,6 +378,9 @@ class TranslationService:
                 stages=stages,
                 cache=cache_stats,
                 workers=self.workers,
+                lint_errors=c.lint_errors,
+                lint_warnings=c.lint_warnings,
+                lint_infos=c.lint_infos,
             )
 
     def reset_stats(self) -> None:

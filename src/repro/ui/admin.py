@@ -12,16 +12,18 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diagnostics import AnalysisReport
     from repro.service.service import ServiceStats
 
-__all__ = ["render_service_stats"]
+__all__ = ["render_analysis_report", "render_service_stats"]
 
 # Aggregated stages first (the ix-detection entry subsumes its
 # finder/creator sub-steps), then everything else alphabetically.
 _STAGE_ORDER = (
     "verification", "nl-parsing", "ix-finder", "ix-creator",
     "ix-detection", "general-query-generator",
-    "individual-triple-creation", "query-composition", "final-query",
+    "individual-triple-creation", "query-composition", "query-lint",
+    "final-query",
 )
 
 
@@ -66,6 +68,12 @@ def render_service_stats(stats: "ServiceStats") -> str:
     else:
         lines.append("cache: disabled")
 
+    lines.append(
+        f"lint diagnostics: {stats.lint_errors} error(s)  "
+        f"{stats.lint_warnings} warning(s)  "
+        f"{stats.lint_infos} info(s)"
+    )
+
     if stats.stages:
         ordered = [s for s in _STAGE_ORDER if s in stats.stages]
         ordered += sorted(set(stats.stages) - set(ordered))
@@ -76,4 +84,29 @@ def render_service_stats(stats: "ServiceStats") -> str:
         ]
         lines.append("")
         lines.append(_rows_to_table(["stage", "mean ms", "n"], rows))
+    return "\n".join(lines)
+
+
+def render_analysis_report(report: "AnalysisReport") -> str:
+    """A plain-text admin panel for a static-analysis report.
+
+    One table row per diagnostic (severity, rule, location, message),
+    then the summary line — the tabular sibling of
+    :meth:`~repro.analysis.diagnostics.AnalysisReport.render`.
+    """
+    lines = [f"== lint: {report.subject} =="]
+    if report.diagnostics:
+        rows = [
+            [
+                str(d.severity),
+                d.rule,
+                str(d.location) if d.location else "-",
+                d.message,
+            ]
+            for d in report.diagnostics
+        ]
+        lines.append(_rows_to_table(
+            ["severity", "rule", "location", "message"], rows
+        ))
+    lines.append(report.summary())
     return "\n".join(lines)

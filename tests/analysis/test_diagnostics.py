@@ -1,0 +1,147 @@
+"""The diagnostic core: severities, reports, and the rule registry."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    Location,
+    Rule,
+    RuleRegistry,
+    Severity,
+    default_registry,
+)
+from repro.analysis.patternlint import PATTERN_RULES
+from repro.analysis.querylint import QUERY_RULES
+from repro.errors import LintConfigError
+
+
+def diag(rule="r", severity=Severity.ERROR, message="m", **kw):
+    return Diagnostic(rule=rule, severity=severity, message=message, **kw)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.WARNING) == "warning"
+
+    def test_parse_accepts_names_and_members(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("Info") is Severity.INFO
+        assert Severity.parse(Severity.WARNING) is Severity.WARNING
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestLocation:
+    def test_str_with_line(self):
+        assert str(Location("where[1]", line=3)) == "where[1] (line 3)"
+
+    def test_str_without_line(self):
+        assert str(Location("pattern p")) == "pattern p"
+
+
+class TestDiagnostic:
+    def test_render_includes_severity_rule_and_location(self):
+        d = diag(rule="empty-query", location=Location("select", line=1),
+                 hint="add a clause")
+        text = d.render()
+        assert "error [empty-query]" in text
+        assert "select (line 1)" in text
+        assert "hint: add a clause" in text
+
+
+class TestAnalysisReport:
+    def test_empty_report_is_ok(self):
+        report = AnalysisReport(subject="q")
+        assert report.ok
+        assert not report.has_errors
+        assert report.max_severity is None
+        assert report.counts() == {"error": 0, "warning": 0, "info": 0}
+        assert "no diagnostics" in report.render()
+
+    def test_severity_buckets(self):
+        report = AnalysisReport()
+        report.add(diag(severity=Severity.ERROR))
+        report.add(diag(rule="w", severity=Severity.WARNING))
+        report.add(diag(rule="i", severity=Severity.INFO))
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert report.has_errors
+        assert report.max_severity is Severity.ERROR
+
+    def test_rules_fired_deduplicates_in_order(self):
+        report = AnalysisReport()
+        for rule in ("b", "a", "b"):
+            report.add(diag(rule=rule))
+        assert report.rules_fired() == ["b", "a"]
+
+    def test_summary_counts(self):
+        report = AnalysisReport(subject="my query")
+        report.add(diag(severity=Severity.WARNING))
+        assert report.summary() == (
+            "my query: 0 error(s), 1 warning(s), 0 info(s)"
+        )
+
+
+class TestRuleRegistry:
+    @pytest.fixture
+    def registry(self):
+        return RuleRegistry([
+            Rule("one", "query", Severity.ERROR, "first"),
+            Rule("two", "query", Severity.WARNING, "second"),
+        ])
+
+    def test_register_rejects_duplicates(self, registry):
+        with pytest.raises(LintConfigError, match="already registered"):
+            registry.register(Rule("one", "query", Severity.INFO, "dup"))
+
+    def test_unknown_rule_raises(self, registry):
+        with pytest.raises(LintConfigError, match="unknown rule"):
+            registry.severity_of("nope")
+
+    def test_emit_uses_default_severity(self, registry):
+        report = AnalysisReport()
+        d = registry.emit(report, "two", "msg")
+        assert d.severity is Severity.WARNING
+        assert report.diagnostics == [d]
+
+    def test_disable_suppresses_emission(self, registry):
+        report = AnalysisReport()
+        registry.disable("one")
+        assert registry.emit(report, "one", "msg") is None
+        assert report.ok
+        registry.enable("one")
+        assert registry.emit(report, "one", "msg") is not None
+
+    def test_severity_override(self, registry):
+        registry.override_severity("one", "warning")
+        report = AnalysisReport()
+        d = registry.emit(report, "one", "msg")
+        assert d.severity is Severity.WARNING
+        registry.reset_overrides()
+        assert registry.severity_of("one") is Severity.ERROR
+
+    def test_rules_filtered_by_analyzer(self, registry):
+        assert [r.id for r in registry.rules("query")] == ["one", "two"]
+        assert registry.rules("pattern") == []
+
+
+class TestDefaultRegistry:
+    def test_holds_both_analyzers(self):
+        registry = default_registry()
+        query_ids = {r.id for r in registry.rules("query")}
+        pattern_ids = {r.id for r in registry.rules("pattern")}
+        assert query_ids == {r.id for r in QUERY_RULES}
+        assert pattern_ids == {r.id for r in PATTERN_RULES}
+
+    def test_rule_counts_meet_the_floor(self):
+        # The acceptance criterion: >= 10 rules across both linters.
+        assert len(QUERY_RULES) + len(PATTERN_RULES) >= 10
+        assert len(QUERY_RULES) >= 6
+        assert len(PATTERN_RULES) >= 4

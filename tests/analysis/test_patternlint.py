@@ -1,0 +1,228 @@
+"""PatternLint: one dedicated test per rule, plus default-bank health."""
+
+import pytest
+
+from repro.analysis import PatternLint
+from repro.analysis.patternlint import PATTERN_RULES
+from repro.core.ixdetect import load_default_patterns
+from repro.core.ixpatterns import IXPattern, PatternFilter, parse_patterns
+from repro.data.vocabularies import Vocabulary, load_vocabularies
+
+
+@pytest.fixture(scope="module")
+def vocabularies():
+    return load_vocabularies()
+
+
+@pytest.fixture
+def linter(vocabularies):
+    return PatternLint(vocabularies=vocabularies)
+
+
+def lint_text(linter, text):
+    return linter.lint(parse_patterns(text))
+
+
+class TestBankRules:
+    def test_duplicate_pattern_name(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN twin TYPE lexical ANCHOR $x\n"
+            'filter(POS($x) = "verb")\n'
+            "\n"
+            "PATTERN twin TYPE lexical ANCHOR $x\n"
+            'filter(POS($x) = "noun")\n',
+        )
+        assert "duplicate-pattern-name" in report.rules_fired()
+        assert report.has_errors
+
+    def test_overlapping_pattern_subsumption(self, linter):
+        # Same shape; the filterless pattern matches a superset.
+        report = lint_text(
+            linter,
+            "PATTERN narrow TYPE participant ANCHOR $v\n"
+            "$v subject $y\n"
+            "filter(LEMMA($y) in V_participant)\n"
+            "\n"
+            "PATTERN wide TYPE participant ANCHOR $w\n"
+            "$w subject $z\n"
+            "filter(LEMMA($z) in V_participant)\n",
+        )
+        assert "overlapping-pattern" in report.rules_fired()
+
+    def test_different_filters_do_not_overlap(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN a TYPE participant ANCHOR $v\n"
+            "$v subject $y\n"
+            "filter(LEMMA($y) in V_participant)\n"
+            "\n"
+            "PATTERN b TYPE participant ANCHOR $v\n"
+            "$v subject $y\n"
+            "filter(LEMMA($y) in V_modal)\n",
+        )
+        assert "overlapping-pattern" not in report.rules_fired()
+
+
+class TestVariableRules:
+    def test_filter_undeclared_variable(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE lexical ANCHOR $x\n"
+            "$x nsubj $y\n"
+            'filter(POS($z) = "noun" && POS($y) = "noun")\n',
+        )
+        assert "filter-undeclared-variable" in report.rules_fired()
+        assert report.has_errors
+
+    def test_edge_free_multi_variable(self, linter):
+        # Unbuildable through parse_patterns (validate raises at load),
+        # but PatternLint must still diagnose a directly-built pattern.
+        pattern = IXPattern(
+            name="bad",
+            ix_type="lexical",
+            anchor="x",
+            edges=(),
+            filter=PatternFilter("and", (
+                PatternFilter("func", ("TEXT", "x")),
+                PatternFilter("func", ("TEXT", "y")),
+            )),
+        )
+        report = linter.lint([pattern])
+        assert "edge-free-multi-variable" in report.rules_fired()
+
+    def test_unconstrained_variable(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE lexical ANCHOR $x\n"
+            "$x nsubj $y\n"
+            'filter(POS($x) = "verb")\n',
+        )
+        assert "unconstrained-variable" in report.rules_fired()
+
+
+class TestFilterRules:
+    def test_unknown_vocabulary(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE lexical ANCHOR $x\n"
+            "filter(LEMMA($x) in V_missing)\n",
+        )
+        assert "unknown-vocabulary" in report.rules_fired()
+        assert report.has_errors
+
+    def test_empty_vocabulary(self, vocabularies):
+        vocabularies.register(Vocabulary("V_hollow", []))
+        linter = PatternLint(vocabularies=vocabularies)
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE lexical ANCHOR $x\n"
+            "filter(LEMMA($x) in V_hollow)\n",
+        )
+        assert "empty-vocabulary" in report.rules_fired()
+
+    def test_no_vocabularies_skips_vocabulary_rules(self):
+        linter = PatternLint()
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE lexical ANCHOR $x\n"
+            "filter(LEMMA($x) in V_missing)\n",
+        )
+        assert "unknown-vocabulary" not in report.rules_fired()
+
+    def test_unreachable_pos_class(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE lexical ANCHOR $x\n"
+            'filter(POS($x) = "pronoun")\n',
+        )
+        assert "unreachable-pos-class" in report.rules_fired()
+
+    def test_achievable_pos_class_is_clean(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE lexical ANCHOR $x\n"
+            'filter(POS($x) = "adjective")\n',
+        )
+        assert "unreachable-pos-class" not in report.rules_fired()
+
+    def test_contradictory_filter(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE lexical ANCHOR $x\n"
+            'filter(LEMMA($x) = "eat" && LEMMA($x) = "drink")\n',
+        )
+        assert "contradictory-filter" in report.rules_fired()
+
+    def test_disjunction_is_not_contradictory(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE lexical ANCHOR $x\n"
+            'filter(LEMMA($x) = "eat" || LEMMA($x) = "drink")\n',
+        )
+        assert "contradictory-filter" not in report.rules_fired()
+
+
+class TestStructureRules:
+    def test_disconnected_pattern(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE participant ANCHOR $a\n"
+            "$a nsubj $b\n"
+            "$c dobj $d\n"
+            "filter(LEMMA($b) in V_participant && "
+            "LEMMA($c) in V_participant && LEMMA($d) in V_participant)\n",
+        )
+        assert "disconnected-pattern" in report.rules_fired()
+
+    def test_connected_pattern_is_clean(self, linter):
+        report = lint_text(
+            linter,
+            "PATTERN p TYPE participant ANCHOR $a\n"
+            "$a nsubj $b\n"
+            "$b dobj $c\n"
+            "filter(LEMMA($c) in V_participant)\n",
+        )
+        assert "disconnected-pattern" not in report.rules_fired()
+
+
+class TestDefaultBank:
+    def test_default_patterns_lint_clean(self, linter):
+        report = linter.lint(load_default_patterns())
+        assert report.ok, report.render()
+
+    def test_rule_ids_are_unique(self):
+        ids = [r.id for r in PATTERN_RULES]
+        assert len(ids) == len(set(ids))
+
+
+class TestLoadTimeValidation:
+    """parse_patterns must reject malformed patterns at load, by name."""
+
+    def test_bad_type_rejected_at_parse(self):
+        from repro.errors import PatternSyntaxError
+
+        with pytest.raises(PatternSyntaxError, match="pattern p"):
+            parse_patterns(
+                "PATTERN p TYPE emotional ANCHOR $x\n"
+                'filter(POS($x) = "verb")\n'
+            )
+
+    def test_unused_anchor_rejected_at_parse(self):
+        from repro.errors import PatternSyntaxError
+
+        with pytest.raises(PatternSyntaxError, match="pattern p"):
+            parse_patterns(
+                "PATTERN p TYPE lexical ANCHOR $missing\n"
+                "$x nsubj $y\n"
+                'filter(POS($x) = "verb")\n'
+            )
+
+    def test_edge_free_multi_variable_rejected_at_parse(self):
+        from repro.errors import PatternSyntaxError
+
+        with pytest.raises(PatternSyntaxError, match="pattern p"):
+            parse_patterns(
+                "PATTERN p TYPE lexical ANCHOR $x\n"
+                'filter(TEXT($x) = "a" && TEXT($y) = "b")\n'
+            )

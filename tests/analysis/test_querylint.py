@@ -1,0 +1,310 @@
+"""QueryLint: one dedicated test per rule, plus corpus cleanliness."""
+
+import pytest
+
+from repro.analysis import QueryLint, RuleRegistry, Severity
+from repro.analysis.querylint import QUERY_RULES, query_locations
+from repro.data.corpus import CORPUS
+from repro.data.ontologies import load_merged_ontology
+from repro.oassisql import parse_oassisql, print_oassisql
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return load_merged_ontology()
+
+
+@pytest.fixture
+def linter():
+    return QueryLint()
+
+
+def lint_text(linter, text):
+    return linter.lint(parse_oassisql(text, validate=False))
+
+
+class TestDataflowRules:
+    def test_empty_query(self, linter):
+        report = lint_text(linter, "SELECT VARIABLES")
+        assert "empty-query" in report.rules_fired()
+        assert report.has_errors
+
+    def test_select_unknown_variable(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT $z\nWHERE\n{$x instanceOf Place}",
+        )
+        fired = report.rules_fired()
+        assert "select-unknown-variable" in fired
+        assert "$z" in report.errors[0].message
+
+    def test_satisfying_unbound_variable(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nSATISFYING\n{Paris visit $y}\n"
+            "WITH SUPPORT THRESHOLD = 0.1",
+        )
+        assert "satisfying-unbound-variable" in report.rules_fired()
+
+    def test_where_bound_satisfying_variable_is_clean(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n{$x instanceOf Place}\n"
+            "SATISFYING\n{Paris visit $x}\nWITH SUPPORT THRESHOLD = 0.1",
+        )
+        assert "satisfying-unbound-variable" not in report.rules_fired()
+
+    def test_open_fact_variable_is_crowd_bound(self, linter):
+        # "[] buy $x" is the paper's open fact: the crowd binds $x.
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nSATISFYING\n{[] buy $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.1",
+        )
+        assert report.ok
+
+    def test_locally_joined_variable_is_bound(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nSATISFYING\n"
+            "{Alice visit $x.\n$x during Fall}\n"
+            "WITH SUPPORT THRESHOLD = 0.1",
+        )
+        assert "satisfying-unbound-variable" not in report.rules_fired()
+
+
+class TestWhereShapeRules:
+    def test_where_cartesian_product(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n"
+            "{$x instanceOf Place.\n$y instanceOf Dish}",
+        )
+        assert "where-cartesian-product" in report.rules_fired()
+
+    def test_joined_where_is_connected(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n"
+            "{$x instanceOf Place.\n$x near $y.\n$y instanceOf Hotel}",
+        )
+        assert "where-cartesian-product" not in report.rules_fired()
+
+    def test_where_ground_triple(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n"
+            "{Paris locatedIn France.\n$x instanceOf Place}",
+        )
+        assert "where-ground-triple" in report.rules_fired()
+
+    def test_where_duplicate_triple(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n"
+            "{$x instanceOf Place.\n$x instanceOf Place}",
+        )
+        assert "where-duplicate-triple" in report.rules_fired()
+
+
+class TestTermRules:
+    def test_anything_in_where(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n{[] instanceOf Place}",
+        )
+        assert "anything-in-where" in report.rules_fired()
+        assert report.has_errors
+
+    def test_anything_sole_terms(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nSATISFYING\n{[] visit []}\n"
+            "WITH SUPPORT THRESHOLD = 0.1",
+        )
+        assert "anything-sole-terms" in report.rules_fired()
+
+    def test_invalid_predicate_term(self, linter):
+        report = lint_text(
+            linter,
+            'SELECT VARIABLES\nSATISFYING\n{$x "likes" $y.\n'
+            "$x knows $y}\nWITH SUPPORT THRESHOLD = 0.1",
+        )
+        assert "invalid-predicate-term" in report.rules_fired()
+
+    def test_literal_subject(self, linter):
+        report = lint_text(
+            linter,
+            'SELECT VARIABLES\nWHERE\n{"paris" instanceOf $x}',
+        )
+        assert "literal-subject" in report.rules_fired()
+
+
+class TestSatisfyingSanityRules:
+    def test_duplicate_fact_triple(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nSATISFYING\n"
+            "{[] visit $x.\n[] visit $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.1",
+        )
+        assert "duplicate-fact-triple" in report.rules_fired()
+
+    def test_duplicate_fact_set(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.1\n"
+            "AND\n{[] visit $x}\nWITH SUPPORT THRESHOLD = 0.1",
+        )
+        assert "duplicate-fact-set" in report.rules_fired()
+
+    def test_contradictory_qualifiers(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.1\n"
+            "AND\n{[] visit $x}\nORDER BY DESC(SUPPORT) LIMIT 5",
+        )
+        fired = report.rules_fired()
+        assert "contradictory-qualifiers" in fired
+        assert "duplicate-fact-set" not in fired
+        assert report.has_errors
+
+    def test_threshold_out_of_range(self, linter):
+        for threshold in ("0", "1.5"):
+            report = lint_text(
+                linter,
+                "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+                f"WITH SUPPORT THRESHOLD = {threshold}",
+            )
+            assert "threshold-out-of-range" in report.rules_fired()
+
+    def test_limit_not_positive(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+            "ORDER BY DESC(SUPPORT) LIMIT 0",
+        )
+        assert "limit-not-positive" in report.rules_fired()
+
+
+class TestOntologyRules:
+    def test_unknown_predicate(self, ontology):
+        linter = QueryLint(ontology=ontology)
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n{$x frobnicate Place}",
+        )
+        assert "unknown-predicate" in report.rules_fired()
+        # WARNING, not ERROR: a partial ontology must not block queries.
+        assert not report.has_errors
+
+    def test_unknown_entity(self, ontology):
+        linter = QueryLint(ontology=ontology)
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n{$x instanceOf Zorblax_Qux}",
+        )
+        assert "unknown-entity" in report.rules_fired()
+
+    def test_known_terms_are_clean(self, ontology):
+        linter = QueryLint(ontology=ontology)
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n{$x instanceOf Place.\n"
+            "$x locatedIn Paris}",
+        )
+        assert report.ok
+
+    def test_satisfying_predicates_are_exempt(self, ontology):
+        # Crowd relations (visit, hike...) are not ontology properties.
+        linter = QueryLint(ontology=ontology)
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nSATISFYING\n{[] zorblaxify $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.1",
+        )
+        assert "unknown-predicate" not in report.rules_fired()
+
+
+class TestRegistryIntegration:
+    def test_disabled_rule_is_silent(self):
+        registry = RuleRegistry(QUERY_RULES)
+        registry.disable("where-cartesian-product")
+        linter = QueryLint(registry=registry)
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n"
+            "{$x instanceOf Place.\n$y instanceOf Dish}",
+        )
+        assert "where-cartesian-product" not in report.rules_fired()
+
+    def test_severity_override_applies(self):
+        registry = RuleRegistry(QUERY_RULES)
+        registry.override_severity("where-cartesian-product", "error")
+        linter = QueryLint(registry=registry)
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n"
+            "{$x instanceOf Place.\n$y instanceOf Dish}",
+        )
+        assert report.has_errors
+
+
+class TestLocations:
+    def test_paths_map_to_printed_lines(self):
+        query = parse_oassisql(
+            "SELECT VARIABLES\nWHERE\n"
+            "{$x instanceOf Place.\n$x near Forest_Hotel,_Buffalo,_NY}\n"
+            "SATISFYING\n{[] visit $x.\n[] in Fall}\n"
+            "ORDER BY DESC(SUPPORT) LIMIT 5\n"
+            "AND\n{[] hike $x}\nWITH SUPPORT THRESHOLD = 0.2"
+        )
+        printed = print_oassisql(query).splitlines()
+        lines = query_locations(query)
+        assert printed[lines["select"] - 1].startswith("SELECT")
+        assert "instanceOf" in printed[lines["where[0]"] - 1]
+        assert "near" in printed[lines["where[1]"] - 1]
+        assert "visit" in printed[lines["satisfying[0].triples[0]"] - 1]
+        assert "in Fall" in printed[lines["satisfying[0].triples[1]"] - 1]
+        assert "ORDER BY" in printed[lines["satisfying[0].qualifier"] - 1]
+        assert "hike" in printed[lines["satisfying[1].triples[0]"] - 1]
+        assert "THRESHOLD" in printed[lines["satisfying[1].qualifier"] - 1]
+
+    def test_diagnostics_carry_line_numbers(self, linter):
+        report = lint_text(
+            linter,
+            "SELECT VARIABLES\nWHERE\n{[] instanceOf Place}",
+        )
+        d = report.errors[0]
+        assert d.location.path == "where[0]"
+        assert d.location.line == 3
+
+
+class TestCorpusCleanliness:
+    def test_every_gold_query_lints_clean(self, ontology):
+        linter = QueryLint(ontology=ontology)
+        checked = 0
+        for entry in CORPUS:
+            if not entry.gold_query:
+                continue
+            checked += 1
+            report = linter.lint(
+                parse_oassisql(entry.gold_query), subject=entry.id
+            )
+            assert report.ok, report.render()
+        assert checked >= 10
+
+    def test_rule_ids_are_unique_and_kebab_case(self):
+        ids = [r.id for r in QUERY_RULES]
+        assert len(ids) == len(set(ids))
+        for rule_id in ids:
+            assert rule_id == rule_id.lower()
+            assert " " not in rule_id
+
+    def test_severity_table(self):
+        severities = {r.id: r.severity for r in QUERY_RULES}
+        assert severities["satisfying-unbound-variable"] is Severity.ERROR
+        assert severities["where-cartesian-product"] is Severity.WARNING
+        assert severities["unknown-predicate"] is Severity.WARNING

@@ -1,0 +1,160 @@
+"""The batch lint runner and the ``--lint`` / ``--lint-patterns`` CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import (
+    LintOutcome,
+    lint_pattern_bank,
+    lint_query_source,
+    lint_questions,
+)
+from repro.core.pipeline import NL2CM
+from repro.data.corpus import CORPUS
+
+#: Hand-crafted broken queries, each expected to fire a distinct rule.
+BAD_QUERIES = {
+    "anything-in-where":
+        "SELECT VARIABLES\nWHERE\n{[] instanceOf Place}",
+    "satisfying-unbound-variable":
+        "SELECT VARIABLES\nSATISFYING\n{Paris visit $y}\n"
+        "WITH SUPPORT THRESHOLD = 0.1",
+    "select-unknown-variable":
+        "SELECT $z\nWHERE\n{$x instanceOf Place}",
+    "threshold-out-of-range":
+        "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+        "WITH SUPPORT THRESHOLD = 7",
+    "limit-not-positive":
+        "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+        "ORDER BY DESC(SUPPORT) LIMIT 0",
+    "anything-sole-terms":
+        "SELECT VARIABLES\nSATISFYING\n{[] visit []}\n"
+        "WITH SUPPORT THRESHOLD = 0.1",
+    "contradictory-qualifiers":
+        "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+        "WITH SUPPORT THRESHOLD = 0.1\n"
+        "AND\n{[] visit $x}\nORDER BY DESC(SUPPORT) LIMIT 5",
+}
+
+
+class TestRunnerFunctions:
+    def test_lint_query_source_clean(self):
+        outcome = lint_query_source(
+            "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.1"
+        )
+        assert outcome.exit_code == 0
+        assert outcome.errors == 0
+
+    @pytest.mark.parametrize("rule", sorted(BAD_QUERIES))
+    def test_lint_query_source_fires_rule(self, rule):
+        outcome = lint_query_source(BAD_QUERIES[rule])
+        assert outcome.exit_code == 1
+        fired = {
+            d.rule for r in outcome.reports for d in r.diagnostics
+        }
+        assert rule in fired
+
+    def test_syntax_error_becomes_diagnostic(self):
+        outcome = lint_query_source("SELECT VARIABLES\nWHERE {$x")
+        assert outcome.exit_code == 1
+        assert outcome.reports[0].diagnostics[0].rule == "syntax-error"
+
+    def test_lint_pattern_bank_defaults_clean(self):
+        outcome = lint_pattern_bank()
+        assert outcome.exit_code == 0
+
+    def test_lint_questions(self):
+        nl2cm = NL2CM()
+        outcome = lint_questions(
+            ["Where do you visit in Buffalo?",
+             "How should I store coffee?"],  # second is unsupported
+            nl2cm,
+        )
+        assert len(outcome.reports) == 2
+        assert outcome.reports[0].ok
+        failed = outcome.reports[1]
+        assert failed.diagnostics[0].rule == "translation-failed"
+        assert outcome.exit_code == 1
+
+    def test_counts_serialization(self):
+        outcome = lint_query_source(BAD_QUERIES["anything-in-where"])
+        counts = outcome.counts()
+        assert counts["subjects"] == 1
+        assert counts["errors"] >= 1
+        assert "anything-in-where" in counts["rules"]
+        json.dumps(counts)  # must be JSON-serializable as-is
+
+    def test_outcome_render_ends_with_summary(self):
+        outcome = LintOutcome()
+        assert "0 subject(s)" in outcome.render()
+
+
+class TestCLI:
+    def test_lint_clean_query_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "good.oql"
+        path.write_text(
+            "SELECT VARIABLES\nWHERE\n{$x instanceOf Place}\n"
+            "SATISFYING\n{[] visit $x}\nWITH SUPPORT THRESHOLD = 0.1\n"
+        )
+        assert main(["--lint", str(path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("rule", sorted(BAD_QUERIES))
+    def test_lint_bad_query_file_exits_nonzero(self, rule, tmp_path,
+                                               capsys):
+        path = tmp_path / "bad.oql"
+        path.write_text(BAD_QUERIES[rule] + "\n")
+        assert main(["--lint", str(path)]) == 1
+        assert f"[{rule}]" in capsys.readouterr().out
+
+    def test_lint_question_batch(self, tmp_path, capsys):
+        path = tmp_path / "questions.txt"
+        path.write_text(
+            "# a comment\n"
+            "Where do you visit in Buffalo?\n"
+            "\n"
+            "What souvenirs should we buy in Las Vegas?\n"
+        )
+        assert main(["--lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 subject(s)" in out
+
+    def test_lint_patterns_flag(self, capsys):
+        assert main(["--lint-patterns"]) == 0
+        assert "pattern bank" in capsys.readouterr().out
+
+    def test_lint_report_written(self, tmp_path, capsys):
+        query = tmp_path / "bad.oql"
+        query.write_text(BAD_QUERIES["anything-in-where"] + "\n")
+        report_path = tmp_path / "counts.json"
+        status = main([
+            "--lint", str(query), "--lint-report", str(report_path),
+        ])
+        assert status == 1
+        counts = json.loads(report_path.read_text())
+        assert counts["errors"] >= 1
+        assert "anything-in-where" in counts["rules"]
+
+    def test_lint_missing_file_exits_two(self, capsys):
+        assert main(["--lint", "/nonexistent/nope.oql"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_lint_empty_question_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n")
+        assert main(["--lint", str(path)]) == 2
+
+
+class TestCorpusAcceptance:
+    def test_every_gold_query_file_lints_clean(self, tmp_path):
+        # The CI job's contract: --lint exits 0 on each corpus query.
+        for entry in CORPUS:
+            if not entry.gold_query:
+                continue
+            outcome = lint_query_source(
+                entry.gold_query, subject=entry.id
+            )
+            assert outcome.exit_code == 0, outcome.render()

@@ -208,10 +208,10 @@ class TestMatching:
             matcher.match(pattern, graph)
 
     def test_edge_free_multivariable_rejected(self, matcher):
-        pattern = parse_patterns(
-            "PATTERN c TYPE lexical ANCHOR $x\n"
-            'filter(TEXT($x) = "a" && TEXT($y) = "b")'
-        )[0]
-        graph = parse("we like food")
-        with pytest.raises(PatternSyntaxError):
-            matcher.match(pattern, graph)
+        # validate() runs at parse time, so the malformed pattern is
+        # rejected at load with the pattern's name in the message.
+        with pytest.raises(PatternSyntaxError, match="pattern c"):
+            parse_patterns(
+                "PATTERN c TYPE lexical ANCHOR $x\n"
+                'filter(TEXT($x) = "a" && TEXT($y) = "b")'
+            )

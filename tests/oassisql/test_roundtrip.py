@@ -1,0 +1,120 @@
+"""Printer/parser round-trip and ``ANYTHING`` singleton invariants.
+
+``parse_oassisql(print_oassisql(q)) == q`` structurally for every query
+the project ships or produces — the property that makes the printed
+text (and QueryLint's line numbers into it) a faithful coordinate
+system.
+"""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.analysis.querylint import query_locations
+from repro.core.pipeline import NL2CM
+from repro.data.corpus import CORPUS, supported_questions
+from repro.oassisql import parse_oassisql, print_oassisql
+from repro.oassisql.ast import ANYTHING, Anything
+
+GOLD = [e for e in CORPUS if e.gold_query]
+
+
+@pytest.fixture(scope="module")
+def translations():
+    nl2cm = NL2CM()
+    return [
+        nl2cm.translate(q.text).query for q in supported_questions()
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "entry", GOLD, ids=[e.id for e in GOLD]
+    )
+    def test_gold_queries_round_trip(self, entry):
+        query = parse_oassisql(entry.gold_query)
+        assert parse_oassisql(print_oassisql(query)) == query
+
+    def test_translated_queries_round_trip(self, translations):
+        assert translations
+        for query in translations:
+            printed = print_oassisql(query)
+            assert parse_oassisql(printed) == query
+
+    def test_round_trip_is_idempotent(self):
+        query = parse_oassisql(GOLD[0].gold_query)
+        once = print_oassisql(query)
+        assert print_oassisql(parse_oassisql(once)) == once
+
+    @pytest.mark.parametrize(
+        "entry", GOLD, ids=[e.id for e in GOLD]
+    )
+    def test_query_locations_match_printed_layout(self, entry):
+        from repro.oassisql.ast import TopK
+
+        query = parse_oassisql(entry.gold_query)
+        printed = print_oassisql(query).splitlines()
+        lines = query_locations(query)
+        # The last location lands on the last printed line — except a
+        # top-k qualifier, which prints as two lines (ORDER BY + LIMIT)
+        # with its location on the first.
+        trailing = (
+            1 if query.satisfying and isinstance(
+                query.satisfying[-1].qualifier, TopK
+            ) else 0
+        )
+        assert max(lines.values()) == len(printed) - trailing
+        for i in range(len(query.where)):
+            assert not printed[lines[f"where[{i}]"] - 1].startswith(
+                ("SELECT", "WHERE", "SATISFYING", "AND")
+            )
+
+
+class TestAnythingSingleton:
+    def test_construction_returns_singleton(self):
+        assert Anything() is ANYTHING
+
+    def test_equality_and_hash_are_defensive(self):
+        assert Anything() == ANYTHING
+        assert hash(Anything()) == hash(ANYTHING)
+        assert ANYTHING != object()
+
+    def test_copy_preserves_identity(self):
+        assert copy.copy(ANYTHING) is ANYTHING
+        assert copy.deepcopy(ANYTHING) is ANYTHING
+
+    def test_deepcopied_query_keeps_identity(self):
+        query = parse_oassisql(
+            "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.1"
+        )
+        clone = copy.deepcopy(query)
+        assert clone == query
+        assert clone.satisfying[0].triples[0].s is ANYTHING
+
+    def test_pickle_round_trip_keeps_identity(self):
+        query = parse_oassisql(
+            "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.1"
+        )
+        clone = pickle.loads(pickle.dumps(query))
+        assert clone == query
+        assert clone.satisfying[0].triples[0].s is ANYTHING
+
+
+class TestParserValidateFlag:
+    def test_default_validates(self):
+        with pytest.raises(Exception, match="LIMIT"):
+            parse_oassisql(
+                "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+                "ORDER BY DESC(SUPPORT) LIMIT 0"
+            )
+
+    def test_validate_false_returns_raw_ast(self):
+        query = parse_oassisql(
+            "SELECT VARIABLES\nSATISFYING\n{[] visit $x}\n"
+            "ORDER BY DESC(SUPPORT) LIMIT 0",
+            validate=False,
+        )
+        assert query.satisfying[0].qualifier.k == 0
