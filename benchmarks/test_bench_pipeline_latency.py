@@ -11,13 +11,14 @@ from collections import defaultdict
 from repro.data.corpus import supported_questions
 from repro.eval.harness import format_table
 
-STAGES = ("verification", "nl-parsing", "ix-finder", "ix-creator",
-          "ix-detection", "general-query-generator",
+STAGES = ("verification", "nl-parsing", "ix-detection", "ix-finder",
+          "ix-creator", "ix-verification", "general-query-generator",
           "individual-triple-creation", "query-composition",
           "query-lint", "final-query")
 
-# Stages that add up to the wall-clock total ("ix-detection" aggregates
-# the finder/creator sub-steps, which are shown as their own rows).
+# Top-level stages: their spans tile the root (the covering
+# "ix-detection" span parents the finder/creator/verification rows),
+# so summing them approximates the wall-clock total from below.
 TOTAL_STAGES = ("verification", "nl-parsing", "ix-detection",
                 "general-query-generator", "individual-triple-creation",
                 "query-composition", "query-lint", "final-query")
@@ -25,11 +26,13 @@ TOTAL_STAGES = ("verification", "nl-parsing", "ix-detection",
 
 def test_bench_stage_latency(nl2cm, report_writer):
     totals = defaultdict(float)
+    wall = 0.0
     n = 0
     for question in supported_questions():
         result = nl2cm.translate(question.text)
         for stage, seconds in result.trace.timings().items():
             totals[stage] += seconds
+        wall += result.trace.total_seconds()
         n += 1
 
     total = sum(totals[stage] for stage in TOTAL_STAGES)
@@ -37,12 +40,15 @@ def test_bench_stage_latency(nl2cm, report_writer):
         [stage, f"{totals[stage] / n * 1000:.2f}"]
         for stage in STAGES
     ]
-    rows.append(["TOTAL", f"{total / n * 1000:.2f}"])
+    rows.append(["TOTAL (stages)", f"{total / n * 1000:.2f}"])
+    rows.append(["TOTAL (wall)", f"{wall / n * 1000:.2f}"])
     table = format_table(["stage", "mean ms/question"], rows)
     report_writer("E6-stage-latency", table)
 
     # The pipeline is interactive-speed (well under a second).
     assert total / n < 1.0
+    # Stage spans can never sum past the covering root span.
+    assert total <= wall
     # Static analysis must stay in the noise: < 5% of the mean total.
     assert totals["query-lint"] < 0.05 * total
 

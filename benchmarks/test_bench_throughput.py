@@ -102,6 +102,10 @@ def test_bench_single_flight_saves_pipeline_runs(ontology):
     )
     service.translate_batch(trace)
     stats = service.stats()
-    # One pipeline run per distinct question; every repeat was shared.
+    # One pipeline run per distinct question; every repeat rode the
+    # leader's single-flight group — those are *deduplicated*, not
+    # cache hits (nothing was ever looked up in the cache for them).
     assert stats.translated == len(distinct)
-    assert stats.served_from_cache == len(trace) - len(distinct)
+    assert stats.deduplicated == len(trace) - len(distinct)
+    assert stats.served_from_cache == 0
+    assert stats.requests == stats.accounted == len(trace)

@@ -32,7 +32,8 @@ def main() -> None:
     print("#" * 72)
     print(result.trace.render())
     print("#" * 72)
-    total = sum(result.trace.timings().values())
+    print(result.trace.render_tree())
+    total = result.trace.total_seconds()
     print(f"total translation time: {total * 1000:.1f} ms")
 
 

@@ -45,6 +45,7 @@ from repro.errors import (
 )
 from repro.oassis.engine import EngineConfig, OassisEngine, QueryResult
 from repro.oassisql import OassisQuery, parse_oassisql, print_oassisql
+from repro.obs import MetricsRegistry, SlowQueryLog
 from repro.service import (
     ServiceStats,
     TranslationCache,
@@ -73,6 +74,8 @@ __all__ = [
     "TranslationService",
     "TranslationCache",
     "ServiceStats",
+    "MetricsRegistry",
+    "SlowQueryLog",
     "AutoInteraction",
     "ScriptedInteraction",
     "ConsoleInteraction",

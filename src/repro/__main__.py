@@ -26,6 +26,19 @@ Static analysis (exit status 1 when any ERROR-level diagnostic fires)::
 
 ``--lint`` sniffs the file: if the first non-comment line starts with
 ``SELECT`` it is a query file, otherwise a question batch.
+
+Observability (see ``docs/observability.md``)::
+
+    python -m repro --batch q.txt --metrics-out metrics.prom
+    python -m repro --interactive --serve-metrics 9464
+    python -m repro --batch q.txt --slow-log 50   # dump traces > 50 ms
+
+Every translation goes through one shared
+:class:`~repro.service.TranslationService`, so ``--metrics-out``
+(Prometheus text file at exit), ``--serve-metrics`` (live ``/metrics``
+endpoint) and ``--slow-log`` (span trees of slow translations, to
+stderr at exit) observe single-question, interactive and batch modes
+alike.
 """
 
 from __future__ import annotations
@@ -49,6 +62,8 @@ from repro.crowd.scenarios import (
 )
 from repro.data.ontologies import load_merged_ontology
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry, SlowQueryLog
+from repro.service import TranslationService
 from repro.ui.interaction import ConsoleInteraction
 
 
@@ -86,22 +101,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lint-report", metavar="FILE",
                         help="also write the diagnostic counts of a "
                              "lint run to FILE as JSON")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write Prometheus text-format metrics to "
+                             "FILE on exit")
+    parser.add_argument("--serve-metrics", metavar="PORT", type=int,
+                        help="serve live /metrics on PORT (0 picks a "
+                             "free port, printed to stderr)")
+    parser.add_argument("--slow-log", metavar="MS", type=float,
+                        help="log translations slower than MS "
+                             "milliseconds; span trees are dumped to "
+                             "stderr on exit")
     return parser
 
 
-def demo_engine(ontology, size: int, seed: int) -> OassisEngine:
+def demo_engine(ontology, size: int, seed: int,
+                registry: MetricsRegistry | None = None) -> OassisEngine:
     truth = GroundTruth(default=0.05)
     for scenario in (buffalo_travel_truth(), vegas_rides_truth(),
                      dietician_truth()):
         truth.supports.update(scenario.supports)
     crowd = SimulatedCrowd(truth, size=size, noise=0.08, seed=seed)
-    return OassisEngine(ontology, crowd, EngineConfig())
+    return OassisEngine(ontology, crowd, EngineConfig(),
+                        registry=registry)
 
 
-def run_question(nl2cm: NL2CM, args, question: str,
+def run_question(service: TranslationService, args, question: str,
                  engine: OassisEngine | None) -> int:
     try:
-        result = nl2cm.translate(question)
+        result = service.translate(question)
     except VerificationError as err:
         print(f"not supported: {err}", file=sys.stderr)
         for tip in err.tips:
@@ -120,7 +147,7 @@ def run_question(nl2cm: NL2CM, args, question: str,
         print()
         execution = engine.evaluate(result.query)
         print(f"# crowd tasks: {execution.tasks_used}")
-        ontology = nl2cm.ontology
+        ontology = service.nl2cm.ontology
         for outcome in execution.accepted:
             rendered = ", ".join(
                 f"${name} = {ontology.label_of(term)}"
@@ -136,8 +163,7 @@ def run_question(nl2cm: NL2CM, args, question: str,
     return 0
 
 
-def run_batch(nl2cm: NL2CM, args) -> int:
-    from repro.service import TranslationService
+def run_batch(service: TranslationService, args) -> int:
     from repro.ui.admin import render_service_stats
 
     path = Path(args.batch)
@@ -154,11 +180,6 @@ def run_batch(nl2cm: NL2CM, args) -> int:
         print("batch file contains no questions", file=sys.stderr)
         return 2
 
-    service = TranslationService(
-        nl2cm,
-        workers=max(1, args.workers),
-        cache=args.cache_size if args.cache_size > 0 else None,
-    )
     items = service.translate_batch(questions)
     failed = 0
     for item in items:
@@ -243,27 +264,68 @@ def main(argv: list[str] | None = None) -> int:
     interaction = ConsoleInteraction() if args.interactive else None
     ontology = load_merged_ontology()
     nl2cm = NL2CM(ontology=ontology, interaction=interaction)
+
+    registry = MetricsRegistry()
+    slow_log = (
+        SlowQueryLog(threshold_ms=args.slow_log)
+        if args.slow_log is not None else None
+    )
+    service = TranslationService(
+        nl2cm,
+        workers=max(1, args.workers),
+        cache=args.cache_size if args.cache_size > 0 else None,
+        registry=registry,
+        slow_log=slow_log,
+    )
     engine = (
-        demo_engine(ontology, args.crowd_size, args.seed)
+        demo_engine(ontology, args.crowd_size, args.seed,
+                    registry=registry)
         if args.execute else None
     )
 
-    if args.batch:
-        return run_batch(nl2cm, args)
+    server = None
+    if args.serve_metrics is not None:
+        from repro.obs import start_metrics_server
 
-    if args.question:
-        return run_question(nl2cm, args, " ".join(args.question), engine)
+        server = start_metrics_server(registry, port=args.serve_metrics)
+        print(
+            f"serving /metrics on port {server.server_address[1]}",
+            file=sys.stderr,
+        )
 
-    print("NL2CM — type a question (empty line to quit)")
-    status = 0
-    while True:
-        try:
-            line = input("? ").strip()
-        except EOFError:
-            break
-        if not line:
-            break
-        status = run_question(nl2cm, args, line, engine)
+    try:
+        if args.batch:
+            status = run_batch(service, args)
+        elif args.question:
+            status = run_question(
+                service, args, " ".join(args.question), engine
+            )
+        else:
+            print("NL2CM — type a question (empty line to quit)")
+            status = 0
+            while True:
+                try:
+                    line = input("? ").strip()
+                except EOFError:
+                    break
+                if not line:
+                    break
+                status = run_question(service, args, line, engine)
+    finally:
+        if slow_log is not None and slow_log.seen:
+            print(slow_log.render(), file=sys.stderr)
+        if args.metrics_out:
+            try:
+                Path(args.metrics_out).write_text(
+                    registry.expose(), "utf-8"
+                )
+            except OSError as err:
+                print(
+                    f"cannot write metrics file: {err}", file=sys.stderr
+                )
+                status = 2
+        if server is not None:
+            server.shutdown()
     return status
 
 

@@ -12,16 +12,15 @@ The stages run top-down exactly as the architecture figure draws them:
 7. query lint (static analysis of the composed query; see
    :mod:`repro.analysis`).
 
-Every stage deposits its intermediate output into a
-:class:`TranslationTrace` — the admin-mode monitor of the demo
-(Section 4.2) prints these to give "a peek under the hood".
+Every stage runs inside a span of a :class:`TranslationTrace` — a true
+parent/child span tree (see :mod:`repro.obs.tracing`) that the
+admin-mode monitor of the demo (Section 4.2) prints to give "a peek
+under the hood", and that the serving layer aggregates into metrics.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
 from repro.analysis.diagnostics import AnalysisReport
 from repro.analysis.querylint import QueryLint
@@ -32,7 +31,12 @@ from repro.core.triples import IndividualTripleCreator
 from repro.core.verification import VerificationResult, Verifier
 from repro.data.ontologies import load_merged_ontology
 from repro.data.vocabularies import VocabularyRegistry
-from repro.errors import QueryLintError, VerificationError
+from repro.errors import (
+    InteractionProtocolError,
+    QueryLintError,
+    VerificationError,
+)
+from repro.obs.tracing import SpanRecorder
 from repro.freya.generator import FeedbackStore, GeneralQueryGenerator
 from repro.nlp.depparse import DependencyParser
 from repro.nlp.graph import DepGraph
@@ -47,52 +51,68 @@ from repro.ui.interaction import (
 
 __all__ = ["NL2CM", "TranslationResult", "TranslationTrace"]
 
-
-@dataclass
-class TraceEntry:
-    """One admin-mode record: stage name, artifact, elapsed seconds."""
-
-    stage: str
-    artifact: Any
-    elapsed: float
-
-    def render(self) -> str:
-        """Human-readable rendering for the admin monitor."""
-        body = (
-            self.artifact if isinstance(self.artifact, str)
-            else repr(self.artifact)
-        )
-        return f"== {self.stage} ({self.elapsed * 1000:.1f} ms) ==\n{body}"
+#: Name of the per-request root span that wraps the whole pipeline.
+ROOT_SPAN = "translate"
 
 
-@dataclass
-class TranslationTrace:
-    """Ordered intermediate outputs passed between the modules."""
+class TranslationTrace(SpanRecorder):
+    """One translation's span tree (the admin-mode trace).
 
-    entries: list[TraceEntry] = field(default_factory=list)
-
-    def add(self, stage: str, artifact: Any, elapsed: float) -> None:
-        self.entries.append(TraceEntry(stage, artifact, elapsed))
+    A :class:`~repro.obs.tracing.SpanRecorder` whose root span,
+    ``"translate"``, covers the whole pipeline; each Figure-2 stage is
+    a child, and ``ix-detection`` parents its ``ix-finder`` /
+    ``ix-creator`` / ``ix-verification`` sub-steps.  Because a parent's
+    duration *covers* its children (monotonic start/end, not a sum),
+    nothing is ever double-counted: there is no subsumption list to
+    maintain, and summing the **leaf** spans can never exceed the root.
+    """
 
     def stages(self) -> list[str]:
-        return [e.stage for e in self.entries]
+        """Span names in start order (the root span included)."""
+        return [s.name for s in self.spans]
 
     def render(self) -> str:
-        return "\n\n".join(e.render() for e in self.entries)
-
-    #: Entries whose elapsed time is already included in another entry
-    #: ("ix-detection" aggregates its finder/creator sub-steps).
-    SUBSUMED_STAGES = frozenset({"ix-finder", "ix-creator"})
+        """Stage blocks, indented by tree depth, in start order."""
+        return "\n\n".join(
+            s.render(depth=self._depth(s)) for s in self.spans
+        )
 
     def timings(self) -> dict[str, float]:
-        """Stage -> elapsed seconds (for the latency experiments)."""
-        return {e.stage: e.elapsed for e in self.entries}
+        """Stage name -> elapsed seconds, **last span wins** per name.
+
+        Stage names are unique in the pipeline's tree, so the caveat
+        only bites callers who reuse a name; those should key by span
+        id via :meth:`timings_by_span` instead.  Parent spans appear
+        with their covering duration — do not sum this dict (use
+        :meth:`leaf_timings` or :meth:`total_seconds`).
+        """
+        return {s.name: s.elapsed for s in self.spans}
+
+    def timings_by_span(self) -> dict[int, tuple[str, float]]:
+        """Span id -> (name, elapsed); duplicate-name safe."""
+        return {s.span_id: (s.name, s.elapsed) for s in self.spans}
+
+    def leaf_timings(self) -> dict[str, float]:
+        """Per-stage seconds summed over **leaf** spans only.
+
+        Leaves tile the tree without overlap, so
+        ``sum(leaf_timings().values()) <= total_seconds()`` holds by
+        construction.
+        """
+        out: dict[str, float] = {}
+        for span in self.leaves():
+            out[span.name] = out.get(span.name, 0.0) + span.elapsed
+        return out
 
     def total_seconds(self) -> float:
-        """Wall-clock total without double-counting aggregated stages."""
+        """True wall-clock total: the root span's duration."""
+        root = self.root
+        if root is not None:
+            return root.elapsed
+        # Compatibility with hand-built traces that never opened a
+        # root: top-level spans are disjoint, so their sum is the wall.
         return sum(
-            e.elapsed for e in self.entries
-            if e.stage not in self.SUBSUMED_STAGES
+            s.elapsed for s in self.spans if s.parent_id is None
         )
 
 
@@ -198,83 +218,78 @@ class NL2CM:
         provider = interaction or self.interaction
         trace = TranslationTrace()
 
-        verification = self._timed(
-            trace, "verification", lambda: self.verifier.verify(text)
-        )
-        if not verification.ok:
-            raise VerificationError(
-                verification.message, tips=verification.tips
-            )
+        with trace.span(ROOT_SPAN) as root:
+            root.artifact = text
 
-        graph = self._timed(
-            trace, "nl-parsing", lambda: self.parser.parse(text)
-        )
-        trace.entries[-1].artifact = graph.pretty()
+            with trace.span("verification") as span:
+                verification = self.verifier.verify(text)
+                span.artifact = verification
+            if not verification.ok:
+                raise VerificationError(
+                    verification.message, tips=verification.tips
+                )
 
-        matches = self._timed(
-            trace, "ix-finder", lambda: self.finder.find(graph)
-        )
-        finder_elapsed = trace.entries[-1].elapsed
-        ixs = self._timed(
-            trace, "ix-creator", lambda: self.creator.create(graph, matches)
-        )
-        creator_elapsed = trace.entries[-1].elapsed
-        verify_start = time.perf_counter()
-        ixs = self._verify_uncertain(graph, ixs, provider)
-        verify_elapsed = time.perf_counter() - verify_start
-        # The ix-detection entry summarizes the whole stage, so its
-        # elapsed aggregates the finder, creator and user-verification
-        # sub-steps (the first two also appear as their own entries).
-        trace.add(
-            "ix-detection",
-            "\n".join(
-                f"{ix.kind}[{','.join(sorted(ix.types))}] "
-                f"{ix.span_text(graph)!r}"
-                for ix in ixs
-            ) or "(no individual expressions)",
-            finder_elapsed + creator_elapsed + verify_elapsed,
-        )
+            with trace.span("nl-parsing") as span:
+                graph = self.parser.parse(text)
+                span.artifact = graph.pretty()
 
-        general = self._timed(
-            trace, "general-query-generator",
-            lambda: self.generator.generate(graph, provider),
-        )
-        trace.entries[-1].artifact = "\n".join(
-            str(t) for t in general.triples
-        ) or "(no general triples)"
+            # The ix-detection span *covers* its finder, creator and
+            # user-verification children — parent/child spans replace
+            # the old "aggregated entry + subsumption list" accounting.
+            with trace.span("ix-detection") as detection:
+                with trace.span("ix-finder") as span:
+                    matches = self.finder.find(graph)
+                    span.artifact = matches
+                with trace.span("ix-creator") as span:
+                    ixs = self.creator.create(graph, matches)
+                    span.artifact = ixs
+                with trace.span("ix-verification") as span:
+                    kept = self._verify_uncertain(graph, ixs, provider)
+                    span.artifact = (
+                        f"{len(ixs) - len(kept)} uncertain IX(s) "
+                        f"rejected by the user"
+                        if len(kept) != len(ixs)
+                        else "(all IXs kept)"
+                    )
+                    ixs = kept
+                detection.artifact = "\n".join(
+                    f"{ix.kind}[{','.join(sorted(ix.types))}] "
+                    f"{ix.span_text(graph)!r}"
+                    for ix in ixs
+                ) or "(no individual expressions)"
 
-        individual = self._timed(
-            trace, "individual-triple-creation",
-            lambda: self.triple_creator.create(graph, ixs),
-        )
-        trace.entries[-1].artifact = "\n".join(
-            str(t) for t in individual
-        ) or "(no individual triples)"
+            with trace.span("general-query-generator") as span:
+                general = self.generator.generate(graph, provider)
+                span.artifact = "\n".join(
+                    str(t) for t in general.triples
+                ) or "(no general triples)"
 
-        composed = self._timed(
-            trace, "query-composition",
-            lambda: self.composer.compose(
-                graph, ixs, individual, general, provider
-            ),
-        )
-        lint_report: AnalysisReport | None = None
-        if self.lint_mode != "off":
-            lint_report = self._timed(
-                trace, "query-lint",
-                lambda: self.linter.lint(composed.query),
-            )
-            trace.entries[-1].artifact = (
-                lint_report.render() if lint_report.diagnostics
-                else "(no diagnostics)"
-            )
-            if self.lint_mode == "error" and lint_report.has_errors:
-                raise QueryLintError(lint_report)
+            with trace.span("individual-triple-creation") as span:
+                individual = self.triple_creator.create(graph, ixs)
+                span.artifact = "\n".join(
+                    str(t) for t in individual
+                ) or "(no individual triples)"
 
-        print_start = time.perf_counter()
-        query_text = print_oassisql(composed.query)
-        trace.add(
-            "final-query", query_text, time.perf_counter() - print_start
-        )
+            with trace.span("query-composition") as span:
+                composed = self.composer.compose(
+                    graph, ixs, individual, general, provider
+                )
+                span.artifact = composed
+
+            lint_report: AnalysisReport | None = None
+            if self.lint_mode != "off":
+                with trace.span("query-lint") as span:
+                    lint_report = self.linter.lint(composed.query)
+                    span.artifact = (
+                        lint_report.render() if lint_report.diagnostics
+                        else "(no diagnostics)"
+                    )
+                if self.lint_mode == "error" and lint_report.has_errors:
+                    raise QueryLintError(lint_report)
+
+            with trace.span("final-query") as span:
+                query_text = print_oassisql(composed.query)
+                span.artifact = query_text
 
         return TranslationResult(
             text=text,
@@ -295,7 +310,14 @@ class NL2CM:
         ixs: list[IX],
         provider: InteractionProvider,
     ) -> list[IX]:
-        """Ask the user to confirm IXs found by uncertain patterns."""
+        """Ask the user to confirm IXs found by uncertain patterns.
+
+        Raises:
+            InteractionProtocolError: when the provider answers with
+                the wrong number of booleans.  Silently ``zip``-ing
+                would leave unanswered IXs unconfirmed — a truncated
+                answer is a provider bug and must surface as one.
+        """
         uncertain = [ix for ix in ixs if ix.uncertain]
         if not uncertain:
             return ixs
@@ -304,14 +326,13 @@ class NL2CM:
             sentence=graph.sentence,
         )
         answers = list(provider.ask(request))
+        if len(answers) != len(uncertain):
+            raise InteractionProtocolError(
+                f"IX verification needs {len(uncertain)} answer(s) for "
+                f"spans {list(request.spans)}, but the provider "
+                f"returned {len(answers)}"
+            )
         rejected = {
             id(ix) for ix, keep in zip(uncertain, answers) if not keep
         }
         return [ix for ix in ixs if id(ix) not in rejected]
-
-    @staticmethod
-    def _timed(trace: TranslationTrace, stage: str, thunk):
-        start = time.perf_counter()
-        result = thunk()
-        trace.add(stage, result, time.perf_counter() - start)
-        return result

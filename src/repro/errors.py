@@ -112,6 +112,16 @@ class InteractionRequired(TranslationError):
     """Raised when a module needs user input but no provider can supply it."""
 
 
+class InteractionProtocolError(TranslationError):
+    """An interaction provider returned a malformed answer.
+
+    The canonical case: a :class:`~repro.ui.interaction.VerifyIXRequest`
+    over N spans answered with a list of the wrong length.  Truncating
+    silently would keep unanswered IXs unconfirmed, so the pipeline
+    refuses instead.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Static analysis
 # ---------------------------------------------------------------------------
@@ -135,6 +145,14 @@ class QueryLintError(TranslationError):
             first = errors[0]
             message += f": [{first.rule}] {first.message}"
         super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+class MetricsError(ReproError):
+    """A metrics registry was misused (bad name, label or re-registration)."""
 
 
 # ---------------------------------------------------------------------------

@@ -26,11 +26,13 @@ is what the demo shows on the OASSIS crowd monitor.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from repro.crowd.model import FactSet, verbalize_fact_set
 from repro.crowd.simulator import SimulatedCrowd
 from repro.errors import BudgetExhausted, EngineError
+from repro.obs.metrics import MetricsRegistry
 from repro.oassisql.ast import (
     Anything,
     OassisQuery,
@@ -140,6 +142,7 @@ class OassisEngine:
         ontology: Ontology,
         crowd: SimulatedCrowd,
         config: EngineConfig | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.ontology = ontology
         self.crowd = crowd
@@ -150,6 +153,38 @@ class OassisEngine:
         self._answer_cache: dict[tuple[int, str], float] = {}
         self.answer_cache_hits = 0
         self.answer_cache_misses = 0
+        self._m_evaluations = None
+        self._m_eval_seconds = None
+        self._m_tasks = None
+        self._m_answer_cache = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Mirror the engine's counters into ``registry``.
+
+        Sharing the translation service's registry puts evaluation
+        metrics on the same scrape endpoint as translation metrics.
+        """
+        self._m_evaluations = registry.counter(
+            "oassis_evaluations_total",
+            "OASSIS-QL queries evaluated, by outcome (ok/error).",
+            labelnames=("outcome",),
+        )
+        self._m_eval_seconds = registry.histogram(
+            "oassis_evaluation_seconds",
+            "Wall-clock seconds per OASSIS-QL evaluation "
+            "(errors included).",
+        )
+        self._m_tasks = registry.counter(
+            "oassis_crowd_tasks_total",
+            "Crowd tasks issued across evaluations.",
+        )
+        self._m_answer_cache = registry.counter(
+            "oassis_answer_cache_total",
+            "Memoized crowd-answer lookups by result (hit/miss).",
+            labelnames=("result",),
+        )
 
     def clear_answer_cache(self) -> None:
         """Drop memoized crowd answers (e.g. after swapping the crowd)."""
@@ -171,6 +206,20 @@ class OassisEngine:
             EngineError: when a clause cannot be grounded at all.
             BudgetExhausted: when ``config.task_budget`` runs out.
         """
+        if self._m_evaluations is None:
+            return self._evaluate(query)
+        start = time.perf_counter()
+        try:
+            result = self._evaluate(query)
+        except Exception:
+            self._m_evaluations.labels(outcome="error").inc()
+            self._m_eval_seconds.observe(time.perf_counter() - start)
+            raise
+        self._m_evaluations.labels(outcome="ok").inc()
+        self._m_eval_seconds.observe(time.perf_counter() - start)
+        return result
+
+    def _evaluate(self, query: OassisQuery) -> QueryResult:
         query.validate()
         bindings = self._where_bindings(query)
         tasks: list[CrowdTask] = []
@@ -387,10 +436,16 @@ class OassisEngine:
                 answer = self.crowd.ask(member, fact_set)
                 self._answer_cache[key] = answer
                 self.answer_cache_misses += 1
+                if self._m_answer_cache is not None:
+                    self._m_answer_cache.labels(result="miss").inc()
             else:
                 self.answer_cache_hits += 1
+                if self._m_answer_cache is not None:
+                    self._m_answer_cache.labels(result="hit").inc()
         else:
             answer = self.crowd.ask(member, fact_set)
+        if self._m_tasks is not None:
+            self._m_tasks.inc()
         tasks.append(CrowdTask(
             member_id=member.member_id,
             fact_set=fact_set,

@@ -1,0 +1,664 @@
+"""Dependency-free metrics: registry, instruments, Prometheus text format.
+
+The serving layer needs a truthful, scrape-able window into a running
+:class:`~repro.service.service.TranslationService`.  This module is the
+substrate: a thread-safe :class:`MetricsRegistry` holding three
+instrument kinds —
+
+* :class:`Counter` — monotonically increasing floats (requests,
+  cache hits, crowd tasks);
+* :class:`Gauge` — instantaneous values, settable or computed by a
+  lock-free callback (cache size);
+* :class:`Histogram` — cumulative-bucket latency distributions over
+  fixed log-scale buckets (per-stage pipeline latency).
+
+Every instrument may be *labeled* (``stage="ix-finder"``); a labeled
+family holds one child per label-value combination.  Registration is
+get-or-create: asking for an already-registered name returns the
+existing family (so a shared registry aggregates across services), and
+conflicting re-registration (different kind, help or label names)
+raises :class:`~repro.errors.MetricsError`.
+
+:meth:`MetricsRegistry.expose` renders the whole registry in the
+Prometheus text exposition format (version 0.0.4), and
+:func:`parse_prometheus_text` parses that format back — used by the
+tests and the CI job to prove the output is well-formed line by line.
+
+Everything is stdlib-only by design: the container this runs in has no
+``prometheus_client``, and none is needed.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterator, Mapping
+
+from repro.errors import MetricsError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+]
+
+#: Fixed log-scale (1-2.5-5 per decade) latency buckets, in seconds,
+#: from 100 microseconds to 10 seconds.  Wide enough for a single NLP
+#: stage and for a whole crowd-mining evaluation.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: The key of one child inside a family: label values, in the order of
+#: the family's ``labelnames``.
+LabelValues = tuple[str, ...]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integral floats without the ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _render_labels(
+    labelnames: tuple[str, ...],
+    labelvalues: LabelValues,
+    extra: tuple[tuple[str, str], ...] = (),
+) -> str:
+    pairs = [
+        f'{n}="{_escape_label_value(v)}"'
+        for n, v in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{n}="{_escape_label_value(v)}"' for n, v in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Family:
+    """Common machinery of a labeled metric family.
+
+    Value mutation and reads share the registry's single re-entrant
+    lock: instrument updates are cheap (a dict lookup and a float add),
+    and one lock keeps the whole registry's lock ordering trivial —
+    nothing in this module ever acquires another lock while holding it.
+    """
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        lock: threading.RLock,
+    ):
+        if not _METRIC_NAME.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise MetricsError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._children: dict[LabelValues, object] = {}
+
+    # -- children ------------------------------------------------------------
+
+    def _key(self, labels: Mapping[str, str]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise MetricsError(
+                f"metric {self.name!r} takes labels "
+                f"{list(self.labelnames)}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def labels(self, **labels: str):
+        """The child for one label-value combination (created lazily)."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise MetricsError(
+                f"metric {self.name!r} is labeled "
+                f"{list(self.labelnames)}; use .labels(...)"
+            )
+        return self.labels()
+
+    def children(self) -> list[tuple[dict[str, str], object]]:
+        """Snapshot of ``(labels dict, child)`` pairs, insertion order."""
+        with self._lock:
+            return [
+                (dict(zip(self.labelnames, key)), child)
+                for key, child in self._children.items()
+            ]
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Zero every child **in place**.
+
+        Children are kept (their label series persist at zero, as
+        Prometheus series do) so handles cached by hot paths — e.g. the
+        service's per-outcome counter children — stay live across a
+        reset instead of silently recording into detached objects.
+        """
+        with self._lock:
+            for child in self._children.values():
+                child.reset()
+
+    # -- exposition ----------------------------------------------------------
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def expose(self) -> list[str]:
+        with self._lock:
+            lines = self._header()
+            for key, child in self._children.items():
+                lines.extend(self._expose_child(key, child))
+            return lines
+
+    def _expose_child(self, key, child):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class _CounterChild:
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.RLock):
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Counter(_Family):
+    """A monotonically increasing value (family of them when labeled)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def value(self, **labels: str) -> float:
+        """Current value; 0.0 for a label combination never touched."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.value if child is not None else 0.0
+
+    def _expose_child(self, key, child):
+        labels = _render_labels(self.labelnames, key)
+        return [f"{self.name}{labels} {_format_value(child.value)}"]
+
+
+class _GaugeChild:
+    __slots__ = ("_value", "_lock", "_callback")
+
+    def __init__(
+        self,
+        lock: threading.RLock,
+        callback: Callable[[], float] | None = None,
+    ):
+        self._value = 0.0
+        self._lock = lock
+        self._callback = callback
+
+    def set(self, value: float) -> None:
+        if self._callback is not None:
+            raise MetricsError("callback gauges cannot be set")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._callback is not None:
+            raise MetricsError("callback gauges cannot be set")
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def reset(self) -> None:
+        if self._callback is not None:
+            return  # callback gauges describe live state
+        with self._lock:
+            self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        if self._callback is not None:
+            # Callbacks run under the registry lock during expose();
+            # they must be lock-free and cheap (e.g. len() of a dict).
+            return float(self._callback())
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Family):
+    """An instantaneous value; optionally computed by a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, labelnames, lock, callback=None):
+        if callback is not None and labelnames:
+            raise MetricsError("callback gauges cannot be labeled")
+        super().__init__(name, help, labelnames, lock)
+        self._callback = callback
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild(self._lock, self._callback)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None and self._callback is not None:
+                child = self.labels()
+            return child.value if child is not None else 0.0
+
+    def _expose_child(self, key, child):
+        labels = _render_labels(self.labelnames, key)
+        return [f"{self.name}{labels} {_format_value(child.value)}"]
+
+    def expose(self) -> list[str]:
+        # Materialize the default child so a callback gauge shows up
+        # even if nobody ever read it.
+        if self._callback is not None:
+            self.labels()
+        return super().expose()
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.RLock, buckets: tuple[float, ...]):
+        self._lock = lock
+        self.buckets = buckets
+        self._counts = [0] * len(buckets)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            if index < len(self._counts):
+                self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * len(self.buckets)
+            self._sum = 0.0
+            self._count = 0
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """``(upper bound, cumulative count)`` pairs, ending at +Inf."""
+        with self._lock:
+            out, running = [], 0
+            for bound, n in zip(self.buckets, self._counts):
+                running += n
+                out.append((bound, running))
+            out.append((math.inf, self._count))
+            return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus-style).
+
+        Linear interpolation inside the bucket that crosses the target
+        rank; the last bucket clamps to its lower bound.  An estimate —
+        good for admin panels, not for billing.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError("quantile must be in [0, 1]")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            target = q * self._count
+            running = 0
+            lower = 0.0
+            overflow = self._count - sum(self._counts)
+            for bound, n in zip(self.buckets, self._counts):
+                if running + n >= target and n:
+                    fraction = (target - running) / n
+                    return lower + (bound - lower) * fraction
+                running += n
+                lower = bound
+            # Target falls into the overflow (+Inf) bucket.
+            return self.buckets[-1] if overflow else lower
+
+
+class Histogram(_Family):
+    """A cumulative-bucket distribution (Prometheus histogram)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames, lock, buckets=None):
+        super().__init__(name, help, labelnames, lock)
+        raw = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS
+        if list(raw) != sorted(raw) or len(set(raw)) != len(raw):
+            raise MetricsError("histogram buckets must strictly increase")
+        if not raw:
+            raise MetricsError("histogram needs at least one bucket")
+        self.buckets = tuple(float(b) for b in raw if b != math.inf)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def sum(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.sum if child is not None else 0.0
+
+    def count(self, **labels: str) -> int:
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.count if child is not None else 0
+
+    def _expose_child(self, key, child):
+        lines = []
+        for bound, cumulative in child.cumulative_counts():
+            labels = _render_labels(
+                self.labelnames, key, (("le", _format_value(bound)),)
+            )
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        labels = _render_labels(self.labelnames, key)
+        lines.append(f"{self.name}_sum{labels} {_format_value(child.sum)}")
+        lines.append(f"{self.name}_count{labels} {child.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metric families with text exposition.
+
+    One registry per service is the normal shape; injecting a shared
+    registry into several components (service, cache, engine) gives one
+    scrape endpoint for the whole process.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+
+    # -- registration (get-or-create) ----------------------------------------
+
+    def counter(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+    ) -> Counter:
+        return self._register(Counter, name, help, tuple(labelnames))
+
+    def gauge(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        callback: Callable[[], float] | None = None,
+    ) -> Gauge:
+        return self._register(
+            Gauge, name, help, tuple(labelnames), callback=callback
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help, tuple(labelnames), buckets=buckets
+        )
+
+    def _register(self, cls, name, help, labelnames, **kwargs) -> _Family:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if (
+                    type(existing) is not cls
+                    or existing.labelnames != labelnames
+                ):
+                    raise MetricsError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind} with labels "
+                        f"{list(existing.labelnames)}"
+                    )
+                return existing
+            family = cls(name, help, labelnames, self._lock, **kwargs)
+            self._families[name] = family
+            return family
+
+    # -- introspection -------------------------------------------------------
+
+    def get(self, name: str) -> _Family | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def __iter__(self) -> Iterator[_Family]:
+        with self._lock:
+            return iter(list(self._families.values()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._families)
+
+    def reset(self) -> None:
+        """Zero every value; registrations and callbacks survive."""
+        with self._lock:
+            for family in self._families.values():
+                family.reset()
+
+    # -- exposition ----------------------------------------------------------
+
+    def expose(self) -> str:
+        """The whole registry in Prometheus text format (0.0.4).
+
+        Ends with a trailing newline, as scrapers expect.  The snapshot
+        is per-family consistent; cross-family consistency is not
+        promised (scrapes are not transactions).
+        """
+        lines: list[str] = []
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            lines.extend(family.expose())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# Text-format parsing (for tests and the CI exposition check)
+# ---------------------------------------------------------------------------
+
+
+def _parse_labels(text: str, lineno: int) -> dict[str, str]:
+    """Parse ``name="value",...`` (the part between the braces)."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(text)
+    while i < n:
+        match = re.match(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"', text[i:])
+        if not match:
+            raise ValueError(
+                f"line {lineno}: malformed label pair at {text[i:]!r}"
+            )
+        name = match.group(1)
+        i += match.end()
+        value = []
+        while i < n and text[i] != '"':
+            if text[i] == "\\":
+                if i + 1 >= n:
+                    raise ValueError(
+                        f"line {lineno}: dangling escape in label value"
+                    )
+                escaped = text[i + 1]
+                value.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escaped)
+                    or escaped
+                )
+                i += 2
+            else:
+                value.append(text[i])
+                i += 1
+        if i >= n:
+            raise ValueError(f"line {lineno}: unterminated label value")
+        i += 1  # closing quote
+        labels[name] = "".join(value)
+        rest = text[i:].lstrip()
+        if rest.startswith(","):
+            i = n - len(rest) + 1
+        elif rest:
+            raise ValueError(
+                f"line {lineno}: junk after label value: {rest!r}"
+            )
+        else:
+            break
+    return labels
+
+
+def _parse_value(token: str, lineno: int) -> float:
+    token = token.strip()
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError as err:
+        raise ValueError(
+            f"line {lineno}: malformed sample value {token!r}"
+        ) from err
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse Prometheus text-format exposition into metric dicts.
+
+    Returns ``{metric name: {"type": str | None, "help": str | None,
+    "samples": {(sample name, ((label, value), ...)): float}}}``, where
+    the sample name carries any ``_bucket``/``_sum``/``_count`` suffix
+    and label pairs are sorted.  Raises :class:`ValueError` on any line
+    that is not a valid comment, ``# HELP``, ``# TYPE`` or sample line —
+    this strictness is the point: the tests and the CI job use it to
+    prove :meth:`MetricsRegistry.expose` output is well-formed.
+    """
+    metrics: dict[str, dict] = {}
+
+    def entry(name: str) -> dict:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        found = metrics.get(base) if base in metrics else metrics.get(name)
+        if found is None:
+            found = {"type": None, "help": None, "samples": {}}
+            metrics[name] = found
+        return found
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                payload = parts[3] if len(parts) > 3 else ""
+                record = metrics.setdefault(
+                    name, {"type": None, "help": None, "samples": {}}
+                )
+                record[parts[1].lower()] = payload
+            # Other comments are legal and ignored.
+            continue
+        match = re.match(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+\S+)?$",
+            line,
+        )
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        name, _, labeltext, valuetoken, _timestamp = match.groups()
+        labels = (
+            _parse_labels(labeltext, lineno) if labeltext else {}
+        )
+        value = _parse_value(valuetoken, lineno)
+        key = (name, tuple(sorted(labels.items())))
+        entry(name)["samples"][key] = value
+    return metrics

@@ -1,0 +1,56 @@
+"""A stdlib scrape endpoint: ``GET /metrics`` over ``http.server``.
+
+Production deployments put a real ASGI server in front; for the CLI,
+the examples and the tests, a ``ThreadingHTTPServer`` on a daemon
+thread is exactly enough — zero dependencies, one call to start.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["start_metrics_server"]
+
+#: The content type Prometheus expects for text exposition 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def start_metrics_server(
+    registry: MetricsRegistry,
+    port: int = 0,
+    host: str = "127.0.0.1",
+) -> ThreadingHTTPServer:
+    """Serve ``registry.expose()`` on ``/metrics`` in the background.
+
+    Returns the running server; ``server.server_address[1]`` is the
+    bound port (useful with ``port=0``), and ``server.shutdown()``
+    stops it.  The serving thread is a daemon, so a forgotten server
+    never blocks interpreter exit.
+    """
+
+    class MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                self.send_error(404, "try /metrics")
+                return
+            body = registry.expose().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format, *args):  # noqa: A002
+            pass  # scrapes every few seconds must not spam stderr
+
+    server = ThreadingHTTPServer((host, port), MetricsHandler)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name="repro-metrics-server",
+        daemon=True,
+    )
+    thread.start()
+    return server

@@ -18,7 +18,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["CacheStats", "TranslationCache"]
 
@@ -28,13 +31,19 @@ CacheKey = tuple[str, str]
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counter snapshot; hit rate is hits / (hits + misses)."""
+    """Counter snapshot; hit rate is hits / (hits + misses).
+
+    ``insertions`` counts entries actually added (refreshing an
+    existing key is not an insertion) — it is what
+    :meth:`~repro.service.service.TranslationService.warm` reports.
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     capacity: int
+    insertions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -63,6 +72,48 @@ class TranslationCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._insertions = 0
+        self._m_lookups = None
+        self._m_evictions = None
+        self._m_insertions = None
+
+    # -- metrics ----------------------------------------------------------------
+
+    def bind_registry(self, registry: "MetricsRegistry") -> None:
+        """Mirror this cache's counters into ``registry``.
+
+        Event counters (lookups by result, evictions, insertions) are
+        incremented as they happen; size and capacity are lock-free
+        callback gauges, so a scrape never touches the cache lock.
+        Registration is get-or-create, so binding several caches to one
+        registry aggregates them.  Lock ordering: the cache lock may be
+        held while a counter takes the registry lock, never the
+        reverse (the gauge callbacks below are lock-free by design).
+        """
+        self._m_lookups = registry.counter(
+            "nl2cm_cache_lookups_total",
+            "Translation cache lookups by result (hit/miss).",
+            labelnames=("result",),
+        )
+        self._m_evictions = registry.counter(
+            "nl2cm_cache_evictions_total",
+            "Translation cache LRU evictions.",
+        )
+        self._m_insertions = registry.counter(
+            "nl2cm_cache_insertions_total",
+            "Translation cache entries actually inserted "
+            "(refreshes excluded).",
+        )
+        registry.gauge(
+            "nl2cm_cache_size",
+            "Translations currently cached.",
+            callback=lambda: float(len(self._entries)),
+        )
+        registry.gauge(
+            "nl2cm_cache_capacity",
+            "Translation cache capacity.",
+            callback=lambda: float(self.capacity),
+        )
 
     # -- keys -------------------------------------------------------------------
 
@@ -84,23 +135,38 @@ class TranslationCache:
             result = self._entries.get(key)
             if result is None:
                 self._misses += 1
+                if self._m_lookups is not None:
+                    self._m_lookups.labels(result="miss").inc()
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            if self._m_lookups is not None:
+                self._m_lookups.labels(result="hit").inc()
             return result
 
-    def put(self, text: str, fingerprint: str, result: Any) -> None:
-        """Insert (or refresh) an entry, evicting the LRU if full."""
+    def put(self, text: str, fingerprint: str, result: Any) -> bool:
+        """Insert (or refresh) an entry, evicting the LRU if full.
+
+        Returns True when a new entry was **inserted**, False when an
+        existing key was merely refreshed — the distinction
+        :meth:`warm` and the ``insertions`` counter are built on.
+        """
         key = self.make_key(text, fingerprint)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._entries[key] = result
-                return
+                return False
             while len(self._entries) >= self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
             self._entries[key] = result
+            self._insertions += 1
+            if self._m_insertions is not None:
+                self._m_insertions.inc()
+            return True
 
     def warm(
         self, entries: Iterable[tuple[str, str, Any]]
@@ -108,12 +174,13 @@ class TranslationCache:
         """Pre-load (text, fingerprint, result) triples.
 
         Warming does not touch the hit/miss counters — it is not
-        traffic.  Returns the number of entries inserted.
+        traffic.  Returns the number of entries actually inserted
+        (refreshed duplicates are not counted).
         """
         n = 0
         for text, fingerprint, result in entries:
-            self.put(text, fingerprint, result)
-            n += 1
+            if self.put(text, fingerprint, result):
+                n += 1
         return n
 
     # -- introspection ------------------------------------------------------------
@@ -126,18 +193,26 @@ class TranslationCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                insertions=self._insertions,
             )
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         with self._lock:
             self._entries.clear()
-            self._hits = self._misses = self._evictions = 0
+            self._hits = self._misses = 0
+            self._evictions = self._insertions = 0
 
     def reset_counters(self) -> None:
-        """Zero the hit/miss/eviction counters; entries are kept."""
+        """Zero hit/miss/eviction/insertion counters; entries kept.
+
+        The bound registry's mirrored counters are *not* reset here —
+        the service's ``reset_stats`` resets the whole registry, which
+        covers them.
+        """
         with self._lock:
-            self._hits = self._misses = self._evictions = 0
+            self._hits = self._misses = 0
+            self._evictions = self._insertions = 0
 
     def __len__(self) -> int:
         with self._lock:

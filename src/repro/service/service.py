@@ -17,6 +17,24 @@ service adds the serving layer the paper's demo never needed:
   (request counters, cache hit rate, per-stage latency aggregates) for
   the admin monitor.
 
+Every counter and latency distribution lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` (injectable; a private one
+is built if omitted), exposed in Prometheus text format via
+``registry.expose()``.  :meth:`stats` is a *compatibility view* derived
+from the registry — the two can never disagree, because there is only
+one set of numbers.  Request accounting distinguishes four disjoint
+outcomes::
+
+    requests == translated + served_from_cache + deduplicated + errors
+
+where *deduplicated* counts batch single-flight followers (they share a
+leader's in-batch result — that is not a cache hit, and is counted even
+when caching is disabled).  Per-stage latency is aggregated from the
+translation trace's span tree using **self-times** (a span's duration
+minus its children's), which tile each request exactly: stage totals
+always sum to ``busy_seconds``, with orchestration glue visible as the
+``pipeline-overhead`` series instead of silently inflating a stage.
+
 Results are returned in request order and are byte-identical to what a
 sequential run of ``NL2CM.translate`` produces — determinism under
 threading is part of the service contract (and under test).
@@ -30,8 +48,10 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.core.pipeline import NL2CM, TranslationResult
+from repro.core.pipeline import NL2CM, TranslationResult, TranslationTrace
 from repro.errors import QueryLintError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
 from repro.service.cache import CacheStats, TranslationCache
 from repro.ui.interaction import InteractionProvider
 
@@ -39,13 +59,24 @@ __all__ = [
     "BatchItem", "ServiceStats", "StageStat", "TranslationService",
 ]
 
+#: Stage name under which a request's orchestration glue (the root
+#: span's self-time: span bookkeeping, artifact wiring) is accounted.
+OVERHEAD_STAGE = "pipeline-overhead"
+
 
 @dataclass(frozen=True)
 class StageStat:
-    """Aggregate latency of one pipeline stage."""
+    """Aggregate self-time of one pipeline stage.
+
+    ``leaf`` is True for real pipeline work (childless spans); False
+    for the self-time of aggregate spans (``ix-detection``) and the
+    ``pipeline-overhead`` series.  Totals over *all* stages — leaf or
+    not — sum to ``busy_seconds``.
+    """
 
     total_seconds: float
     count: int
+    leaf: bool = True
 
     @property
     def mean_ms(self) -> float:
@@ -56,28 +87,42 @@ class StageStat:
 class ServiceStats:
     """A point-in-time snapshot of the service's counters.
 
+    Derived from the service's metrics registry under the service lock,
+    with the cache counters read *after* the request counters — so the
+    snapshot can never show ``served_from_cache > cache hits`` (every
+    counted cache-served request incremented the cache's hit counter
+    first).
+
     Attributes:
-        requests: translation requests served (cache hits included).
+        requests: translation requests served (all outcomes).
         translated: fresh translations actually run through the pipeline.
-        served_from_cache: requests answered without running the pipeline.
+        served_from_cache: requests answered by a cache lookup.
+        deduplicated: batch single-flight followers that shared a
+            leader's result within one batch (not cache hits; counted
+            even when caching is disabled).
         errors: requests that raised a translation/verification error.
         batches: ``translate_batch`` calls completed.
         batch_questions: questions served through batches.
         batch_seconds: wall-clock seconds spent inside batch calls.
-        busy_seconds: summed per-translation pipeline time (overlaps
-            under concurrency, so this is per-worker time, not wall).
-        stages: per-stage latency aggregates of fresh translations.
+        busy_seconds: summed per-translation pipeline wall time
+            (overlaps under concurrency, so this is per-worker time,
+            not wall).
+        stages: per-stage self-time aggregates of fresh translations;
+            ``sum(s.total_seconds for s in stages.values())`` equals
+            ``busy_seconds`` (up to float rounding).
         cache: cache counters, or None when caching is disabled.
         workers: the configured fan-out width.
         lint_errors: ERROR-level lint diagnostics across fresh
             translations (including ones that raised ``QueryLintError``).
         lint_warnings: WARNING-level lint diagnostics, same scope.
         lint_infos: INFO-level lint diagnostics, same scope.
+        slow_queries: translations retained by the slow-query log.
     """
 
     requests: int
     translated: int
     served_from_cache: int
+    deduplicated: int
     errors: int
     batches: int
     batch_questions: int
@@ -89,6 +134,15 @@ class ServiceStats:
     lint_errors: int = 0
     lint_warnings: int = 0
     lint_infos: int = 0
+    slow_queries: int = 0
+
+    @property
+    def accounted(self) -> int:
+        """The outcome sum; equals ``requests`` at every instant."""
+        return (
+            self.translated + self.served_from_cache
+            + self.deduplicated + self.errors
+        )
 
     @property
     def mean_translation_ms(self) -> float:
@@ -126,23 +180,6 @@ class BatchItem:
         return self.result.query_text if self.result else None
 
 
-@dataclass
-class _Counters:
-    requests: int = 0
-    translated: int = 0
-    served_from_cache: int = 0
-    errors: int = 0
-    batches: int = 0
-    batch_questions: int = 0
-    batch_seconds: float = 0.0
-    busy_seconds: float = 0.0
-    stage_totals: dict[str, float] = field(default_factory=dict)
-    stage_counts: dict[str, int] = field(default_factory=dict)
-    lint_errors: int = 0
-    lint_warnings: int = 0
-    lint_infos: int = 0
-
-
 class TranslationService:
     """Concurrent, cached front-end to one shared translator.
 
@@ -153,6 +190,14 @@ class TranslationService:
             or None to disable caching entirely.
         interaction: default answer provider for requests that do not
             carry their own; falls back to the translator's provider.
+        registry: the metrics registry to record into; a private one is
+            built if omitted.  Injecting a shared registry gives one
+            scrape endpoint for several components (service, cache,
+            engine) — at the price that :meth:`reset_stats` zeroes the
+            whole registry.
+        slow_log: a :class:`~repro.obs.slowlog.SlowQueryLog`, or a
+            threshold in milliseconds for a fresh one, or None to
+            disable the slow-query log.
     """
 
     def __init__(
@@ -162,6 +207,8 @@ class TranslationService:
         workers: int = 4,
         cache: TranslationCache | int | None = 256,
         interaction: InteractionProvider | None = None,
+        registry: MetricsRegistry | None = None,
+        slow_log: SlowQueryLog | float | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -171,8 +218,81 @@ class TranslationService:
             cache = TranslationCache(capacity=cache)
         self.cache = cache
         self.interaction = interaction
+        self.registry = registry if registry is not None else (
+            MetricsRegistry()
+        )
+        if isinstance(slow_log, (int, float)):
+            slow_log = SlowQueryLog(threshold_ms=float(slow_log))
+        self.slow_log = slow_log
         self._lock = threading.Lock()
-        self._counters = _Counters()
+        self._build_metrics()
+        if self.cache is not None:
+            self.cache.bind_registry(self.registry)
+
+    def _build_metrics(self) -> None:
+        r = self.registry
+        self._m_requests = r.counter(
+            "nl2cm_requests_total",
+            "Translation requests served (all outcomes).",
+        )
+        self._m_outcomes = r.counter(
+            "nl2cm_request_outcomes_total",
+            "Requests by outcome: translated, cache_hit, deduplicated, "
+            "error.  Sums to nl2cm_requests_total.",
+            labelnames=("outcome",),
+        )
+        self._m_translate = r.histogram(
+            "nl2cm_translate_seconds",
+            "Wall-clock seconds per fresh pipeline translation "
+            "(the trace's root span).",
+        )
+        self._m_stage = r.histogram(
+            "nl2cm_stage_seconds",
+            "Per-stage self-time of fresh translations; kind is 'leaf' "
+            "for real pipeline work, 'self' for aggregate spans' own "
+            "time, 'overhead' for request orchestration glue.  Sums "
+            "across all series equal nl2cm_translate_seconds_sum.",
+            labelnames=("stage", "kind"),
+        )
+        self._m_batches = r.counter(
+            "nl2cm_batches_total", "translate_batch calls completed.",
+        )
+        self._m_batch_questions = r.counter(
+            "nl2cm_batch_questions_total",
+            "Questions served through batches.",
+        )
+        self._m_batch_seconds = r.counter(
+            "nl2cm_batch_seconds_total",
+            "Wall-clock seconds spent inside translate_batch calls.",
+        )
+        self._m_lint = r.counter(
+            "nl2cm_lint_diagnostics_total",
+            "QueryLint diagnostics across fresh translations.",
+            labelnames=("severity",),
+        )
+        self._m_slow = r.counter(
+            "nl2cm_slow_queries_total",
+            "Translations retained by the slow-query log.",
+        )
+        r.gauge(
+            "nl2cm_workers",
+            "Configured batch fan-out width.",
+            callback=lambda: float(self.workers),
+        )
+        # Hot-path child handles: skip the labels() validation on every
+        # request.  Safe across reset_stats() because registry.reset()
+        # zeroes children in place rather than dropping them.
+        self._c_requests = self._m_requests.labels()
+        self._c_translated = self._m_outcomes.labels(
+            outcome="translated"
+        )
+        self._c_cache_hit = self._m_outcomes.labels(outcome="cache_hit")
+        self._c_deduplicated = self._m_outcomes.labels(
+            outcome="deduplicated"
+        )
+        self._c_error = self._m_outcomes.labels(outcome="error")
+        self._h_translate = self._m_translate.labels()
+        self._stage_children: dict[tuple[str, str], object] = {}
 
     # -- single-question path -------------------------------------------------------
 
@@ -193,8 +313,8 @@ class TranslationService:
             cached = self.cache.get(text, fingerprint)
             if cached is not None:
                 with self._lock:
-                    self._counters.requests += 1
-                    self._counters.served_from_cache += 1
+                    self._c_requests.inc()
+                    self._c_cache_hit.inc()
                 return cached
         return self._translate_fresh(text, provider, fingerprint)
 
@@ -204,34 +324,26 @@ class TranslationService:
         provider: InteractionProvider,
         fingerprint: str | None,
     ) -> TranslationResult:
-        start = time.perf_counter()
         try:
             result = self.nl2cm.translate(text, provider)
         except QueryLintError as err:
             with self._lock:
-                c = self._counters
-                c.requests += 1
-                c.errors += 1
-                self._count_lint(c, err.report)
+                self._c_requests.inc()
+                self._c_error.inc()
+                self._count_lint(err.report)
             raise
         except ReproError:
             with self._lock:
-                self._counters.requests += 1
-                self._counters.errors += 1
+                self._c_requests.inc()
+                self._c_error.inc()
             raise
-        elapsed = time.perf_counter() - start
+        trace = result.trace
         with self._lock:
-            c = self._counters
-            c.requests += 1
-            c.translated += 1
-            c.busy_seconds += elapsed
-            for stage, seconds in result.trace.timings().items():
-                c.stage_totals[stage] = (
-                    c.stage_totals.get(stage, 0.0) + seconds
-                )
-                c.stage_counts[stage] = c.stage_counts.get(stage, 0) + 1
+            self._record_translation(trace)
             if result.lint is not None:
-                self._count_lint(c, result.lint)
+                self._count_lint(result.lint)
+        if self.slow_log is not None and self.slow_log.record(text, trace):
+            self._m_slow.inc()
         if (
             self.cache is not None
             and fingerprint is not None
@@ -244,11 +356,50 @@ class TranslationService:
             self.cache.put(text, fingerprint, result)
         return result
 
-    @staticmethod
-    def _count_lint(c: _Counters, report) -> None:
-        c.lint_errors += len(report.errors)
-        c.lint_warnings += len(report.warnings)
-        c.lint_infos += len(report.infos)
+    def _record_translation(self, trace: TranslationTrace) -> None:
+        """Record one fresh translation; the caller holds the lock."""
+        self._c_requests.inc()
+        self._c_translated.inc()
+        self._h_translate.observe(trace.total_seconds())
+        self._record_stages(trace)
+
+    def _record_stages(self, trace: TranslationTrace) -> None:
+        """Observe every span's self-time; self-times tile the request,
+        so the per-stage sums reconstruct ``busy_seconds`` exactly."""
+        children_elapsed: dict[int | None, float] = {}
+        has_children: set[int] = set()
+        for span in trace.spans:
+            children_elapsed[span.parent_id] = (
+                children_elapsed.get(span.parent_id, 0.0) + span.elapsed
+            )
+            if span.parent_id is not None:
+                has_children.add(span.parent_id)
+        for span in trace.spans:
+            self_time = span.elapsed - children_elapsed.get(
+                span.span_id, 0.0
+            )
+            if span.parent_id is None:
+                stage, kind = OVERHEAD_STAGE, "overhead"
+            elif span.span_id in has_children:
+                stage, kind = span.name, "self"
+            else:
+                stage, kind = span.name, "leaf"
+            child = self._stage_children.get((stage, kind))
+            if child is None:
+                child = self._m_stage.labels(stage=stage, kind=kind)
+                self._stage_children[(stage, kind)] = child
+            child.observe(self_time)
+
+    def _count_lint(self, report) -> None:
+        for severity, diagnostics in (
+            ("error", report.errors),
+            ("warning", report.warnings),
+            ("info", report.infos),
+        ):
+            if diagnostics:
+                self._m_lint.labels(severity=severity).inc(
+                    len(diagnostics)
+                )
 
     # -- batch path -------------------------------------------------------------------
 
@@ -262,7 +413,8 @@ class TranslationService:
 
         Identical questions (after normalization) are translated once
         per batch — single-flight — and every duplicate shares the
-        leader's result.  Translation errors are captured per item
+        leader's result (counted as ``deduplicated``, whether or not a
+        cache is configured).  Translation errors are captured per item
         rather than raised, so one unsupported question does not sink
         the batch.
         """
@@ -301,11 +453,11 @@ class TranslationService:
                 items[i].error = error
                 items[i].cached = error is None
                 with self._lock:
-                    self._counters.requests += 1
+                    self._c_requests.inc()
                     if error is None:
-                        self._counters.served_from_cache += 1
+                        self._c_deduplicated.inc()
                     else:
-                        self._counters.errors += 1
+                        self._c_error.inc()
 
         group_lists = list(groups.values())
         if width == 1 or len(group_lists) == 1:
@@ -322,9 +474,9 @@ class TranslationService:
 
         elapsed = time.perf_counter() - start
         with self._lock:
-            self._counters.batches += 1
-            self._counters.batch_questions += len(texts)
-            self._counters.batch_seconds += elapsed
+            self._m_batches.inc()
+            self._m_batch_questions.inc(len(texts))
+            self._m_batch_seconds.inc(elapsed)
         return items
 
     # -- warming ------------------------------------------------------------------------
@@ -335,9 +487,12 @@ class TranslationService:
         interaction: InteractionProvider | None = None,
         workers: int | None = None,
     ) -> int:
-        """Pre-translate ``texts`` into the cache; returns the number
-        cached.  Unsupported questions are skipped, not raised: warming
-        a corpus that contains a few rejects is routine."""
+        """Pre-translate ``texts``; returns the number of cache entries
+        actually **inserted** — duplicates, questions already cached,
+        unsupported questions and lint-refused results are all excluded
+        (they put nothing into the cache).  Unsupported questions are
+        skipped, not raised: warming a corpus that contains a few
+        rejects is routine."""
         if self.cache is None:
             raise ReproError("cannot warm a service with caching disabled")
         provider = self._provider(interaction)
@@ -348,47 +503,68 @@ class TranslationService:
                 "cache fingerprint (scripted/console providers are "
                 "stateful)"
             )
-        items = self.translate_batch(
+        before = self.cache.stats().insertions
+        self.translate_batch(
             list(texts), interaction=provider, workers=workers
         )
-        return sum(1 for item in items if item.ok)
+        return self.cache.stats().insertions - before
 
     # -- stats ---------------------------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        cache_stats = self.cache.stats() if self.cache is not None else None
+        """A consistent snapshot, derived from the metrics registry.
+
+        Taken under the service lock, so grouped counter updates are
+        never observed half-done; the cache counters are read *after*
+        the request counters (still under the lock), which guarantees
+        ``served_from_cache <= cache.hits`` in every snapshot.
+        """
         with self._lock:
-            c = self._counters
-            stages = {
-                stage: StageStat(
-                    total_seconds=c.stage_totals[stage],
-                    count=c.stage_counts[stage],
+            outcome = self._m_outcomes.value
+            stages: dict[str, StageStat] = {}
+            for labels, child in self._m_stage.children():
+                stages[labels["stage"]] = StageStat(
+                    total_seconds=child.sum,
+                    count=child.count,
+                    leaf=labels["kind"] == "leaf",
                 )
-                for stage in c.stage_totals
-            }
-            return ServiceStats(
-                requests=c.requests,
-                translated=c.translated,
-                served_from_cache=c.served_from_cache,
-                errors=c.errors,
-                batches=c.batches,
-                batch_questions=c.batch_questions,
-                batch_seconds=c.batch_seconds,
-                busy_seconds=c.busy_seconds,
+            snapshot = dict(
+                requests=int(self._m_requests.value()),
+                translated=int(outcome(outcome="translated")),
+                served_from_cache=int(outcome(outcome="cache_hit")),
+                deduplicated=int(outcome(outcome="deduplicated")),
+                errors=int(outcome(outcome="error")),
+                batches=int(self._m_batches.value()),
+                batch_questions=int(self._m_batch_questions.value()),
+                batch_seconds=self._m_batch_seconds.value(),
+                busy_seconds=self._m_translate.sum(),
                 stages=stages,
-                cache=cache_stats,
-                workers=self.workers,
-                lint_errors=c.lint_errors,
-                lint_warnings=c.lint_warnings,
-                lint_infos=c.lint_infos,
+                lint_errors=int(self._m_lint.value(severity="error")),
+                lint_warnings=int(
+                    self._m_lint.value(severity="warning")
+                ),
+                lint_infos=int(self._m_lint.value(severity="info")),
+                slow_queries=int(self._m_slow.value()),
             )
+            cache_stats = (
+                self.cache.stats() if self.cache is not None else None
+            )
+        return ServiceStats(
+            cache=cache_stats, workers=self.workers, **snapshot
+        )
 
     def reset_stats(self) -> None:
-        """Zero the counters (cache contents are kept)."""
+        """Zero the counters (cache contents are kept).
+
+        Resets the **whole** bound registry — with an injected shared
+        registry this includes any other component recording into it.
+        """
         with self._lock:
-            self._counters = _Counters()
+            self.registry.reset()
         if self.cache is not None:
             self.cache.reset_counters()
+        if self.slow_log is not None:
+            self.slow_log.clear()
 
     # -- internals -----------------------------------------------------------------------
 

@@ -13,17 +13,20 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.diagnostics import AnalysisReport
+    from repro.obs.metrics import MetricsRegistry
     from repro.service.service import ServiceStats
 
-__all__ = ["render_analysis_report", "render_service_stats"]
+__all__ = [
+    "render_analysis_report", "render_metrics", "render_service_stats",
+]
 
-# Aggregated stages first (the ix-detection entry subsumes its
-# finder/creator sub-steps), then everything else alphabetically.
+# Pipeline order, parents before their children; unknown stages follow
+# alphabetically and pipeline-overhead closes the table.
 _STAGE_ORDER = (
-    "verification", "nl-parsing", "ix-finder", "ix-creator",
-    "ix-detection", "general-query-generator",
+    "verification", "nl-parsing", "ix-detection", "ix-finder",
+    "ix-creator", "ix-verification", "general-query-generator",
     "individual-triple-creation", "query-composition", "query-lint",
-    "final-query",
+    "final-query", "pipeline-overhead",
 )
 
 
@@ -49,6 +52,7 @@ def render_service_stats(stats: "ServiceStats") -> str:
         f"requests: {stats.requests}  "
         f"translated: {stats.translated}  "
         f"from cache: {stats.served_from_cache}  "
+        f"deduplicated: {stats.deduplicated}  "
         f"errors: {stats.errors}"
     )
     lines.append(
@@ -73,17 +77,73 @@ def render_service_stats(stats: "ServiceStats") -> str:
         f"{stats.lint_warnings} warning(s)  "
         f"{stats.lint_infos} info(s)"
     )
+    if stats.slow_queries:
+        lines.append(f"slow queries: {stats.slow_queries}")
 
     if stats.stages:
         ordered = [s for s in _STAGE_ORDER if s in stats.stages]
         ordered += sorted(set(stats.stages) - set(ordered))
         rows = [
-            [stage, f"{stats.stages[stage].mean_ms:.2f}",
+            [stage,
+             "leaf" if stats.stages[stage].leaf else "self",
+             f"{stats.stages[stage].mean_ms:.2f}",
              str(stats.stages[stage].count)]
             for stage in ordered
         ]
         lines.append("")
-        lines.append(_rows_to_table(["stage", "mean ms", "n"], rows))
+        lines.append(_rows_to_table(
+            ["stage", "kind", "mean ms", "n"], rows
+        ))
+    return "\n".join(lines)
+
+
+def render_metrics(registry: "MetricsRegistry") -> str:
+    """A live metrics panel straight off a registry.
+
+    One table per instrument kind: counters (per labeled series),
+    gauges, and histograms with count / mean / estimated p50 and p95 —
+    the admin-mode view of exactly what ``/metrics`` exposes.
+    """
+    counters: list[list[str]] = []
+    gauges: list[list[str]] = []
+    histograms: list[list[str]] = []
+    for family in registry:
+        if family.kind == "gauge" and family._callback is not None:
+            family.labels()  # materialize, as expose() does
+        for labels, child in family.children():
+            series = family.name
+            if labels:
+                series += "{" + ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) + "}"
+            if family.kind == "counter":
+                counters.append([series, f"{child.value:g}"])
+            elif family.kind == "gauge":
+                gauges.append([series, f"{child.value:g}"])
+            elif family.kind == "histogram":
+                count = child.count
+                mean = child.sum / count if count else 0.0
+                histograms.append([
+                    series,
+                    str(count),
+                    f"{mean * 1000:.2f}",
+                    f"{child.quantile(0.5) * 1000:.2f}",
+                    f"{child.quantile(0.95) * 1000:.2f}",
+                ])
+    lines = ["== metrics =="]
+    if counters:
+        lines.append(_rows_to_table(["counter", "value"], counters))
+    if gauges:
+        lines.append("")
+        lines.append(_rows_to_table(["gauge", "value"], gauges))
+    if histograms:
+        lines.append("")
+        lines.append(_rows_to_table(
+            ["histogram", "n", "mean ms", "p50 ms", "p95 ms"],
+            histograms,
+        ))
+    if len(lines) == 1:
+        lines.append("(no series recorded yet)")
     return "\n".join(lines)
 
 

@@ -77,7 +77,8 @@ class TestPipelineStage:
 
 def make_result(text, lint):
     trace = TranslationTrace()
-    trace.add("query-lint", "(no diagnostics)", 0.001)
+    with trace.span("translate"):
+        trace.add("query-lint", "(no diagnostics)", 0.001)
     return SimpleNamespace(
         text=text, query=None, query_text="SELECT VARIABLES",
         graph=None, ixs=[], composed=None, trace=trace, lint=lint,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.pipeline import NL2CM
-from repro.errors import VerificationError
+from repro.errors import InteractionProtocolError, VerificationError
 from repro.oassisql import parse_oassisql, print_oassisql
 from repro.oassisql.ast import SupportThreshold, TopK
 from repro.ui.interaction import ScriptedInteraction, VerifyIXRequest
@@ -139,6 +139,22 @@ class TestUncertainIXVerification:
     def test_auto_mode_accepts_uncertain(self, nl2cm):
         result = nl2cm.translate(self.QUESTION)
         assert "[] hang $x" in result.query_text
+
+    def test_too_few_answers_raise_protocol_error(self, nl2cm):
+        # A misbehaving provider that answers the verification dialog
+        # with an empty list; zip() used to truncate this silently,
+        # leaving the uncertain IX unreviewed.
+        provider = ScriptedInteraction([[]])
+        with pytest.raises(
+            InteractionProtocolError, match=r"needs 1 answer\(s\)"
+        ) as err:
+            nl2cm.translate(self.QUESTION, interaction=provider)
+        assert "returned 0" in str(err.value)
+
+    def test_too_many_answers_raise_protocol_error(self, nl2cm):
+        provider = ScriptedInteraction([[True, False, True]])
+        with pytest.raises(InteractionProtocolError, match="returned 3"):
+            nl2cm.translate(self.QUESTION, interaction=provider)
 
     def test_certain_ix_not_verified(self, nl2cm):
         provider = ScriptedInteraction([], strict=True)

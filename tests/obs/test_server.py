@@ -1,0 +1,53 @@
+"""The stdlib /metrics endpoint, scraped over real HTTP."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    start_metrics_server,
+)
+
+
+@pytest.fixture
+def served():
+    registry = MetricsRegistry()
+    registry.counter("up_total", "liveness").inc(7)
+    server = start_metrics_server(registry, port=0)
+    port = server.server_address[1]
+    yield registry, f"http://127.0.0.1:{port}"
+    server.shutdown()
+
+
+class TestScrape:
+    def test_metrics_endpoint_parses(self, served):
+        registry, base = served
+        with urllib.request.urlopen(f"{base}/metrics") as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            body = resp.read().decode("utf-8")
+        parsed = parse_prometheus_text(body)
+        assert parsed["up_total"]["samples"][("up_total", ())] == 7.0
+
+    def test_scrape_sees_live_updates(self, served):
+        registry, base = served
+        registry.get("up_total").inc(3)
+        with urllib.request.urlopen(f"{base}/metrics") as resp:
+            body = resp.read().decode("utf-8")
+        assert "up_total 10" in body
+
+    def test_root_path_also_serves(self, served):
+        _, base = served
+        with urllib.request.urlopen(f"{base}/") as resp:
+            assert resp.status == 200
+
+    def test_other_paths_404(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{base}/nope")
+        assert err.value.code == 404

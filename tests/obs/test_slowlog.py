@@ -1,0 +1,65 @@
+"""Slow-query log: threshold filtering and the bounded ring."""
+
+import pytest
+
+from repro.obs import SlowQueryLog, SpanRecorder
+
+
+def trace_taking(seconds: float) -> SpanRecorder:
+    rec = SpanRecorder()
+    span = rec.start_span("translate")
+    rec.end_span(span)
+    span.end = span.start + seconds
+    return rec
+
+
+class TestThreshold:
+    def test_fast_traces_skipped_slow_retained(self):
+        log = SlowQueryLog(threshold_ms=50)
+        assert not log.record("fast", trace_taking(0.001))
+        assert log.record("slow", trace_taking(0.2))
+        entries = log.entries()
+        assert [e.text for e in entries] == ["slow"]
+        assert entries[0].total_ms == pytest.approx(200, rel=1e-3)
+        assert entries[0].request_id
+
+    def test_threshold_zero_retains_everything(self):
+        log = SlowQueryLog(threshold_ms=0)
+        assert log.record("any", trace_taking(0.0001))
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=1, capacity=0)
+
+
+class TestRing:
+    def test_capacity_drops_oldest_but_seen_keeps_counting(self):
+        log = SlowQueryLog(threshold_ms=0, capacity=2)
+        for i in range(5):
+            log.record(f"q{i}", trace_taking(0.01))
+        assert [e.text for e in log.entries()] == ["q3", "q4"]
+        assert log.seen == 5
+
+    def test_clear_empties_the_ring(self):
+        log = SlowQueryLog(threshold_ms=0)
+        log.record("q", trace_taking(0.01))
+        log.clear()
+        assert log.entries() == []
+
+
+class TestRendering:
+    def test_render_contains_tree_and_request_id(self):
+        log = SlowQueryLog(threshold_ms=0)
+        trace = trace_taking(0.1)
+        log.record("the question", trace)
+        text = log.render()
+        assert "slow-query log: 1 shown / 1 seen" in text
+        assert "the question" in text
+        assert f"request={trace.request_id}" in text
+        assert "translate (" in text
+
+    def test_empty_render(self):
+        log = SlowQueryLog(threshold_ms=10)
+        assert "empty" in log.render()

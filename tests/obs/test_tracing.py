@@ -1,0 +1,115 @@
+"""Span recorder: tree structure, timing invariants, rendering."""
+
+import time
+
+import pytest
+
+from repro.obs import SpanRecorder, new_request_id
+
+
+@pytest.fixture
+def tree():
+    """root > (a > (a1, a2), b) with a tiny real sleep in a1."""
+    rec = SpanRecorder()
+    with rec.span("root"):
+        with rec.span("a"):
+            with rec.span("a1"):
+                time.sleep(0.001)
+            with rec.span("a2"):
+                pass
+        with rec.span("b"):
+            pass
+    return rec
+
+
+class TestStructure:
+    def test_parent_child_ids(self, tree):
+        by_name = {s.name: s for s in tree.spans}
+        assert by_name["root"].parent_id is None
+        assert by_name["a"].parent_id == by_name["root"].span_id
+        assert by_name["a1"].parent_id == by_name["a"].span_id
+        assert by_name["b"].parent_id == by_name["root"].span_id
+
+    def test_root_and_find(self, tree):
+        assert tree.root.name == "root"
+        assert tree.find("a2").name == "a2"
+        assert tree.find("missing") is None
+
+    def test_leaves(self, tree):
+        assert {s.name for s in tree.leaves()} == {"a1", "a2", "b"}
+        assert tree.is_leaf(tree.find("a1"))
+        assert not tree.is_leaf(tree.find("a"))
+
+    def test_request_ids_are_fresh_and_opaque(self):
+        a, b = new_request_id(), new_request_id()
+        assert a != b
+        assert len(a) == 16
+        assert SpanRecorder().request_id != SpanRecorder().request_id
+
+    def test_span_ids_unique_across_recorders(self):
+        r1, r2 = SpanRecorder(), SpanRecorder()
+        with r1.span("x"), r2.span("y"):
+            pass
+        assert r1.spans[0].span_id != r2.spans[0].span_id
+
+
+class TestTiming:
+    def test_parent_covers_children(self, tree):
+        root = tree.root
+        for span in tree.spans[1:]:
+            assert span.start >= root.start
+            assert span.end <= root.end
+        a = tree.find("a")
+        assert a.elapsed >= (
+            tree.find("a1").elapsed + tree.find("a2").elapsed
+        )
+
+    def test_self_times_tile_the_root(self, tree):
+        total = sum(tree.self_seconds(s) for s in tree.spans)
+        assert total == pytest.approx(tree.root.elapsed, rel=1e-9)
+
+    def test_open_span_elapsed_grows(self):
+        rec = SpanRecorder()
+        span = rec.start_span("open")
+        first = span.elapsed
+        time.sleep(0.001)
+        assert span.elapsed > first
+        assert not span.finished
+        rec.end_span(span)
+        assert span.finished
+
+    def test_mismatched_end_rejected(self):
+        rec = SpanRecorder()
+        outer = rec.start_span("outer")
+        rec.start_span("inner")
+        with pytest.raises(ValueError, match="not the innermost"):
+            rec.end_span(outer)
+
+
+class TestCompatShim:
+    def test_add_records_finished_child(self):
+        rec = SpanRecorder()
+        with rec.span("root"):
+            rec.add("stage", "artifact", 0.25)
+        stage = rec.find("stage")
+        assert stage.finished
+        assert stage.parent_id == rec.root.span_id
+        assert stage.elapsed == pytest.approx(0.25)
+        assert stage.artifact == "artifact"
+
+
+class TestRendering:
+    def test_render_tree_indents_and_tags_request(self, tree):
+        text = tree.render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("root (")
+        assert f"request={tree.request_id}" in lines[0]
+        assert lines[1].startswith("  a (")
+        assert lines[2].startswith("    a1 (")
+
+    def test_span_render_shows_artifact(self, tree):
+        root = tree.root
+        root.artifact = "the question"
+        block = root.render()
+        assert block.startswith("== root (")
+        assert block.endswith("the question")

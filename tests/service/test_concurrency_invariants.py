@@ -1,0 +1,144 @@
+"""Counter invariants under concurrent load.
+
+Every request's outcome counters are incremented in one critical
+section, and ``stats()`` snapshots under the same lock — so the
+accounting identity
+
+    requests == translated + served_from_cache + deduplicated + errors
+
+must hold in *every* snapshot, even ones taken mid-batch from another
+thread, and ``served_from_cache`` can never exceed the cache's own hit
+counter (the hit is counted before the request is).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import MetricsRegistry, NL2CM, TranslationService
+from repro.data.corpus import supported_questions
+from repro.data.ontologies import load_merged_ontology
+
+WORKERS = 8
+BATCHES_PER_WORKER = 6
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return load_merged_ontology()
+
+
+@pytest.fixture(scope="module")
+def corpus_texts():
+    return [q.text for q in supported_questions()]
+
+
+class TestCounterInvariants:
+    def test_stats_consistent_under_hammering(
+        self, ontology, corpus_texts
+    ):
+        registry = MetricsRegistry()
+        service = TranslationService(
+            NL2CM(ontology=ontology), workers=4, cache=64,
+            registry=registry,
+        )
+        unsupported = "How many parks are in Buffalo?"
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def hammer(worker: int) -> None:
+            rng = random.Random(worker)
+            try:
+                for _ in range(BATCHES_PER_WORKER):
+                    batch = rng.choices(corpus_texts, k=6)
+                    batch.append(unsupported)
+                    batch.append(batch[0])  # guarantee one duplicate
+                    service.translate_batch(batch)
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(f"worker {worker}: {exc!r}")
+
+        def observe() -> None:
+            try:
+                while not stop.is_set():
+                    stats = service.stats()
+                    if stats.requests != stats.accounted:
+                        failures.append(
+                            f"torn snapshot: requests={stats.requests} "
+                            f"accounted={stats.accounted}"
+                        )
+                    if stats.served_from_cache > stats.cache.hits:
+                        failures.append(
+                            "snapshot shows more cache-served requests "
+                            f"than cache hits: "
+                            f"{stats.served_from_cache} > "
+                            f"{stats.cache.hits}"
+                        )
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(f"observer: {exc!r}")
+
+        workers = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(WORKERS)
+        ]
+        observer = threading.Thread(target=observe)
+        observer.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        observer.join()
+
+        assert not failures, failures[:5]
+        stats = service.stats()
+        assert stats.requests == WORKERS * BATCHES_PER_WORKER * 8
+        assert stats.requests == (
+            stats.translated + stats.served_from_cache
+            + stats.deduplicated + stats.errors
+        )
+        assert stats.errors >= WORKERS * BATCHES_PER_WORKER
+        assert stats.served_from_cache <= stats.cache.hits
+
+    def test_reset_during_traffic_keeps_identity(
+        self, ontology, corpus_texts
+    ):
+        service = TranslationService(
+            NL2CM(ontology=ontology), workers=4, cache=64
+        )
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def traffic(worker: int) -> None:
+            rng = random.Random(worker)
+            try:
+                for _ in range(4):
+                    service.translate_batch(
+                        rng.choices(corpus_texts, k=5)
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(repr(exc))
+
+        def resetter() -> None:
+            while not stop.is_set():
+                service.reset_stats()
+                stats = service.stats()
+                if stats.requests != stats.accounted:
+                    failures.append(
+                        f"after reset: requests={stats.requests} "
+                        f"accounted={stats.accounted}"
+                    )
+
+        threads = [
+            threading.Thread(target=traffic, args=(w,))
+            for w in range(WORKERS)
+        ]
+        resetting = threading.Thread(target=resetter)
+        resetting.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        resetting.join()
+        assert not failures, failures[:5]
