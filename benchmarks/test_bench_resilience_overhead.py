@@ -1,0 +1,149 @@
+"""E12: resilience overhead — fault tolerance must be free when idle.
+
+With the resilience layer enabled and **zero** injected faults, the
+E6 pipeline latency may regress by at most 3% against a plain service.
+The true cost per translation is one wrapper allocation plus two
+breaker lock hops per interaction — on the order of 1% of a ~0.7 ms
+pipeline run — so the benchmark's job is mostly to not drown that
+signal in scheduler noise:
+
+* **paired ABBA rounds**: each question is timed plain, resilient,
+  resilient, plain (order mirrored every other round), which cancels
+  both linear drift and the warm-second-position bias that a plain
+  A/B loop suffers;
+* **median of per-question paired differences**, immune to the
+  occasional descheduling outlier;
+* **GC disabled** inside the timed region (collected between rounds),
+  so collection pauses are not charged to whichever service happens to
+  allocate the triggering object;
+* **best of three independent measurements**: a spurious overshoot in
+  one measurement is noise, not a regression — a real regression shows
+  up in all three.
+
+The per-stage deadline machinery is benched the same way but against
+its own, looser budget: a deadline is real per-stage work (one
+``Deadline`` allocation plus two clock reads for each of the eleven
+stage spans), and the acceptance gate applies to the resilience
+wrapper, not to opting into stage timeouts.
+"""
+
+import gc
+import statistics
+import time
+
+from repro import NL2CM, TranslationService
+from repro.data.corpus import supported_questions
+from repro.eval.harness import format_table
+from repro.resilience import ResilienceConfig
+
+ROUNDS = 12
+QUESTIONS_PER_ROUND = 10
+MEASUREMENTS = 3
+MAX_OVERHEAD = 0.03
+MAX_DEADLINE_OVERHEAD = 0.08
+
+
+def _one_translation(service, text) -> float:
+    start = time.perf_counter()
+    service.translate(text)
+    return time.perf_counter() - start
+
+
+def _paired_overhead(baseline, candidate, texts) -> float:
+    """Relative overhead of ``candidate`` over ``baseline``, paired."""
+    diffs = {text: [] for text in texts}
+    base = {text: [] for text in texts}
+    gc.collect()
+    gc.disable()
+    try:
+        for rnd in range(ROUNDS):
+            for text in texts:
+                if rnd % 2 == 0:
+                    b1 = _one_translation(baseline, text)
+                    c1 = _one_translation(candidate, text)
+                    c2 = _one_translation(candidate, text)
+                    b2 = _one_translation(baseline, text)
+                else:
+                    c1 = _one_translation(candidate, text)
+                    b1 = _one_translation(baseline, text)
+                    b2 = _one_translation(baseline, text)
+                    c2 = _one_translation(candidate, text)
+                diffs[text].append((c1 + c2) - (b1 + b2))
+                base[text].append(b1 + b2)
+            gc.collect()
+    finally:
+        gc.enable()
+    extra = sum(statistics.median(diffs[t]) for t in texts)
+    total = sum(statistics.median(base[t]) for t in texts)
+    return extra / total
+
+
+def _measure(baseline, candidate, texts):
+    # Warm-up: first translations pay one-time lazy-init costs.
+    for text in texts:
+        _one_translation(baseline, text)
+        _one_translation(candidate, text)
+    return [
+        _paired_overhead(baseline, candidate, texts)
+        for _ in range(MEASUREMENTS)
+    ]
+
+
+def _report(report_writer, name, label, overheads, budget, extra_rows=()):
+    table = format_table(
+        ["quantity", "value"],
+        [
+            [f"{label} overhead (best)", f"{min(overheads):+.2%}"],
+            ["all measurements",
+             "  ".join(f"{o:+.2%}" for o in overheads)],
+            ["budget", f"{budget:.0%}"],
+            *extra_rows,
+        ],
+    )
+    report_writer(name, table)
+
+
+def test_bench_resilience_overhead(ontology, nl2cm, report_writer):
+    texts = [q.text for q in supported_questions()[:QUESTIONS_PER_ROUND]]
+
+    # cache=None so every round exercises the full pipeline; both
+    # services share one translator, so the only delta is the wrapper.
+    plain = TranslationService(nl2cm, cache=None)
+    resilient = TranslationService(
+        nl2cm, cache=None,
+        resilience=ResilienceConfig(retries=3, sleep=lambda s: None),
+    )
+
+    overheads = _measure(plain, resilient, texts)
+
+    stats = resilient.stats()
+    _report(
+        report_writer, "E12-resilience-overhead", "resilience",
+        overheads, MAX_OVERHEAD,
+        extra_rows=[
+            ["retries seen", str(stats.retries)],
+            ["degraded seen", str(stats.degraded)],
+        ],
+    )
+
+    # Zero faults: the layer was pure bookkeeping.
+    assert stats.retries == 0
+    assert stats.degraded == 0
+    assert stats.breaker_rejections == 0
+    assert min(overheads) < MAX_OVERHEAD
+
+
+def test_bench_stage_deadline_overhead(ontology, report_writer):
+    texts = [q.text for q in supported_questions()[:QUESTIONS_PER_ROUND]]
+    plain = TranslationService(NL2CM(ontology=ontology), cache=None)
+    deadlined = TranslationService(
+        NL2CM(ontology=ontology, stage_timeout_ms=60_000), cache=None,
+    )
+
+    overheads = _measure(plain, deadlined, texts)
+    _report(
+        report_writer, "E12-stage-deadline-overhead", "stage deadline",
+        overheads, MAX_DEADLINE_OVERHEAD,
+    )
+
+    assert min(overheads) < MAX_DEADLINE_OVERHEAD

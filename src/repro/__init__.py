@@ -46,6 +46,17 @@ from repro.errors import (
 from repro.oassis.engine import EngineConfig, OassisEngine, QueryResult
 from repro.oassisql import OassisQuery, parse_oassisql, print_oassisql
 from repro.obs import MetricsRegistry, SlowQueryLog
+from repro.resilience import (
+    ChaosCrowd,
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    FlakyInteraction,
+    ResilienceConfig,
+    ResilientCrowd,
+    ResilientInteraction,
+    RetryPolicy,
+)
 from repro.service import (
     ServiceStats,
     TranslationCache,
@@ -76,6 +87,15 @@ __all__ = [
     "ServiceStats",
     "MetricsRegistry",
     "SlowQueryLog",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "FlakyInteraction",
+    "ChaosCrowd",
+    "ResilientInteraction",
+    "ResilientCrowd",
     "AutoInteraction",
     "ScriptedInteraction",
     "ConsoleInteraction",

@@ -39,6 +39,18 @@ Every translation goes through one shared
 endpoint) and ``--slow-log`` (span trees of slow translations, to
 stderr at exit) observe single-question, interactive and batch modes
 alike.
+
+Fault tolerance (see ``docs/resilience.md``)::
+
+    python -m repro --batch q.txt --retries 3
+    python -m repro --batch q.txt --stage-timeout-ms 500
+    python -m repro --batch q.txt --inject-faults rate=0.3,seed=7 --admin
+
+``--retries`` turns on the resilience layer: interaction failures are
+retried with deterministic backoff behind a circuit breaker and then
+answered from defaults (flagged ``degraded`` in the batch output and
+counted in the stats panel).  ``--inject-faults`` wires the
+deterministic chaos harness under the retry layer.
 """
 
 from __future__ import annotations
@@ -63,6 +75,7 @@ from repro.crowd.scenarios import (
 from repro.data.ontologies import load_merged_ontology
 from repro.errors import ReproError
 from repro.obs import MetricsRegistry, SlowQueryLog
+from repro.resilience import FaultPlan, ResilienceConfig
 from repro.service import TranslationService
 from repro.ui.interaction import ConsoleInteraction
 
@@ -111,6 +124,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="log translations slower than MS "
                              "milliseconds; span trees are dumped to "
                              "stderr on exit")
+    parser.add_argument("--retries", type=int, default=None,
+                        metavar="N",
+                        help="enable the resilience layer: retry "
+                             "failing interactions N times, then "
+                             "degrade to defaults")
+    parser.add_argument("--stage-timeout-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-stage pipeline deadline; a stage "
+                             "that overruns fails the translation "
+                             "with DeadlineExceeded")
+    parser.add_argument("--inject-faults", metavar="SPEC",
+                        type=FaultPlan.parse, default=None,
+                        help="deterministic fault injection for chaos "
+                             "testing, e.g. 'rate=0.3,seed=7' or "
+                             "'indices=0:2,error=runtime' (implies "
+                             "the resilience layer)")
     return parser
 
 
@@ -185,6 +214,9 @@ def run_batch(service: TranslationService, args) -> int:
     for item in items:
         print(f"# {item.text}")
         if item.ok:
+            if item.degraded:
+                print("# degraded: some interactions were answered "
+                      "with defaults after provider failures")
             print(item.query_text)
         else:
             failed += 1
@@ -263,19 +295,28 @@ def main(argv: list[str] | None = None) -> int:
 
     interaction = ConsoleInteraction() if args.interactive else None
     ontology = load_merged_ontology()
-    nl2cm = NL2CM(ontology=ontology, interaction=interaction)
+    nl2cm = NL2CM(ontology=ontology, interaction=interaction,
+                  stage_timeout_ms=args.stage_timeout_ms)
 
     registry = MetricsRegistry()
     slow_log = (
         SlowQueryLog(threshold_ms=args.slow_log)
         if args.slow_log is not None else None
     )
+    resilience = None
+    if args.retries is not None or args.inject_faults is not None:
+        resilience = ResilienceConfig(
+            retries=args.retries if args.retries is not None else 3,
+            seed=args.seed,
+            faults=args.inject_faults,
+        )
     service = TranslationService(
         nl2cm,
         workers=max(1, args.workers),
         cache=args.cache_size if args.cache_size > 0 else None,
         registry=registry,
         slow_log=slow_log,
+        resilience=resilience,
     )
     engine = (
         demo_engine(ontology, args.crowd_size, args.seed,

@@ -20,7 +20,10 @@ under the hood", and that the serving layer aggregates into metrics.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.analysis.diagnostics import AnalysisReport
 from repro.analysis.querylint import QueryLint
@@ -36,7 +39,8 @@ from repro.errors import (
     QueryLintError,
     VerificationError,
 )
-from repro.obs.tracing import SpanRecorder
+from repro.obs.tracing import Span, SpanRecorder
+from repro.resilience.policy import Deadline
 from repro.freya.generator import FeedbackStore, GeneralQueryGenerator
 from repro.nlp.depparse import DependencyParser
 from repro.nlp.graph import DepGraph
@@ -66,6 +70,17 @@ class TranslationTrace(SpanRecorder):
     nothing is ever double-counted: there is no subsumption list to
     maintain, and summing the **leaf** spans can never exceed the root.
     """
+
+    #: Interactions answered by the resilience fallback during this
+    #: translation (set by the serving layer; empty when resilience is
+    #: off or nothing failed).  Each entry is a
+    #: :class:`~repro.resilience.DegradationEvent`.
+    degraded_events: tuple = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any interaction was answered by the fallback."""
+        return bool(self.degraded_events)
 
     def stages(self) -> list[str]:
         """Span names in start order (the root span included)."""
@@ -156,6 +171,15 @@ class NL2CM:
             composed query has ERROR-level diagnostics, ``"warn"`` keeps
             the report on the result without raising, ``"off"`` skips
             the stage entirely.
+        stage_timeout_ms: per-stage time budget.  Each stage span gets a
+            :class:`~repro.resilience.Deadline`; a stage that exceeds it
+            raises :class:`~repro.errors.DeadlineExceeded` (a typed
+            ``ReproError``) naming the stage.  The check is cooperative
+            — a synchronous stage cannot be interrupted mid-flight, so
+            the deadline fires when the stage's span closes.  The
+            aggregate ``ix-detection`` span shares the same budget (it
+            covers its three sub-steps).  ``None`` (default) disables
+            the checks entirely, keeping them off the hot path.
     """
 
     #: Legal values of the ``lint`` constructor argument.
@@ -169,12 +193,19 @@ class NL2CM:
         vocabularies: VocabularyRegistry | None = None,
         feedback: FeedbackStore | None = None,
         lint: str = "error",
+        stage_timeout_ms: float | None = None,
     ):
         if lint not in self.LINT_MODES:
             raise ValueError(
                 f"lint must be one of {self.LINT_MODES}, got {lint!r}"
             )
+        if stage_timeout_ms is not None and stage_timeout_ms < 0:
+            raise ValueError("stage_timeout_ms must be non-negative")
         self.lint_mode = lint
+        self.stage_timeout = (
+            stage_timeout_ms / 1000.0 if stage_timeout_ms is not None
+            else None
+        )
         self.ontology = ontology or load_merged_ontology()
         self.interaction = interaction or AutoInteraction()
         self.verifier = Verifier()
@@ -199,6 +230,30 @@ class NL2CM:
         """Run only the verification step (used by the UI upfront)."""
         return self.verifier.verify(text)
 
+    @contextmanager
+    def _stage(self, trace: TranslationTrace, name: str) -> Iterator[Span]:
+        """A stage span with an optional per-stage deadline attached.
+
+        When a stage timeout is configured, a fresh
+        :class:`~repro.resilience.Deadline` rides on the span
+        (``span.deadline``) so the trace carries the budget, and is
+        checked as the span closes — the cooperative variant of a
+        timeout for a synchronous stage.
+
+        Raises:
+            DeadlineExceeded: when the stage overran its budget.
+        """
+        if self.stage_timeout is None:
+            with trace.span(name) as span:
+                yield span
+            return
+        with trace.span(name) as span:
+            span.deadline = Deadline(
+                self.stage_timeout, clock=time.perf_counter
+            )
+            yield span
+        span.deadline.check(name)
+
     def translate(
         self,
         text: str,
@@ -221,7 +276,7 @@ class NL2CM:
         with trace.span(ROOT_SPAN) as root:
             root.artifact = text
 
-            with trace.span("verification") as span:
+            with self._stage(trace, "verification") as span:
                 verification = self.verifier.verify(text)
                 span.artifact = verification
             if not verification.ok:
@@ -229,21 +284,21 @@ class NL2CM:
                     verification.message, tips=verification.tips
                 )
 
-            with trace.span("nl-parsing") as span:
+            with self._stage(trace, "nl-parsing") as span:
                 graph = self.parser.parse(text)
                 span.artifact = graph.pretty()
 
             # The ix-detection span *covers* its finder, creator and
             # user-verification children — parent/child spans replace
             # the old "aggregated entry + subsumption list" accounting.
-            with trace.span("ix-detection") as detection:
-                with trace.span("ix-finder") as span:
+            with self._stage(trace, "ix-detection") as detection:
+                with self._stage(trace, "ix-finder") as span:
                     matches = self.finder.find(graph)
                     span.artifact = matches
-                with trace.span("ix-creator") as span:
+                with self._stage(trace, "ix-creator") as span:
                     ixs = self.creator.create(graph, matches)
                     span.artifact = ixs
-                with trace.span("ix-verification") as span:
+                with self._stage(trace, "ix-verification") as span:
                     kept = self._verify_uncertain(graph, ixs, provider)
                     span.artifact = (
                         f"{len(ixs) - len(kept)} uncertain IX(s) "
@@ -258,19 +313,19 @@ class NL2CM:
                     for ix in ixs
                 ) or "(no individual expressions)"
 
-            with trace.span("general-query-generator") as span:
+            with self._stage(trace, "general-query-generator") as span:
                 general = self.generator.generate(graph, provider)
                 span.artifact = "\n".join(
                     str(t) for t in general.triples
                 ) or "(no general triples)"
 
-            with trace.span("individual-triple-creation") as span:
+            with self._stage(trace, "individual-triple-creation") as span:
                 individual = self.triple_creator.create(graph, ixs)
                 span.artifact = "\n".join(
                     str(t) for t in individual
                 ) or "(no individual triples)"
 
-            with trace.span("query-composition") as span:
+            with self._stage(trace, "query-composition") as span:
                 composed = self.composer.compose(
                     graph, ixs, individual, general, provider
                 )
@@ -278,7 +333,7 @@ class NL2CM:
 
             lint_report: AnalysisReport | None = None
             if self.lint_mode != "off":
-                with trace.span("query-lint") as span:
+                with self._stage(trace, "query-lint") as span:
                     lint_report = self.linter.lint(composed.query)
                     span.artifact = (
                         lint_report.render() if lint_report.diagnostics
@@ -287,7 +342,7 @@ class NL2CM:
                 if self.lint_mode == "error" and lint_report.has_errors:
                     raise QueryLintError(lint_report)
 
-            with trace.span("final-query") as span:
+            with self._stage(trace, "final-query") as span:
                 query_text = print_oassisql(composed.query)
                 span.artifact = query_text
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -95,6 +96,11 @@ class SimulatedCrowd:
             )
             for i in range(size)
         ]
+        # Wrappers (ResilientCrowd, ChaosCrowd) and concurrent engine
+        # evaluations may ask from several threads; `+= 1` on a plain
+        # int drops increments under contention, so the counter is
+        # guarded.  Answers themselves are pure hashes and need none.
+        self._count_lock = threading.Lock()
         self.questions_asked = 0
 
     # -- engine-facing API -------------------------------------------------------
@@ -111,7 +117,8 @@ class SimulatedCrowd:
         The answer is the member's latent personal value — how often
         they engage in the habit, or how strongly they agree.
         """
-        self.questions_asked += 1
+        with self._count_lock:
+            self.questions_asked += 1
         truth = self.ground_truth.support(fact_set)
         return member.personal_value(
             fact_set, truth, self.noise, self.seed
@@ -131,4 +138,5 @@ class SimulatedCrowd:
         return float(np.mean(values))
 
     def reset_counters(self) -> None:
-        self.questions_asked = 0
+        with self._count_lock:
+            self.questions_asked = 0

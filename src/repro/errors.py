@@ -122,6 +122,29 @@ class InteractionProtocolError(TranslationError):
     """
 
 
+class InvalidAnswerError(InteractionProtocolError, ValueError):
+    """A user's raw console answer could not be parsed for a request.
+
+    Subclasses :class:`ValueError` as well, so callers that treated the
+    old bare ``int(raw)`` failures as ``ValueError`` keep working, while
+    new callers can catch one typed :class:`ReproError` at the boundary.
+    """
+
+
+class UnexpectedTranslationError(TranslationError):
+    """A non-:class:`ReproError` exception escaped the translator.
+
+    The serving layer's last-resort guard: batch workers wrap any
+    unexpected exception in this type so a bug in one question marks its
+    items errored instead of sinking the whole batch.  Carries the
+    original exception as ``cause``.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        self.cause = cause
+        super().__init__(message)
+
+
 # ---------------------------------------------------------------------------
 # Static analysis
 # ---------------------------------------------------------------------------
@@ -145,6 +168,48 @@ class QueryLintError(TranslationError):
             first = errors[0]
             message += f": [{first.rule}] {first.message}"
         super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Resilience and fault injection
+# ---------------------------------------------------------------------------
+
+class ResilienceError(ReproError):
+    """Base class for fault-tolerance errors (retries, deadlines, breakers)."""
+
+
+class DeadlineExceeded(ResilienceError):
+    """A pipeline stage (or a whole operation) blew its time budget."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        elapsed: float | None = None,
+        budget: float | None = None,
+    ):
+        self.stage = stage
+        self.elapsed = elapsed
+        self.budget = budget
+        super().__init__(message)
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open: the guarded dependency is not called."""
+
+
+class ProviderFailure(ResilienceError):
+    """A dependency kept failing after every retry (no fallback applied).
+
+    Wraps the last underlying exception (``__cause__``) so a
+    non-:class:`ReproError` failure still surfaces as a typed error at
+    the API boundary.
+    """
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately injected by the deterministic fault harness."""
 
 
 # ---------------------------------------------------------------------------

@@ -185,6 +185,34 @@ def _parse_triple(lexer: _Lexer) -> QueryTriple:
     return QueryTriple(s, p, o)
 
 
+#: Escape sequences the printer emits (see ``Literal.n3``); the exact
+#: inverse lives here so string literals round-trip byte-for-byte.
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _unescape(body: str) -> str:
+    """Decode a quoted string literal's body.
+
+    Processed left-to-right so ``\\\\n`` decodes to backslash + ``n``,
+    not a newline — ``str.replace`` chains get this wrong.  Unknown
+    escapes keep the escaped character (lenient, like the old parser).
+    """
+    if "\\" not in body:
+        return body
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            nxt = body[i + 1]
+            out.append(_ESCAPES.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
 def _parse_term(lexer: _Lexer) -> QueryTerm:
     kind, value, line = lexer.next()
     if kind == "var":
@@ -192,7 +220,7 @@ def _parse_term(lexer: _Lexer) -> QueryTerm:
     if kind == "anything":
         return ANYTHING
     if kind == "string":
-        return Literal(value[1:-1].replace('\\"', '"'))
+        return Literal(_unescape(value[1:-1]))
     if kind == "number":
         is_float = any(c in value for c in ".eE")
         return Literal(float(value) if is_float else int(value))

@@ -199,14 +199,35 @@ class _Parser:
             return Literal(text == "true", datatype=dtype)
         return Literal(text, datatype=dtype)
 
-    @staticmethod
-    def _unescape(raw: str) -> str:
-        return (
-            raw.replace("\\n", "\n")
-            .replace("\\t", "\t")
-            .replace('\\"', '"')
-            .replace("\\\\", "\\")
-        )
+    #: Escape sequences understood in string literals; the serializer
+    #: emits the first three (``Literal.n3``), ``\t`` is accepted from
+    #: hand-written documents.
+    _ESCAPES = {"\\": "\\", '"': '"', "n": "\n", "t": "\t"}
+
+    @classmethod
+    def _unescape(cls, raw: str) -> str:
+        # Processed left-to-right so "\\n" decodes to backslash + 'n',
+        # not a newline — str.replace chains get this wrong.  Unknown
+        # escapes keep both characters (lenient, as before).
+        if "\\" not in raw:
+            return raw
+        out: list[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch == "\\" and i + 1 < len(raw):
+                nxt = raw[i + 1]
+                decoded = cls._ESCAPES.get(nxt)
+                if decoded is None:
+                    out.append(ch)
+                    out.append(nxt)
+                else:
+                    out.append(decoded)
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
 
 
 def parse_turtle(text: str) -> TripleStore:

@@ -1,0 +1,113 @@
+"""Fault tolerance for the serving layer (``repro.resilience``).
+
+NL2CM's pipeline depends on two unreliable parties — the interaction
+provider (a human answering clarification prompts, paper Section 4.1)
+and the crowd itself.  This dependency-free subsystem keeps one flaky
+call from sinking a whole batch:
+
+* :class:`RetryPolicy` — exponential backoff with *deterministic*
+  seeded jitter and injectable clock/sleep (tests never sleep);
+* :class:`Deadline` — per-stage time budgets, checked cooperatively as
+  each pipeline stage's span closes;
+* :class:`CircuitBreaker` — guards the provider and the crowd so a
+  dead dependency is rejected fast instead of hammered;
+* :class:`ResilientInteraction` — graceful degradation: after retries
+  are exhausted (or while the breaker is open) the request is answered
+  by :class:`~repro.ui.interaction.AutoInteraction` defaults, recorded
+  as a :class:`DegradationEvent` and counted in
+  ``repro_degraded_total``;
+* :class:`FaultPlan` / :class:`FlakyInteraction` / :class:`ChaosCrowd`
+  — the deterministic fault-injection harness behind the chaos suite
+  and the CLI's ``--inject-faults``.
+
+:class:`ResilienceConfig` bundles the knobs for
+``TranslationService(resilience=...)`` and the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import ChaosCrowd, FaultPlan, FlakyInteraction
+from repro.resilience.policy import Deadline, RetryPolicy, seeded_uniform
+from repro.resilience.wrappers import (
+    DegradationEvent,
+    ResilientCrowd,
+    ResilientInteraction,
+)
+
+__all__ = [
+    "ChaosCrowd",
+    "CircuitBreaker",
+    "Deadline",
+    "DegradationEvent",
+    "FaultPlan",
+    "FlakyInteraction",
+    "ResilienceConfig",
+    "ResilientCrowd",
+    "ResilientInteraction",
+    "RetryPolicy",
+    "seeded_uniform",
+]
+
+
+@dataclass
+class ResilienceConfig:
+    """Knobs of the service's fault-tolerance layer.
+
+    Attributes:
+        retries: retry attempts per interaction after the first call.
+        base_delay_ms / multiplier / max_delay_ms / jitter / seed:
+            the :class:`RetryPolicy` backoff schedule.
+        degrade: answer exhausted interactions from
+            :class:`~repro.ui.interaction.AutoInteraction` defaults
+            (recording a degradation) instead of raising.
+        breaker_threshold: consecutive provider failures that open the
+            circuit; 0 disables the breaker.
+        breaker_recovery_ms: how long an open circuit rejects calls
+            before probing again.
+        faults: optional deterministic :class:`FaultPlan` injected
+            *under* the retry layer (chaos testing and the demo's
+            ``--inject-faults``).
+        clock / sleep: injectable time sources for the whole layer.
+    """
+
+    retries: int = 3
+    base_delay_ms: float = 50.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 2000.0
+    jitter: float = 0.5
+    seed: int = 0
+    degrade: bool = True
+    breaker_threshold: int = 5
+    breaker_recovery_ms: float = 30000.0
+    faults: FaultPlan | None = None
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def policy(self) -> RetryPolicy:
+        """The configured retry policy."""
+        return RetryPolicy(
+            retries=self.retries,
+            base_delay=self.base_delay_ms / 1000.0,
+            multiplier=self.multiplier,
+            max_delay=self.max_delay_ms / 1000.0,
+            jitter=self.jitter,
+            seed=self.seed,
+            clock=self.clock,
+            sleep=self.sleep,
+        )
+
+    def breaker(self, name: str = "interaction") -> CircuitBreaker | None:
+        """A breaker per the config, or None when disabled."""
+        if self.breaker_threshold <= 0:
+            return None
+        return CircuitBreaker(
+            failure_threshold=self.breaker_threshold,
+            recovery_seconds=self.breaker_recovery_ms / 1000.0,
+            clock=self.clock,
+            name=name,
+        )

@@ -1,0 +1,149 @@
+"""A thread-safe circuit breaker guarding an unreliable dependency.
+
+The classic three-state machine:
+
+* **closed** — calls flow through; consecutive failures are counted and
+  a success resets the count;
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker rejects every call (:meth:`allow` returns False) for
+  ``recovery_seconds``, so a dead interaction provider or crowd backend
+  is not hammered while it is down;
+* **half-open** — once the recovery window elapses, up to
+  ``half_open_max`` probe calls are let through; one success closes the
+  breaker, one failure re-opens it for another window.
+
+The clock is injectable, so the whole state machine is testable without
+sleeping.  All transitions happen under one lock — the breaker is
+shared by every worker thread of a batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import CircuitOpenError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with a half-open recovery probe."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    #: Numeric encoding for the state gauge (``nl2cm_breaker_state``).
+    STATE_CODES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "breaker",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_seconds < 0:
+            raise ValueError("recovery_seconds must be non-negative")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.half_open_max = half_open_max
+        self.clock = clock
+        self.name = name
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        #: Calls rejected while open (monotonic).
+        self.rejections = 0
+        #: Closed->open transitions (monotonic).
+        self.opens = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def state_code(self) -> float:
+        """Numeric state for gauges: 0 closed, 1 half-open, 2 open."""
+        return self.STATE_CODES[self.state]
+
+    def _maybe_half_open(self) -> None:
+        """Open -> half-open once the recovery window elapses (locked)."""
+        if (
+            self._state == self.OPEN
+            and self.clock() - self._opened_at >= self.recovery_seconds
+        ):
+            self._state = self.HALF_OPEN
+            self._probes_inflight = 0
+
+    # -- protocol ------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller try the dependency right now?
+
+        Counts a rejection when the answer is no.  In half-open state at
+        most ``half_open_max`` callers are admitted as probes until one
+        of them reports an outcome.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if (
+                self._state == self.HALF_OPEN
+                and self._probes_inflight < self.half_open_max
+            ):
+                self._probes_inflight += 1
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probes_inflight = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if (
+                self._state == self.HALF_OPEN
+                or self._failures >= self.failure_threshold
+            ):
+                if self._state != self.OPEN:
+                    self.opens += 1
+                self._state = self.OPEN
+                self._opened_at = self.clock()
+                self._probes_inflight = 0
+
+    def call(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` through the breaker; raise when open.
+
+        Raises:
+            CircuitOpenError: when the breaker rejects the call.
+        """
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open "
+                f"(recovering for {self.recovery_seconds:g} s)"
+            )
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -1,0 +1,212 @@
+"""Resilient wrappers for the pipeline's two unreliable parties.
+
+:class:`ResilientInteraction` guards an interaction provider with a
+retry policy and an optional shared circuit breaker, and — after
+retries are exhausted or while the breaker is open — *degrades
+gracefully*: it answers from a fallback provider (normally
+:class:`~repro.ui.interaction.AutoInteraction` defaults, the paper's
+"skip the interaction point" configuration) instead of failing the
+whole translation, and records a :class:`DegradationEvent` per skipped
+interaction.  One wrapper serves one translation, so its events map
+1:1 onto a request's trace.
+
+:class:`ResilientCrowd` guards a crowd's ``ask`` the same way, but has
+no meaningful fallback answer — after retries it raises a typed error
+(:class:`~repro.errors.ProviderFailure` for non-library exceptions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import CircuitOpenError, ProviderFailure, ReproError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.policy import Deadline, RetryPolicy
+
+__all__ = ["DegradationEvent", "ResilientCrowd", "ResilientInteraction"]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One interaction answered by the fallback instead of the provider."""
+
+    request: str            # request type name, e.g. "LimitRequest"
+    reason: str             # "circuit-open" | "retries-exhausted" | ...
+    error: str | None = None  # repr of the last provider error, if any
+
+
+class ResilientInteraction:
+    """Retry + breaker + graceful degradation around a provider.
+
+    Args:
+        inner: the guarded provider.
+        policy: retry policy; a default one if omitted.
+        breaker: optional shared breaker (one per service, guarding the
+            provider dependency across all worker threads).
+        fallback: provider answering degraded requests; ``None`` turns
+            degradation off — exhausted retries then raise a typed
+            error instead.
+        deadline: optional overall budget; backoff pauses are clamped
+            to it and an expired deadline stops retrying.
+        on_retry / on_degraded / on_rejected: counter hooks for the
+            serving layer (called outside any lock held here).
+
+    Deliberately defines no ``cache_fingerprint``: the wrapper is
+    applied *after* cache lookup, and the service refuses to cache
+    degraded results, so resilience never poisons the cache.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        fallback=None,
+        deadline: Deadline | None = None,
+        on_retry: Callable[[], None] | None = None,
+        on_degraded: Callable[[], None] | None = None,
+        on_rejected: Callable[[], None] | None = None,
+    ):
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker
+        self.fallback = fallback
+        self.deadline = deadline
+        self.on_retry = on_retry
+        self.on_degraded = on_degraded
+        self.on_rejected = on_rejected
+        self.events: list[DegradationEvent] = []
+        self.retries = 0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events)
+
+    def ask(self, request) -> Any:
+        if self.breaker is not None and not self.breaker.allow():
+            if self.on_rejected is not None:
+                self.on_rejected()
+            return self._degrade(request, "circuit-open", None)
+        attempt = 0
+        while True:
+            try:
+                answer = self.inner.ask(request)
+            except Exception as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if self._may_retry(exc, attempt):
+                    self._pause(request, attempt)
+                    attempt += 1
+                    continue
+                return self._degrade(request, "retries-exhausted", exc)
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return answer
+
+    # -- internals -----------------------------------------------------------
+
+    def _may_retry(self, exc: BaseException, attempt: int) -> bool:
+        if not self.policy.retryable(exc) or attempt >= self.policy.retries:
+            return False
+        if self.deadline is not None and self.deadline.expired:
+            return False
+        if self.breaker is not None and not self.breaker.allow():
+            if self.on_rejected is not None:
+                self.on_rejected()
+            return False
+        return True
+
+    def _pause(self, request, attempt: int) -> None:
+        pause = self.policy.delay(attempt, key=type(request).__name__)
+        if self.deadline is not None:
+            pause = min(pause, max(0.0, self.deadline.remaining()))
+        self.retries += 1
+        if self.on_retry is not None:
+            self.on_retry()
+        if pause > 0:
+            self.policy.sleep(pause)
+
+    def _degrade(self, request, reason: str, error: BaseException | None):
+        if self.fallback is None:
+            if error is None:
+                raise CircuitOpenError(
+                    f"interaction provider circuit is open; no fallback "
+                    f"configured for {type(request).__name__}"
+                )
+            if isinstance(error, ReproError):
+                raise error
+            raise ProviderFailure(
+                f"interaction provider failed after "
+                f"{self.policy.retries} retries: {error!r}"
+            ) from error
+        answer = self.fallback.ask(request)
+        self.events.append(DegradationEvent(
+            request=type(request).__name__,
+            reason=reason,
+            error=repr(error) if error is not None else None,
+        ))
+        if self.on_degraded is not None:
+            self.on_degraded()
+        return answer
+
+
+class ResilientCrowd:
+    """Retry + breaker around a crowd's ``ask``; delegates the rest.
+
+    There is no sensible fabricated crowd answer, so exhausted retries
+    raise: library errors as themselves, anything else wrapped in
+    :class:`~repro.errors.ProviderFailure`.  An open breaker raises
+    :class:`~repro.errors.CircuitOpenError` without touching the crowd.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+    ):
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker
+        self.retries = 0
+
+    def ask(self, member, fact_set) -> float:
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(
+                f"crowd circuit is open; member {member.member_id} "
+                f"not asked"
+            )
+
+        def once() -> float:
+            try:
+                value = self.inner.ask(member, fact_set)
+            except Exception:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return value
+
+        def count_retry(_attempt: int, _exc: BaseException) -> None:
+            self.retries += 1
+
+        try:
+            return self.policy.run(
+                once,
+                key=(member.member_id, fact_set.key()),
+                on_retry=count_retry,
+            )
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ProviderFailure(
+                f"crowd failed after {self.policy.retries} retries: "
+                f"{exc!r}"
+            ) from exc
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)

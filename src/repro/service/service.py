@@ -49,11 +49,20 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.pipeline import NL2CM, TranslationResult, TranslationTrace
-from repro.errors import QueryLintError, ReproError
+from repro.errors import (
+    QueryLintError,
+    ReproError,
+    UnexpectedTranslationError,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
+from repro.resilience import (
+    FlakyInteraction,
+    ResilienceConfig,
+    ResilientInteraction,
+)
 from repro.service.cache import CacheStats, TranslationCache
-from repro.ui.interaction import InteractionProvider
+from repro.ui.interaction import AutoInteraction, InteractionProvider
 
 __all__ = [
     "BatchItem", "ServiceStats", "StageStat", "TranslationService",
@@ -117,6 +126,12 @@ class ServiceStats:
         lint_warnings: WARNING-level lint diagnostics, same scope.
         lint_infos: INFO-level lint diagnostics, same scope.
         slow_queries: translations retained by the slow-query log.
+        degraded: fresh translations that served at least one
+            interaction from the resilience fallback (a subset of
+            ``translated`` — degraded requests still produce a result).
+        retries: interaction-provider retry attempts.
+        breaker_rejections: interaction calls rejected by an open
+            circuit breaker.
     """
 
     requests: int
@@ -135,6 +150,9 @@ class ServiceStats:
     lint_warnings: int = 0
     lint_infos: int = 0
     slow_queries: int = 0
+    degraded: int = 0
+    retries: int = 0
+    breaker_rejections: int = 0
 
     @property
     def accounted(self) -> int:
@@ -170,6 +188,9 @@ class BatchItem:
     result: TranslationResult | None = None
     error: ReproError | None = None
     cached: bool = False
+    #: True when any of this item's interactions were answered by the
+    #: resilience fallback (the shared leader's trace for followers).
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -198,6 +219,15 @@ class TranslationService:
         slow_log: a :class:`~repro.obs.slowlog.SlowQueryLog`, or a
             threshold in milliseconds for a fresh one, or None to
             disable the slow-query log.
+        resilience: a :class:`~repro.resilience.ResilienceConfig`
+            enabling the fault-tolerance layer — interaction calls are
+            retried with deterministic backoff behind a shared circuit
+            breaker, and (when ``degrade`` is on) answered from
+            :class:`~repro.ui.interaction.AutoInteraction` defaults
+            after retries are exhausted.  Degraded results are flagged
+            on the trace and the :class:`BatchItem`, counted in
+            ``repro_degraded_total``, and **never cached**.  ``None``
+            (the default) adds zero overhead.
     """
 
     def __init__(
@@ -209,6 +239,7 @@ class TranslationService:
         interaction: InteractionProvider | None = None,
         registry: MetricsRegistry | None = None,
         slow_log: SlowQueryLog | float | None = None,
+        resilience: ResilienceConfig | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -224,6 +255,17 @@ class TranslationService:
         if isinstance(slow_log, (int, float)):
             slow_log = SlowQueryLog(threshold_ms=float(slow_log))
         self.slow_log = slow_log
+        self.resilience = resilience
+        if resilience is not None:
+            self._r_policy = resilience.policy()
+            self._r_breaker = resilience.breaker("interaction")
+            self._r_fallback = (
+                AutoInteraction() if resilience.degrade else None
+            )
+        else:
+            self._r_policy = None
+            self._r_breaker = None
+            self._r_fallback = None
         self._lock = threading.Lock()
         self._build_metrics()
         if self.cache is not None:
@@ -273,6 +315,29 @@ class TranslationService:
         self._m_slow = r.counter(
             "nl2cm_slow_queries_total",
             "Translations retained by the slow-query log.",
+        )
+        self._m_degraded = r.counter(
+            "repro_degraded_total",
+            "Translations that served at least one interaction from "
+            "the resilience fallback (graceful degradation).",
+        )
+        self._m_retries = r.counter(
+            "nl2cm_retries_total",
+            "Interaction-provider retry attempts across fresh "
+            "translations.",
+        )
+        self._m_breaker_rejections = r.counter(
+            "nl2cm_breaker_rejections_total",
+            "Interaction calls rejected by an open circuit breaker.",
+        )
+        r.gauge(
+            "nl2cm_breaker_state",
+            "Interaction breaker state: 0 closed, 1 half-open, 2 open "
+            "(0 when no breaker is configured).",
+            callback=lambda: (
+                self._r_breaker.state_code()
+                if self._r_breaker is not None else 0.0
+            ),
         )
         r.gauge(
             "nl2cm_workers",
@@ -324,8 +389,9 @@ class TranslationService:
         provider: InteractionProvider,
         fingerprint: str | None,
     ) -> TranslationResult:
+        guarded = self._guard(provider, text)
         try:
-            result = self.nl2cm.translate(text, provider)
+            result = self.nl2cm.translate(text, guarded or provider)
         except QueryLintError as err:
             with self._lock:
                 self._c_requests.inc()
@@ -337,9 +403,23 @@ class TranslationService:
                 self._c_requests.inc()
                 self._c_error.inc()
             raise
+        except Exception:
+            # A non-library exception escaping the translator is a bug,
+            # but it must not corrupt the books: count the outcome,
+            # then re-raise as-is (translate_batch wraps it in
+            # UnexpectedTranslationError for per-item capture).
+            with self._lock:
+                self._c_requests.inc()
+                self._c_error.inc()
+            raise
         trace = result.trace
+        degraded = guarded is not None and guarded.degraded
+        if degraded:
+            trace.degraded_events = tuple(guarded.events)
         with self._lock:
             self._record_translation(trace)
+            if degraded:
+                self._m_degraded.inc()
             if result.lint is not None:
                 self._count_lint(result.lint)
         if self.slow_log is not None and self.slow_log.record(text, trace):
@@ -347,14 +427,47 @@ class TranslationService:
         if (
             self.cache is not None
             and fingerprint is not None
+            and not degraded
             and not (result.lint is not None and result.lint.has_errors)
         ):
             # A result with ERROR-level diagnostics must never be
             # served from cache: in lint="warn" mode it is returned to
             # this caller, but recomputing keeps the red flag visible
-            # in the stats instead of amortizing it away.
+            # in the stats instead of amortizing it away.  Neither may
+            # a degraded result: its answers came from the fallback,
+            # not the configured provider, and a healthy retry should
+            # get the real ones.
             self.cache.put(text, fingerprint, result)
         return result
+
+    def _guard(
+        self, provider: InteractionProvider, text: str
+    ) -> ResilientInteraction | None:
+        """The resilience wrapper for one fresh translation, or None.
+
+        One wrapper (and one fault injector) per translation, keyed by
+        the normalized question text — so an injected fault schedule
+        depends only on the question and its per-translation call
+        index, never on thread scheduling, and the wrapper's degradation
+        events map 1:1 onto this request's trace.
+        """
+        if self.resilience is None:
+            return None
+        inner = provider
+        if self.resilience.faults is not None:
+            inner = FlakyInteraction(
+                inner,
+                self.resilience.faults,
+                key=TranslationCache.normalize(text),
+            )
+        return ResilientInteraction(
+            inner,
+            policy=self._r_policy,
+            breaker=self._r_breaker,
+            fallback=self._r_fallback,
+            on_retry=self._m_retries.inc,
+            on_rejected=self._m_breaker_rejections.inc,
+        )
 
     def _record_translation(self, trace: TranslationTrace) -> None:
         """Record one fresh translation; the caller holds the lock."""
@@ -446,12 +559,26 @@ class TranslationService:
                 error = None
             except ReproError as exc:
                 result, error = None, exc
+            except Exception as exc:
+                # The single-question path already counted the error
+                # outcome; wrap the escape in a typed error so the
+                # executor is never poisoned and the item stays
+                # addressable like any other failure.
+                result = None
+                error = UnexpectedTranslationError(
+                    f"translator raised a non-library error for "
+                    f"{texts[leader]!r}: {exc!r}",
+                    cause=exc,
+                )
+            degraded = result is not None and result.trace.degraded
             items[leader].result = result
             items[leader].error = error
+            items[leader].degraded = degraded
             for i in indices[1:]:
                 items[i].result = result
                 items[i].error = error
                 items[i].cached = error is None
+                items[i].degraded = degraded
                 with self._lock:
                     self._c_requests.inc()
                     if error is None:
@@ -545,6 +672,11 @@ class TranslationService:
                 ),
                 lint_infos=int(self._m_lint.value(severity="info")),
                 slow_queries=int(self._m_slow.value()),
+                degraded=int(self._m_degraded.value()),
+                retries=int(self._m_retries.value()),
+                breaker_rejections=int(
+                    self._m_breaker_rejections.value()
+                ),
             )
             cache_stats = (
                 self.cache.stats() if self.cache is not None else None

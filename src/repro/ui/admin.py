@@ -79,6 +79,12 @@ def render_service_stats(stats: "ServiceStats") -> str:
     )
     if stats.slow_queries:
         lines.append(f"slow queries: {stats.slow_queries}")
+    if stats.degraded or stats.retries or stats.breaker_rejections:
+        lines.append(
+            f"resilience: {stats.degraded} degraded  "
+            f"{stats.retries} retrie(s)  "
+            f"{stats.breaker_rejections} breaker rejection(s)"
+        )
 
     if stats.stages:
         ordered = [s for s in _STAGE_ORDER if s in stats.stages]

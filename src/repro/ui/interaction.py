@@ -9,10 +9,11 @@ records every exchange in its trace for the admin-mode display.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, runtime_checkable
 
-from repro.errors import InteractionRequired
+from repro.errors import InteractionRequired, InvalidAnswerError
 from repro.rdf.ontology import EntityMatch
 
 __all__ = [
@@ -180,29 +181,70 @@ class ScriptedInteraction:
         self._answers = list(answers)
         self._strict = strict
         self.transcript: list[tuple[InteractionRequest, Any]] = []
+        # One lock makes pop-answer + append-transcript atomic, so a
+        # script shared across batch workers hands each answer to
+        # exactly one request and the transcript stays consistent with
+        # the answers actually given.
+        self._lock = threading.Lock()
 
     def ask(self, request: InteractionRequest) -> Any:
-        if self._answers:
-            answer = self._answers.pop(0)
-        elif self._strict:
-            raise InteractionRequired(
-                f"script exhausted at request: {request.prompt()}"
-            )
-        else:
-            answer = AutoInteraction().ask(request)
-        self.transcript.append((request, answer))
+        with self._lock:
+            if self._answers:
+                answer = self._answers.pop(0)
+            elif self._strict:
+                raise InteractionRequired(
+                    f"script exhausted at request: {request.prompt()}"
+                )
+            else:
+                answer = AutoInteraction().ask(request)
+            self.transcript.append((request, answer))
         return answer
 
 
 class ConsoleInteraction:
-    """Interactive prompts on stdin/stdout, for the runnable examples."""
+    """Interactive prompts on stdin/stdout, for the runnable examples.
+
+    Garbage input never crashes a translation: an answer that does not
+    parse raises the typed :class:`~repro.errors.InvalidAnswerError`
+    internally, and :meth:`ask` re-prompts up to ``max_attempts`` times
+    before falling back to the request's default — the same graceful
+    path an empty answer takes.
+
+    Args:
+        max_attempts: parse attempts before giving up on the user.
+        input_fn / print_fn: injectable I/O, for tests.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        input_fn: Callable[[str], str] = input,
+        print_fn: Callable[[str], None] = print,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self._input = input_fn
+        self._print = print_fn
 
     def ask(self, request: InteractionRequest) -> Any:
-        print(request.prompt())
-        raw = input("> ").strip()
-        if not raw:
-            return AutoInteraction().ask(request)
-        return self._parse(request, raw)
+        self._print(request.prompt())
+        for attempt in range(self.max_attempts):
+            raw = self._input("> ").strip()
+            if not raw:
+                break
+            try:
+                return self._parse(request, raw)
+            except InvalidAnswerError as err:
+                remaining = self.max_attempts - attempt - 1
+                if remaining:
+                    self._print(
+                        f"Sorry, {err}; try again or press Enter "
+                        f"for the default."
+                    )
+                else:
+                    self._print(f"Sorry, {err}; using the default.")
+        return AutoInteraction().ask(request)
 
     @staticmethod
     def _parse(request: InteractionRequest, raw: str) -> Any:
@@ -211,20 +253,40 @@ class ConsoleInteraction:
             flags += [True] * (len(request.spans) - len(flags))
             return flags[: len(request.spans)]
         if isinstance(request, DisambiguationRequest):
-            index = int(raw)
+            index = _parse_int(raw, "a candidate index")
             if not 0 <= index < len(request.candidates):
-                raise ValueError(f"candidate index {index} out of range")
+                raise InvalidAnswerError(
+                    f"candidate index {index} out of range"
+                )
             return index
         if isinstance(request, LimitRequest):
-            value = int(raw)
+            value = _parse_int(raw, "a result limit")
             if value <= 0:
-                raise ValueError("limit must be positive")
+                raise InvalidAnswerError("limit must be positive")
             return value
         if isinstance(request, ThresholdRequest):
-            value = float(raw)
+            value = _parse_float(raw, "a frequency threshold")
             if not 0 <= value <= 1:
-                raise ValueError("threshold must be in [0, 1]")
+                raise InvalidAnswerError("threshold must be in [0, 1]")
             return value
         if isinstance(request, ProjectionRequest):
             return [v.strip().lstrip("$") for v in raw.split(",")]
         raise TypeError(f"unknown request type {type(request).__name__}")
+
+
+def _parse_int(raw: str, what: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise InvalidAnswerError(
+            f"{raw!r} is not a whole number ({what} is expected)"
+        ) from None
+
+
+def _parse_float(raw: str, what: str) -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        raise InvalidAnswerError(
+            f"{raw!r} is not a number ({what} is expected)"
+        ) from None

@@ -143,3 +143,25 @@ class TestRoundTrip:
         text = serialize_turtle(store)
         # One statement block per subject.
         assert text.count("kb:Delaware_Park") == 1
+
+    @pytest.mark.parametrize("value", [
+        "\\n",            # backslash + 'n': must NOT decode to newline
+        "line\nbreak",
+        'say "hi"',
+        "back\\slash",
+        "tab\there",
+        "trailing\\",
+        "\\\\n mix \n \\",
+    ])
+    def test_escape_heavy_literals_round_trip(self, value):
+        # Regression: _unescape used a str.replace chain, so the
+        # serialized form of backslash+'n' ("\\n") reparsed as
+        # backslash+newline.
+        from repro.rdf.store import TripleStore
+
+        store = TripleStore()
+        store.add(IRI("http://repro.example/kb/A"),
+                  IRI("http://repro.example/kb/p"),
+                  Literal(value))
+        reparsed = parse_turtle(serialize_turtle(store))
+        assert set(reparsed.triples()) == set(store.triples())

@@ -1,0 +1,210 @@
+"""RetryPolicy and Deadline: deterministic, never actually sleeping."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded, InteractionRequired, ReproError
+from repro.resilience import Deadline, RetryPolicy, seeded_uniform
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSeededUniform:
+    def test_in_unit_interval(self):
+        for i in range(200):
+            u = seeded_uniform("key", i)
+            assert 0.0 <= u < 1.0
+
+    def test_deterministic(self):
+        assert seeded_uniform(7, "q", 3) == seeded_uniform(7, "q", 3)
+
+    def test_key_sensitive(self):
+        draws = {seeded_uniform("k", i) for i in range(50)}
+        assert len(draws) == 50
+
+
+class TestDeadline:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-0.1)
+
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        d = Deadline(2.0, clock=clock)
+        assert d.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert d.remaining() == pytest.approx(0.5)
+        assert not d.expired
+        clock.advance(1.0)
+        assert d.expired
+
+    def test_check_passes_within_budget(self):
+        d = Deadline(60.0, clock=FakeClock())
+        d.check("nl-parsing")  # no raise
+
+    def test_check_raises_typed_error_with_context(self):
+        clock = FakeClock()
+        d = Deadline(0.25, clock=clock)
+        clock.advance(0.4)
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            d.check("ix-detection")
+        err = exc_info.value
+        assert isinstance(err, ReproError)
+        assert err.stage == "ix-detection"
+        assert err.budget == pytest.approx(0.25)
+        assert err.elapsed == pytest.approx(0.4)
+        assert "ix-detection" in str(err)
+
+    def test_after_classmethod(self):
+        clock = FakeClock()
+        d = Deadline.after(1.0, clock=clock)
+        assert d.budget == 1.0
+
+
+class TestRetryPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(retries=-1),
+        dict(base_delay=-0.1),
+        dict(max_delay=-1.0),
+        dict(multiplier=0.5),
+        dict(jitter=1.5),
+        dict(jitter=-0.1),
+    ])
+    def test_bad_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackoffSchedule:
+    def test_without_jitter_pure_exponential(self):
+        policy = RetryPolicy(
+            retries=4, base_delay=0.1, multiplier=2.0,
+            max_delay=0.5, jitter=0.0,
+        )
+        assert policy.delays() == pytest.approx([0.1, 0.2, 0.4, 0.5])
+
+    def test_jitter_shrinks_but_never_grows_the_pause(self):
+        policy = RetryPolicy(
+            retries=6, base_delay=0.1, multiplier=2.0,
+            max_delay=10.0, jitter=0.5, seed=3,
+        )
+        for attempt in range(6):
+            raw = min(10.0, 0.1 * 2.0 ** attempt)
+            d = policy.delay(attempt, key="q")
+            assert raw * 0.5 <= d <= raw
+
+    def test_schedule_is_seed_deterministic(self):
+        a = RetryPolicy(seed=7).delays(key="same question")
+        b = RetryPolicy(seed=7).delays(key="same question")
+        c = RetryPolicy(seed=8).delays(key="same question")
+        assert a == b
+        assert a != c
+
+
+class TestRun:
+    def make_policy(self, **kwargs):
+        sleeps: list[float] = []
+        kwargs.setdefault("base_delay", 0.05)
+        kwargs.setdefault("retries", 3)
+        policy = RetryPolicy(sleep=sleeps.append, **kwargs)
+        return policy, sleeps
+
+    def test_returns_first_success(self):
+        policy, sleeps = self.make_policy()
+        assert policy.run(lambda: 42) == 42
+        assert sleeps == []
+
+    def test_retries_transient_failures(self):
+        policy, sleeps = self.make_policy()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionError("transient")
+            return "ok"
+
+        assert policy.run(flaky, key="q") == "ok"
+        assert calls["n"] == 3
+        assert sleeps == policy.delays(key="q")[:2]
+
+    def test_non_retryable_raises_immediately(self):
+        policy, sleeps = self.make_policy()
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise KeyError("programming bug")
+
+        with pytest.raises(KeyError):
+            policy.run(broken)
+        assert calls["n"] == 1
+        assert sleeps == []
+
+    def test_exhaustion_reraises_last_error(self):
+        policy, sleeps = self.make_policy(retries=2)
+
+        def always():
+            raise InteractionRequired("never answered")
+
+        with pytest.raises(InteractionRequired):
+            policy.run(always)
+        assert len(sleeps) == 2
+
+    def test_expired_deadline_stops_retrying(self):
+        clock = FakeClock()
+        policy, sleeps = self.make_policy(clock=clock)
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+
+        def always():
+            raise TimeoutError("slow")
+
+        with pytest.raises(TimeoutError):
+            policy.run(always, deadline=deadline)
+        assert sleeps == []
+
+    def test_pause_clamped_to_deadline(self):
+        clock = FakeClock()
+        policy, sleeps = self.make_policy(
+            clock=clock, base_delay=10.0, jitter=0.0, retries=1,
+        )
+        deadline = Deadline(0.5, clock=clock)
+
+        calls = {"n": 0}
+
+        def once_flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ConnectionError("transient")
+            return "ok"
+
+        assert policy.run(once_flaky, deadline=deadline) == "ok"
+        assert sleeps == [pytest.approx(0.5)]
+
+    def test_on_retry_hook_sees_attempt_and_error(self):
+        policy, _ = self.make_policy(retries=2)
+        seen: list[tuple[int, str]] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionError(f"fail {calls['n']}")
+            return "ok"
+
+        policy.run(
+            flaky,
+            on_retry=lambda a, e: seen.append((a, str(e))),
+        )
+        assert seen == [(0, "fail 1"), (1, "fail 2")]

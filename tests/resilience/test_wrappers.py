@@ -1,0 +1,212 @@
+"""ResilientInteraction / ResilientCrowd: retry, degrade, breaker."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFault,
+    ProviderFailure,
+    ReproError,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    FaultPlan,
+    FlakyInteraction,
+    ResilientCrowd,
+    ResilientInteraction,
+    RetryPolicy,
+)
+from repro.ui.interaction import AutoInteraction, LimitRequest
+
+
+def quiet_policy(**kwargs):
+    kwargs.setdefault("retries", 3)
+    return RetryPolicy(sleep=lambda s: None, **kwargs)
+
+
+def request():
+    return LimitRequest(description="results")
+
+
+class TestResilientInteraction:
+    def test_healthy_provider_passes_through(self):
+        guarded = ResilientInteraction(
+            AutoInteraction(default_limit=9), policy=quiet_policy(),
+            fallback=AutoInteraction(),
+        )
+        assert guarded.ask(request()) == 9
+        assert not guarded.degraded
+        assert guarded.retries == 0
+
+    def test_transient_faults_are_retried_away(self):
+        flaky = FlakyInteraction(
+            AutoInteraction(default_limit=9),
+            FaultPlan(fail_indices=frozenset({0, 1})),
+        )
+        retried = []
+        guarded = ResilientInteraction(
+            flaky, policy=quiet_policy(),
+            fallback=AutoInteraction(),
+            on_retry=lambda: retried.append(1),
+        )
+        assert guarded.ask(request()) == 9
+        assert not guarded.degraded
+        assert guarded.retries == 2
+        assert len(retried) == 2
+
+    def test_exhausted_retries_degrade_to_fallback(self):
+        flaky = FlakyInteraction(AutoInteraction(), FaultPlan(rate=1.0))
+        guarded = ResilientInteraction(
+            flaky, policy=quiet_policy(retries=2),
+            fallback=AutoInteraction(default_limit=77),
+        )
+        assert guarded.ask(request()) == 77
+        assert guarded.degraded
+        (event,) = guarded.events
+        assert event.request == "LimitRequest"
+        assert event.reason == "retries-exhausted"
+        assert "InjectedFault" in event.error
+
+    def test_non_retryable_error_degrades_immediately(self):
+        flaky = FlakyInteraction(
+            AutoInteraction(),
+            FaultPlan(rate=1.0, error_type=RuntimeError),
+        )
+        guarded = ResilientInteraction(
+            flaky, policy=quiet_policy(),
+            fallback=AutoInteraction(default_limit=5),
+        )
+        assert guarded.ask(request()) == 5
+        assert guarded.retries == 0
+        assert guarded.degraded
+
+    def test_without_fallback_library_error_reraises(self):
+        flaky = FlakyInteraction(AutoInteraction(), FaultPlan(rate=1.0))
+        guarded = ResilientInteraction(
+            flaky, policy=quiet_policy(retries=1), fallback=None,
+        )
+        with pytest.raises(InjectedFault):
+            guarded.ask(request())
+
+    def test_without_fallback_foreign_error_wrapped(self):
+        flaky = FlakyInteraction(
+            AutoInteraction(),
+            FaultPlan(rate=1.0, error_type=RuntimeError),
+        )
+        guarded = ResilientInteraction(
+            flaky, policy=quiet_policy(), fallback=None,
+        )
+        with pytest.raises(ProviderFailure) as exc_info:
+            guarded.ask(request())
+        assert isinstance(exc_info.value, ReproError)
+
+    def test_open_breaker_degrades_without_touching_provider(self):
+        class Exploding:
+            def ask(self, request):  # pragma: no cover - must not run
+                raise AssertionError("provider touched behind open breaker")
+
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        rejected = []
+        guarded = ResilientInteraction(
+            Exploding(), policy=quiet_policy(),
+            breaker=breaker,
+            fallback=AutoInteraction(default_limit=5),
+            on_rejected=lambda: rejected.append(1),
+        )
+        assert guarded.ask(request()) == 5
+        (event,) = guarded.events
+        assert event.reason == "circuit-open"
+        assert event.error is None
+        assert rejected == [1]
+
+    def test_open_breaker_without_fallback_raises_typed(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        guarded = ResilientInteraction(
+            AutoInteraction(), policy=quiet_policy(),
+            breaker=breaker, fallback=None,
+        )
+        with pytest.raises(CircuitOpenError):
+            guarded.ask(request())
+
+    def test_failures_feed_the_shared_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        flaky = FlakyInteraction(AutoInteraction(), FaultPlan(rate=1.0))
+        guarded = ResilientInteraction(
+            flaky, policy=quiet_policy(retries=5),
+            breaker=breaker, fallback=AutoInteraction(),
+        )
+        guarded.ask(request())
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_no_cache_fingerprint_by_design(self):
+        guarded = ResilientInteraction(
+            AutoInteraction(), policy=quiet_policy(),
+            fallback=AutoInteraction(),
+        )
+        assert not hasattr(guarded, "cache_fingerprint")
+
+
+class FakeMember:
+    def __init__(self, member_id):
+        self.member_id = member_id
+
+
+class FakeFactSet:
+    def key(self):
+        return "fs"
+
+
+class TestResilientCrowd:
+    def test_retries_then_succeeds(self):
+        class Flaky:
+            size = 10
+
+            def __init__(self):
+                self.calls = 0
+
+            def ask(self, member, fact_set):
+                self.calls += 1
+                if self.calls < 3:
+                    raise ConnectionError("transient")
+                return 0.4
+
+        inner = Flaky()
+        crowd = ResilientCrowd(inner, policy=quiet_policy())
+        assert crowd.ask(FakeMember(1), FakeFactSet()) == 0.4
+        assert inner.calls == 3
+        assert crowd.retries == 2
+        assert crowd.size == 10  # delegation
+
+    def test_open_breaker_raises_without_asking(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+
+        class Exploding:
+            def ask(self, member, fact_set):  # pragma: no cover
+                raise AssertionError("crowd touched behind open breaker")
+
+        crowd = ResilientCrowd(
+            Exploding(), policy=quiet_policy(), breaker=breaker,
+        )
+        with pytest.raises(CircuitOpenError):
+            crowd.ask(FakeMember(1), FakeFactSet())
+
+    def test_exhausted_foreign_error_wrapped_as_provider_failure(self):
+        class Broken:
+            def ask(self, member, fact_set):
+                raise ConnectionError("down for good")
+
+        crowd = ResilientCrowd(Broken(), policy=quiet_policy(retries=1))
+        with pytest.raises(ProviderFailure):
+            crowd.ask(FakeMember(1), FakeFactSet())
+
+    def test_library_error_passes_through_unwrapped(self):
+        class Refusing:
+            def ask(self, member, fact_set):
+                raise InjectedFault("scripted")
+
+        crowd = ResilientCrowd(Refusing(), policy=quiet_policy(retries=1))
+        with pytest.raises(InjectedFault):
+            crowd.ask(FakeMember(1), FakeFactSet())

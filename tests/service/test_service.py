@@ -224,3 +224,56 @@ class TestFeedbackStoreConcurrency:
         assert a.cache_fingerprint() == b.cache_fingerprint()
         assert (AutoInteraction(default_limit=3).cache_fingerprint()
                 != a.cache_fingerprint())
+
+
+class TestUnexpectedExceptionAudit:
+    """Regression: a non-ReproError escaping the translator used to
+    corrupt the outcome books and poison the batch executor."""
+
+    QUESTION = "Where do you go hiking in the winter?"
+
+    class BrokenProvider:
+        """A provider whose first ask raises a programming error."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def ask(self, request):
+            self.calls += 1
+            raise RuntimeError("bug in the provider")
+
+    def test_single_translate_counts_then_reraises_raw(self, ontology):
+        service = TranslationService(NL2CM(ontology=ontology))
+        with pytest.raises(RuntimeError):
+            service.translate(self.QUESTION, self.BrokenProvider())
+        stats = service.stats()
+        assert stats.errors == 1
+        assert stats.requests == stats.accounted == 1
+
+    def test_batch_wraps_per_item_and_keeps_identity(self, ontology):
+        from repro.errors import UnexpectedTranslationError
+
+        service = TranslationService(NL2CM(ontology=ontology), workers=3)
+        questions = [
+            self.QUESTION,
+            "Which museums are popular with locals?",
+            "Do you like the Buffalo Zoo?",
+        ]
+        items = service.translate_batch(
+            questions, interaction=self.BrokenProvider(),
+        )
+        assert len(items) == 3
+        for item in items:
+            assert not item.ok
+            assert isinstance(item.error, UnexpectedTranslationError)
+            assert isinstance(item.error, ReproError)
+            assert isinstance(item.error.cause, RuntimeError)
+        stats = service.stats()
+        assert stats.errors == 3
+        assert stats.requests == stats.accounted == 3
+
+        # The executor survived: the same service still translates.
+        healthy = service.translate_batch([self.QUESTION])
+        assert healthy[0].ok
+        stats = service.stats()
+        assert stats.requests == stats.accounted == 4

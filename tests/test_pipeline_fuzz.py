@@ -8,6 +8,8 @@ in-KB and out-of-KB) to explore constructions systematically, plus a
 raw-text generator for garbage input.
 """
 
+import random
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -102,3 +104,59 @@ class TestGarbageFuzz:
         except ReproError:
             return
         assert parse_oassisql(result.query_text) == result.query
+
+
+class TestSeededFuzz:
+    """A dependency-free seeded fuzzer: every failure names its seed.
+
+    Complements the hypothesis suites above with a plain
+    :class:`random.Random` generator (the same determinism idiom the
+    resilience layer's fault plans use), so a red run reproduces from
+    the printed seed alone — no shrinking database required.
+    """
+
+    N_SEEDS = 200
+    VOCAB = (PLACES + THINGS + OPINIONS + VERBS + SUBJECTS
+             + ["the", "a", "?", "and", "of", "in", "most", "best"])
+    NOISE = "abcdefghijklmnopqrstuvwxyz ?!.,;:'$%0123456789\"\\\n\t"
+
+    def generate(self, seed: int) -> str:
+        rng = random.Random(seed)
+        roll = rng.random()
+        if roll < 0.4:
+            words = [rng.choice(self.VOCAB)
+                     for _ in range(rng.randint(1, 12))]
+            return " ".join(words)
+        if roll < 0.7:
+            template = rng.choice([
+                "What are the most {o} {t} in {p}?",
+                "Where do {s} {v} in {p}?",
+                "Which {t} should {s} {v}?",
+                "Is {p} {o}?",
+            ])
+            return template.format(
+                o=rng.choice(OPINIONS), t=rng.choice(THINGS),
+                p=rng.choice(PLACES), s=rng.choice(SUBJECTS),
+                v=rng.choice(VERBS),
+            )
+        return "".join(
+            rng.choice(self.NOISE) for _ in range(rng.randint(0, 60))
+        )
+
+    def test_only_typed_errors_escape(self):
+        for seed in range(self.N_SEEDS):
+            text = self.generate(seed)
+            try:
+                result = NL2CM_INSTANCE.translate(text)
+            except ReproError:
+                continue
+            except Exception as exc:  # pragma: no cover - the bug path
+                pytest.fail(
+                    f"seed {seed}: untyped {type(exc).__name__} escaped "
+                    f"for input {text!r}: {exc}"
+                )
+            assert parse_oassisql(result.query_text) == result.query, (
+                f"seed {seed}: printed query does not round-trip for "
+                f"input {text!r}"
+            )
+

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.errors import InteractionRequired
+from repro.errors import (
+    InteractionRequired,
+    InvalidAnswerError,
+    ReproError,
+)
 from repro.rdf.ontology import EntityMatch
 from repro.rdf.terms import IRI
 from repro.ui.interaction import (
@@ -104,3 +108,88 @@ class TestConsoleParsing:
     def test_projection_parse(self):
         req = ProjectionRequest(variables=(("x", "a"), ("y", "b")))
         assert ConsoleInteraction._parse(req, "$x, y") == ["x", "y"]
+
+
+class FakeConsole:
+    """Scripted stdin/stdout for ConsoleInteraction tests."""
+
+    def __init__(self, lines):
+        self.lines = list(lines)
+        self.printed = []
+
+    def input(self, prompt):
+        return self.lines.pop(0)
+
+    def print(self, message):
+        self.printed.append(message)
+
+    def console(self, **kwargs):
+        return ConsoleInteraction(
+            input_fn=self.input, print_fn=self.print, **kwargs
+        )
+
+
+class TestConsoleGarbageInput:
+    """Regression: garbage numeric input used to escape as a bare
+    ValueError and sink the whole translation."""
+
+    def test_garbage_is_typed_not_bare(self):
+        with pytest.raises(InvalidAnswerError) as exc_info:
+            ConsoleInteraction._parse(LimitRequest("p"), "lots")
+        # Still a ValueError for callers that catch the old shape.
+        assert isinstance(exc_info.value, ValueError)
+        assert isinstance(exc_info.value, ReproError)
+
+    def test_garbage_threshold_is_typed(self):
+        with pytest.raises(InvalidAnswerError):
+            ConsoleInteraction._parse(ThresholdRequest("p"), "half")
+
+    def test_garbage_disambiguation_is_typed(self):
+        req = DisambiguationRequest("b", (match("NY"),))
+        with pytest.raises(InvalidAnswerError):
+            ConsoleInteraction._parse(req, "first one")
+
+    def test_ask_reprompts_then_accepts(self):
+        fake = FakeConsole(["lots", "7"])
+        assert fake.console().ask(LimitRequest("p")) == 7
+        # One complaint was printed between the two attempts.
+        assert any("try again" in m for m in fake.printed)
+
+    def test_ask_falls_back_to_default_after_max_attempts(self):
+        fake = FakeConsole(["a", "b", "c"])
+        answer = fake.console(max_attempts=3).ask(LimitRequest("p"))
+        # Same graceful path an empty answer takes: the admin default.
+        assert answer == AutoInteraction().default_limit
+        assert any("default" in m for m in fake.printed)
+
+    def test_empty_answer_still_takes_the_default(self):
+        fake = FakeConsole([""])
+        assert fake.console().ask(ThresholdRequest("p")) == 0.1
+
+    def test_out_of_range_values_reprompt_too(self):
+        fake = FakeConsole(["0", "-3", "4"])
+        assert fake.console().ask(LimitRequest("p")) == 4
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            ConsoleInteraction(max_attempts=0)
+
+
+class TestScriptedThreadSafety:
+    def test_concurrent_asks_hand_out_each_answer_once(self):
+        import threading
+
+        script = ScriptedInteraction(list(range(64)), strict=True)
+        taken = []
+
+        def worker():
+            for _ in range(8):
+                taken.append(script.ask(LimitRequest("p")))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(taken) == list(range(64))
+        assert len(script.transcript) == 64
