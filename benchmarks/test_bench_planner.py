@@ -1,0 +1,255 @@
+"""E13: cost-based planner vs. the greedy evaluator.
+
+Three measurements, three gates:
+
+* **Repeated-shape BGP workload** — S shapes x V constant variations x
+  R repeats against a synthetic store.  The cost planner compiles each
+  shape once and serves every variation/repeat from the plan cache; the
+  greedy evaluator re-plans (and re-counts selectivities) per call.
+  Gates: cost >= 1.5x greedy, plan-cache hit rate >= 90%.
+* **Cold-plan overhead** — the extra latency of a plan-cache miss over
+  a hit (ordering + shape hashing; step compilation runs on both
+  paths), compared to the mean E6 translation latency measured in this
+  same run.  Gate: overhead <= 5% of the translation mean.
+* **E9 repeated-question mix** — the WHERE clauses of every translated
+  corpus query, repeated round-robin as in E9's serving trace,
+  evaluated with each planner.  Gate: cost >= 1.0x greedy (a measurable
+  win on the serving mix), plus byte-identical translation output and
+  identical WHERE solution multisets across planner modes.
+
+Results go to ``benchmarks/results/E13-planner.txt`` and (for the CI
+artifact) ``E13-planner.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import NL2CM
+from repro.data.corpus import supported_questions
+from repro.eval.harness import format_table
+from repro.oassis.engine import OassisEngine
+from repro.rdf.planner import QueryPlanner
+from repro.rdf.sparql import TriplePattern, evaluate_bgp, iter_bgp
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import IRI, Literal, Variable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_ENTITIES = 400
+N_CLASSES = 8
+VARIATIONS = 24
+REPEATS = 3
+E9_REPEATS = 4
+
+SPEEDUP_FLOOR = 1.5
+HIT_RATE_FLOOR = 0.90
+COLD_PLAN_CEILING = 0.05
+E9_FLOOR = 1.0
+
+
+def kb(name: str) -> IRI:
+    return IRI(f"http://bench.example/{name}")
+
+
+TYPE, NEAR, LABEL = kb("type"), kb("near"), kb("label")
+
+
+def synthetic_store() -> TripleStore:
+    """A deterministic store: typed entities in a near-neighbor ring."""
+    store = TripleStore()
+    for i in range(N_ENTITIES):
+        e = kb(f"e{i}")
+        store.add(e, TYPE, kb(f"C{i % N_CLASSES}"))
+        store.add(e, NEAR, kb(f"e{(i * 7 + 1) % N_ENTITIES}"))
+        store.add(e, NEAR, kb(f"e{(i * 13 + 5) % N_ENTITIES}"))
+        store.add(e, LABEL, Literal(f"entity {i}"))
+    return store
+
+
+def shape_workload() -> list[list[TriplePattern]]:
+    """S shapes x VARIATIONS constants, flattened in round-robin order."""
+    x, y, t, l = (Variable(v) for v in "xytl")
+    variants: list[list[list[TriplePattern]]] = [[] for _ in range(4)]
+    for v in range(VARIATIONS):
+        cls = kb(f"C{v % N_CLASSES}")
+        ent = kb(f"e{(v * 31) % N_ENTITIES}")
+        variants[0].append([
+            TriplePattern(x, TYPE, cls),
+            TriplePattern(x, NEAR, y),
+            TriplePattern(y, LABEL, l),
+        ])
+        variants[1].append([
+            TriplePattern(x, NEAR, y),
+            TriplePattern(y, TYPE, cls),
+        ])
+        variants[2].append([
+            TriplePattern(ent, NEAR, y),
+            TriplePattern(y, LABEL, l),
+        ])
+        variants[3].append([
+            TriplePattern(x, TYPE, cls),
+            TriplePattern(x, NEAR, y),
+            TriplePattern(y, TYPE, t),
+        ])
+    return [bgp for group in zip(*variants) for bgp in group]
+
+
+def drain(solutions) -> int:
+    return sum(1 for _ in solutions)
+
+
+def canon(solutions):
+    return sorted(
+        tuple(sorted((k, str(v)) for k, v in s.items()))
+        for s in solutions
+    )
+
+
+def test_bench_planner(ontology, report_writer):
+    store = synthetic_store()
+    workload = shape_workload() * REPEATS
+
+    # -- repeated-shape workload: greedy vs cost --------------------------------
+    greedy_rows = 0
+    start = time.perf_counter()
+    for bgp in workload:
+        greedy_rows += drain(iter_bgp(store, bgp, planner="greedy"))
+    greedy_s = time.perf_counter() - start
+
+    planner = QueryPlanner()
+    cost_rows = 0
+    start = time.perf_counter()
+    for bgp in workload:
+        cost_rows += drain(planner.solutions(store, bgp))
+    cost_s = time.perf_counter() - start
+
+    assert cost_rows == greedy_rows
+    snap = planner.snapshot()
+    speedup = greedy_s / cost_s
+    hit_rate = snap.hit_rate
+
+    # -- cold-plan overhead vs E6 translation latency ---------------------------
+    sample_shapes = shape_workload()[:40]
+    cold = QueryPlanner(cache_size=1)  # every plan() call misses
+    start = time.perf_counter()
+    for bgp in sample_shapes:
+        cold.plan(store, bgp)
+    cold_each = (time.perf_counter() - start) / len(sample_shapes)
+    warm = QueryPlanner()
+    for bgp in sample_shapes:
+        warm.plan(store, bgp)
+    start = time.perf_counter()
+    for bgp in sample_shapes:
+        warm.plan(store, bgp)
+    warm_each = (time.perf_counter() - start) / len(sample_shapes)
+    cold_overhead_s = max(0.0, cold_each - warm_each)
+
+    texts = [q.text for q in supported_questions()]
+    translator = NL2CM(ontology=ontology)
+    start = time.perf_counter()
+    queries = [translator.translate(t).query for t in texts]
+    translate_mean_s = (time.perf_counter() - start) / len(texts)
+    cold_ratio = cold_overhead_s / translate_mean_s
+
+    # -- E9 repeated-question mix over the real ontology ------------------------
+    corpus_bgps = [
+        [OassisEngine._to_pattern(t) for t in q.where]
+        for q in queries if q.where
+    ]
+    mix = corpus_bgps * E9_REPEATS
+    start = time.perf_counter()
+    for bgp in mix:
+        drain(iter_bgp(ontology.store, bgp, planner="greedy"))
+    e9_greedy_s = time.perf_counter() - start
+    mix_planner = QueryPlanner()
+    start = time.perf_counter()
+    for bgp in mix:
+        drain(mix_planner.solutions(ontology.store, bgp))
+    e9_cost_s = time.perf_counter() - start
+    e9_speedup = e9_greedy_s / e9_cost_s
+    e9_hit_rate = mix_planner.snapshot().hit_rate
+
+    # -- byte-identical output across planner modes -----------------------------
+    greedy_texts = [
+        NL2CM(ontology=ontology, planner="greedy").translate(t).query_text
+        for t in texts
+    ]
+    cost_texts = [
+        NL2CM(ontology=ontology, planner="cost").translate(t).query_text
+        for t in texts
+    ]
+    identical_translations = greedy_texts == cost_texts
+    identical_solutions = all(
+        canon(evaluate_bgp(ontology.store, bgp, planner="greedy"))
+        == canon(evaluate_bgp(ontology.store, bgp, planner="cost"))
+        for bgp in corpus_bgps
+    )
+
+    rows = [
+        ["repeated-shape greedy", len(workload), f"{greedy_s:.3f}",
+         f"{len(workload) / greedy_s:.0f}", "1.0x"],
+        ["repeated-shape cost", len(workload), f"{cost_s:.3f}",
+         f"{len(workload) / cost_s:.0f}", f"{speedup:.1f}x"],
+        ["E9-mix greedy", len(mix), f"{e9_greedy_s:.3f}",
+         f"{len(mix) / e9_greedy_s:.0f}", "1.0x"],
+        ["E9-mix cost", len(mix), f"{e9_cost_s:.3f}",
+         f"{len(mix) / e9_cost_s:.0f}", f"{e9_speedup:.2f}x"],
+    ]
+    table = format_table(
+        ["workload", "evaluations", "seconds", "eval/s", "speedup"], rows
+    )
+    table += (
+        f"\n\nplan cache: {snap.hits} hits / {snap.misses} misses / "
+        f"{snap.invalidations} invalidated  "
+        f"(hit rate {hit_rate:.1%}, floor {HIT_RATE_FLOOR:.0%})"
+        f"\nE9-mix plan-cache hit rate: {e9_hit_rate:.1%}"
+        f"\ncold-plan overhead: {cold_overhead_s * 1e6:.1f} us/query = "
+        f"{cold_ratio:.2%} of the {translate_mean_s * 1000:.2f} ms mean "
+        f"translation (ceiling {COLD_PLAN_CEILING:.0%})"
+        f"\ntranslations byte-identical across planners: "
+        f"{identical_translations}"
+        f"\nWHERE solution multisets identical: {identical_solutions}"
+    )
+    report_writer("E13-planner", table)
+    (RESULTS_DIR / "E13-planner.json").write_text(json.dumps({
+        "repeated_shape": {
+            "evaluations": len(workload),
+            "greedy_seconds": round(greedy_s, 4),
+            "cost_seconds": round(cost_s, 4),
+            "speedup": round(speedup, 2),
+            "hit_rate": round(hit_rate, 4),
+        },
+        "cold_plan": {
+            "overhead_us": round(cold_overhead_s * 1e6, 2),
+            "translate_mean_ms": round(translate_mean_s * 1000, 3),
+            "ratio": round(cold_ratio, 4),
+        },
+        "e9_mix": {
+            "evaluations": len(mix),
+            "greedy_seconds": round(e9_greedy_s, 4),
+            "cost_seconds": round(e9_cost_s, 4),
+            "speedup": round(e9_speedup, 2),
+            "hit_rate": round(e9_hit_rate, 4),
+        },
+        "identical_translations": identical_translations,
+        "identical_solutions": identical_solutions,
+    }, indent=2) + "\n", "utf-8")
+
+    assert identical_translations
+    assert identical_solutions
+    assert hit_rate >= HIT_RATE_FLOOR, (
+        f"plan-cache hit rate {hit_rate:.1%} below "
+        f"{HIT_RATE_FLOOR:.0%}"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"repeated-shape speedup {speedup:.2f}x below "
+        f"{SPEEDUP_FLOOR}x"
+    )
+    assert cold_ratio <= COLD_PLAN_CEILING, (
+        f"cold-plan overhead {cold_ratio:.2%} of mean translation "
+        f"latency exceeds {COLD_PLAN_CEILING:.0%}"
+    )
+    assert e9_speedup >= E9_FLOOR, (
+        f"E9-mix speedup {e9_speedup:.2f}x below {E9_FLOOR}x"
+    )

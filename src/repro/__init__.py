@@ -46,6 +46,7 @@ from repro.errors import (
 from repro.oassis.engine import EngineConfig, OassisEngine, QueryResult
 from repro.oassisql import OassisQuery, parse_oassisql, print_oassisql
 from repro.obs import MetricsRegistry, SlowQueryLog
+from repro.rdf.planner import QueryPlanner
 from repro.resilience import (
     ChaosCrowd,
     CircuitBreaker,
@@ -87,6 +88,7 @@ __all__ = [
     "ServiceStats",
     "MetricsRegistry",
     "SlowQueryLog",
+    "QueryPlanner",
     "ResilienceConfig",
     "RetryPolicy",
     "CircuitBreaker",

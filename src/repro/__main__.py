@@ -27,6 +27,18 @@ Static analysis (exit status 1 when any ERROR-level diagnostic fires)::
 ``--lint`` sniffs the file: if the first non-comment line starts with
 ``SELECT`` it is a query file, otherwise a question batch.
 
+Query planning (see ``docs/performance.md``)::
+
+    python -m repro --explain query.oql      # join order + cardinalities
+    python -m repro --explain questions.txt  # translate, then explain
+    python -m repro --planner greedy --execute "question"   # A/B
+
+``--explain`` sniffs the file like ``--lint`` and prints one plan panel
+per query: the chosen join order, estimated vs. actual per-step
+cardinalities, and whether the request hit the plan cache.  The
+``--planner`` mode ("cost" by default) selects the WHERE-clause
+evaluator for translation and ``--execute``.
+
 Observability (see ``docs/observability.md``)::
 
     python -m repro --batch q.txt --metrics-out metrics.prom
@@ -104,6 +116,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-size", type=int, default=256,
                         help="translation cache capacity for --batch "
                              "(0 disables caching)")
+    parser.add_argument("--explain", metavar="FILE",
+                        help="show the query plan of FILE (an "
+                             "OASSIS-QL query, or a question batch to "
+                             "translate first): join order, estimated "
+                             "vs. actual cardinalities, plan-cache "
+                             "outcome")
+    parser.add_argument("--planner", choices=("cost", "greedy"),
+                        default="cost",
+                        help="BGP evaluator for WHERE clauses: "
+                             "'cost' (statistics-ordered cached plans, "
+                             "default) or 'greedy' (per-call "
+                             "re-scoring, for A/B comparison)")
     parser.add_argument("--lint", metavar="FILE",
                         help="statically analyze FILE (an OASSIS-QL "
                              "query, or a question batch to translate "
@@ -144,14 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def demo_engine(ontology, size: int, seed: int,
-                registry: MetricsRegistry | None = None) -> OassisEngine:
+                registry: MetricsRegistry | None = None,
+                planner: str | None = None) -> OassisEngine:
     truth = GroundTruth(default=0.05)
     for scenario in (buffalo_travel_truth(), vegas_rides_truth(),
                      dietician_truth()):
         truth.supports.update(scenario.supports)
     crowd = SimulatedCrowd(truth, size=size, noise=0.08, seed=seed)
     return OassisEngine(ontology, crowd, EngineConfig(),
-                        registry=registry)
+                        registry=registry, planner=planner)
 
 
 def run_question(service: TranslationService, args, question: str,
@@ -287,15 +312,67 @@ def run_lint(args) -> int:
     return outcome.exit_code
 
 
+def run_explain(args) -> int:
+    from repro.oassis.engine import OassisEngine
+    from repro.oassisql import parse_oassisql
+    from repro.rdf.planner import QueryPlanner
+    from repro.ui.admin import render_plan
+
+    path = Path(args.explain)
+    try:
+        text = path.read_text("utf-8")
+    except OSError as err:
+        print(f"cannot read explain file: {err}", file=sys.stderr)
+        return 2
+    ontology = load_merged_ontology()
+    if _looks_like_query(text):
+        try:
+            queries = [(path.name, parse_oassisql(text))]
+        except ReproError as err:
+            print(f"cannot parse query: {err}", file=sys.stderr)
+            return 1
+    else:
+        questions = [
+            line.strip() for line in text.splitlines()
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+        if not questions:
+            print("explain file contains no questions", file=sys.stderr)
+            return 2
+        nl2cm = NL2CM(ontology=ontology, planner=args.planner)
+        queries = []
+        for question in questions:
+            try:
+                queries.append(
+                    (question, nl2cm.translate(question).query)
+                )
+            except ReproError as err:
+                print(f"cannot translate {question!r}: {err}",
+                      file=sys.stderr)
+                return 1
+    # One planner across the file, so repeated query shapes show up as
+    # plan-cache hits in the panel.
+    planner = QueryPlanner()
+    for subject, query in queries:
+        patterns = [OassisEngine._to_pattern(t) for t in query.where]
+        print(f"# {subject}")
+        print(render_plan(planner.explain(ontology.store, patterns)))
+        print()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.lint or args.lint_patterns:
         return run_lint(args)
+    if args.explain:
+        return run_explain(args)
 
     interaction = ConsoleInteraction() if args.interactive else None
     ontology = load_merged_ontology()
     nl2cm = NL2CM(ontology=ontology, interaction=interaction,
+                  planner=args.planner,
                   stage_timeout_ms=args.stage_timeout_ms)
 
     registry = MetricsRegistry()
@@ -320,7 +397,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     engine = (
         demo_engine(ontology, args.crowd_size, args.seed,
-                    registry=registry)
+                    registry=registry, planner=args.planner)
         if args.execute else None
     )
 

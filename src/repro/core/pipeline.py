@@ -47,6 +47,7 @@ from repro.nlp.graph import DepGraph
 from repro.oassisql.ast import OassisQuery
 from repro.oassisql.printer import print_oassisql
 from repro.rdf.ontology import Ontology
+from repro.rdf.planner import QueryPlanner
 from repro.ui.interaction import (
     AutoInteraction,
     InteractionProvider,
@@ -171,6 +172,13 @@ class NL2CM:
             composed query has ERROR-level diagnostics, ``"warn"`` keeps
             the report on the result without raising, ``"off"`` skips
             the stage entirely.
+        planner: BGP evaluator for ontology queries made on behalf of
+            this translator (e.g. the OASSIS engine the demo builds for
+            the translated query): ``"cost"`` (default) creates a
+            dedicated :class:`~repro.rdf.planner.QueryPlanner` — cached,
+            statistics-ordered, compiled plans, with per-translator
+            cache counters — ``"greedy"`` keeps the seed per-call
+            greedy join for A/B comparison.
         stage_timeout_ms: per-stage time budget.  Each stage span gets a
             :class:`~repro.resilience.Deadline`; a stage that exceeds it
             raises :class:`~repro.errors.DeadlineExceeded` (a typed
@@ -185,6 +193,9 @@ class NL2CM:
     #: Legal values of the ``lint`` constructor argument.
     LINT_MODES = ("error", "warn", "off")
 
+    #: Legal values of the ``planner`` constructor argument.
+    PLANNER_MODES = ("cost", "greedy")
+
     def __init__(
         self,
         ontology: Ontology | None = None,
@@ -193,15 +204,26 @@ class NL2CM:
         vocabularies: VocabularyRegistry | None = None,
         feedback: FeedbackStore | None = None,
         lint: str = "error",
+        planner: str = "cost",
         stage_timeout_ms: float | None = None,
     ):
         if lint not in self.LINT_MODES:
             raise ValueError(
                 f"lint must be one of {self.LINT_MODES}, got {lint!r}"
             )
+        if planner not in self.PLANNER_MODES:
+            raise ValueError(
+                f"planner must be one of {self.PLANNER_MODES}, "
+                f"got {planner!r}"
+            )
         if stage_timeout_ms is not None and stage_timeout_ms < 0:
             raise ValueError("stage_timeout_ms must be non-negative")
         self.lint_mode = lint
+        self.planner_mode = planner
+        # A dedicated planner (not the process-wide default) so this
+        # translator's plan-cache counters are its own — the service
+        # layer surfaces them per instance.
+        self.planner = QueryPlanner() if planner == "cost" else None
         self.stage_timeout = (
             stage_timeout_ms / 1000.0 if stage_timeout_ms is not None
             else None

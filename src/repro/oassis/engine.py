@@ -42,7 +42,8 @@ from repro.oassisql.ast import (
     TopK,
 )
 from repro.rdf.ontology import Ontology
-from repro.rdf.sparql import TriplePattern, evaluate_bgp
+from repro.rdf.planner import QueryPlanner, default_planner
+from repro.rdf.sparql import TriplePattern, iter_bgp
 from repro.rdf.terms import IRI, Literal, Variable
 
 __all__ = [
@@ -143,10 +144,25 @@ class OassisEngine:
         crowd: SimulatedCrowd,
         config: EngineConfig | None = None,
         registry: MetricsRegistry | None = None,
+        planner: str | QueryPlanner | None = None,
     ):
         self.ontology = ontology
         self.crowd = crowd
         self.config = config or EngineConfig()
+        # WHERE evaluator: None/"greedy" = the greedy per-call join,
+        # "cost" = the shared cost-based planner (plan cache included),
+        # or a QueryPlanner instance for a dedicated cache.
+        if isinstance(planner, str):
+            if planner == "greedy":
+                planner = None
+            elif planner == "cost":
+                planner = default_planner()
+            else:
+                raise ValueError(
+                    f"unknown planner {planner!r}; "
+                    "expected 'cost' or 'greedy'"
+                )
+        self.planner = planner
         # (member_id, fact_set.key()) -> answer; the crowd model is
         # deterministic per member, so repeated subclauses and repeated
         # queries need not recompute the simulated answer.
@@ -221,38 +237,25 @@ class OassisEngine:
 
     def _evaluate(self, query: OassisQuery) -> QueryResult:
         query.validate()
-        bindings = self._where_bindings(query)
         tasks: list[CrowdTask] = []
+        outcomes: list[BindingOutcome] = []
+        where_seen = [0]
 
-        outcomes = [BindingOutcome(binding=b) for b in bindings]
-        alive = list(range(len(outcomes)))
+        def stream_bases():
+            # WHERE bindings flow from the (streaming) BGP evaluator
+            # straight into outcomes — the first SATISFYING clause pulls
+            # candidates one by one, so support estimation never waits
+            # on (or materializes) the full WHERE result set.
+            for binding in self._iter_where_bindings(query):
+                where_seen[0] += 1
+                outcomes.append(BindingOutcome(binding=binding))
+                yield len(outcomes) - 1
 
+        alive = stream_bases()
         for clause_index, clause in enumerate(query.satisfying):
-            if not alive:
+            if isinstance(alive, list) and not alive:
                 break
-            expanded: list[tuple[int, FactSet]] = []
-            next_outcomes: list[BindingOutcome] = list(outcomes)
-            for i in alive:
-                groundings = self._groundings(
-                    clause, outcomes[i].binding
-                )
-                for fact_set, extra in groundings:
-                    if extra:
-                        merged = dict(outcomes[i].binding)
-                        merged.update(extra)
-                        clone = BindingOutcome(
-                            binding=merged,
-                            supports=dict(outcomes[i].supports),
-                        )
-                        next_outcomes.append(clone)
-                        expanded.append(
-                            (len(next_outcomes) - 1, fact_set)
-                        )
-                    else:
-                        expanded.append((i, fact_set))
-            outcomes = next_outcomes
-            fact_sets = dict(expanded)
-
+            expanded = self._expanded(clause, alive, outcomes)
             if isinstance(clause.qualifier, SupportThreshold):
                 survivors = []
                 for i, fact_set in expanded:
@@ -265,15 +268,41 @@ class OassisEngine:
                 alive = survivors
             else:
                 alive = self._topk_select(
-                    clause.qualifier, fact_sets, outcomes,
+                    clause.qualifier, expanded, outcomes,
                     clause_index, tasks,
                 )
 
-        for i in alive:
+        # Without SATISFYING clauses `alive` is still the lazy base
+        # stream; listing it drains the WHERE evaluation.
+        for i in list(alive):
             outcomes[i].accepted = True
         return QueryResult(
-            outcomes=outcomes, tasks=tasks, where_bindings=len(bindings)
+            outcomes=outcomes, tasks=tasks,
+            where_bindings=where_seen[0],
         )
+
+    def _expanded(self, clause: SatisfyingClause, alive, outcomes):
+        """Stream ``(outcome index, fact-set)`` groundings of a clause.
+
+        Open-variable groundings clone their base outcome (with the
+        crowd-supplied extra bindings merged in) and the clone, not the
+        base, carries the fact-set forward — same bookkeeping as the
+        eager expansion, minus the intermediate lists.
+        """
+        for i in alive:
+            for fact_set, extra in self._groundings(
+                clause, outcomes[i].binding
+            ):
+                if extra:
+                    merged = dict(outcomes[i].binding)
+                    merged.update(extra)
+                    outcomes.append(BindingOutcome(
+                        binding=merged,
+                        supports=dict(outcomes[i].supports),
+                    ))
+                    yield (len(outcomes) - 1, fact_set)
+                else:
+                    yield (i, fact_set)
 
     # -- clause grounding (incl. open patterns) ------------------------------------
 
@@ -363,24 +392,26 @@ class OassisEngine:
 
     # -- WHERE -------------------------------------------------------------------
 
-    def _where_bindings(self, query: OassisQuery) -> list[Binding]:
+    def _iter_where_bindings(self, query: OassisQuery):
         if not query.where:
             # No general selection: the only binding is the empty one.
-            return [{}]
+            yield {}
+            return
         patterns = [self._to_pattern(t) for t in query.where]
-        solutions = evaluate_bgp(self.ontology.store, patterns)
-        if not solutions:
-            return []
-        # Deduplicate (bindings may repeat when instanceOf facts are
-        # duplicated across merged snapshots).
+        # Deduplicate incrementally (bindings may repeat when
+        # instanceOf facts are duplicated across merged snapshots).
         seen = set()
-        unique: list[Binding] = []
-        for sol in solutions:
+        for sol in iter_bgp(
+            self.ontology.store, patterns, planner=self.planner
+        ):
             key = tuple(sorted((k, str(v)) for k, v in sol.items()))
             if key not in seen:
                 seen.add(key)
-                unique.append(dict(sol))
-        return unique
+                yield dict(sol)
+
+    def _where_bindings(self, query: OassisQuery) -> list[Binding]:
+        """Materialized WHERE bindings (deduplicated, in stream order)."""
+        return list(self._iter_where_bindings(query))
 
     @staticmethod
     def _to_pattern(triple: QueryTriple) -> TriplePattern:
@@ -489,7 +520,7 @@ class OassisEngine:
     def _topk_select(
         self,
         qualifier: TopK,
-        fact_sets: dict[int, FactSet],
+        expanded,
         outcomes: list[BindingOutcome],
         clause_index: int,
         tasks: list[CrowdTask],
@@ -498,9 +529,11 @@ class OassisEngine:
         sample = min(cfg.topk_sample, self.crowd.size)
         estimates: dict[int, float] = {}
         # Distinct bindings may ground to the same fact-set; estimate
-        # each fact-set once.
+        # each fact-set once.  ``expanded`` streams (index, fact-set)
+        # pairs; ranking inherently needs every candidate, so this is
+        # the one clause kind that drains its input.
         by_fact_set: dict[FactSet, float] = {}
-        for i, fact_set in fact_sets.items():
+        for i, fact_set in expanded:
             if fact_set not in by_fact_set:
                 answers = [
                     self._ask(fact_set, j, tasks) for j in range(sample)

@@ -24,9 +24,17 @@ from repro.rdf.terms import (
     Triple,
     Variable,
 )
-from repro.rdf.store import TripleStore
+from repro.rdf.store import PredicateStats, StoreStats, TripleStore
 from repro.rdf.turtle import parse_turtle, serialize_turtle
-from repro.rdf.sparql import SelectQuery, TriplePattern, parse_sparql, sparql_select
+from repro.rdf.sparql import (
+    SelectQuery,
+    TriplePattern,
+    evaluate_bgp,
+    iter_bgp,
+    parse_sparql,
+    sparql_select,
+)
+from repro.rdf.planner import PlanExplain, QueryPlanner, default_planner
 from repro.rdf.ontology import EntityMatch, Ontology
 
 __all__ = [
@@ -38,12 +46,19 @@ __all__ = [
     "Triple",
     "Namespace",
     "TripleStore",
+    "PredicateStats",
+    "StoreStats",
     "parse_turtle",
     "serialize_turtle",
     "SelectQuery",
     "TriplePattern",
     "parse_sparql",
     "sparql_select",
+    "evaluate_bgp",
+    "iter_bgp",
+    "QueryPlanner",
+    "PlanExplain",
+    "default_planner",
     "Ontology",
     "EntityMatch",
 ]

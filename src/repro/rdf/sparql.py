@@ -12,14 +12,20 @@ and behind the FREyA-style general query generator.  Supported:
 
 Evaluation is a selectivity-ordered index-nested-loop join over the
 store's triple indexes, with filters pushed to the earliest point where
-their variables are bound.
+their variables are bound.  Two evaluators share that contract: the
+*greedy* evaluator below (re-scores selectivity under the accumulated
+bindings at every join level) and the *cost-based* planner in
+:mod:`repro.rdf.planner` (orders once from store statistics and caches
+the compiled plan per query shape).  Both stream solutions, so
+``LIMIT`` without ``ORDER BY`` stops evaluation early.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from itertools import islice
+from typing import Callable, Iterable, Iterator
 
 from repro.errors import SPARQLEvaluationError, SPARQLSyntaxError
 from repro.rdf.store import TripleStore
@@ -27,7 +33,7 @@ from repro.rdf.terms import IRI, Literal, RDF, Term, Variable
 
 __all__ = [
     "TriplePattern", "FilterExpr", "SelectQuery", "parse_sparql",
-    "sparql_select", "Solution",
+    "evaluate_bgp", "iter_bgp", "sparql_select", "Solution",
 ]
 
 #: One solution row: variable name -> bound term.
@@ -496,28 +502,28 @@ def _selectivity(store: TripleStore, pattern: TriplePattern) -> int:
     return store.count(s, p, o)
 
 
-def evaluate_bgp(
+def _greedy_stream(
     store: TripleStore,
     patterns: Iterable[TriplePattern],
     filters: Iterable[FilterExpr] = (),
     initial: Solution | None = None,
-) -> list[Solution]:
-    """Evaluate a basic graph pattern; returns all solution mappings.
+) -> Iterator[Solution]:
+    """Greedy selectivity-ordered join, streamed.
 
-    Patterns are joined in selectivity order (cheapest first, given the
-    bindings accumulated so far); filters run as soon as every variable
-    they mention is bound.
+    Pattern choice is re-scored under the accumulated bindings at every
+    join level (cheapest next, via memoized ``store.count``); filters
+    run as soon as every variable they mention is bound.  The join tree
+    is walked with an explicit stack of match iterators — depth is
+    bounded by the pattern count, never by the interpreter's recursion
+    limit — and solutions are yielded as the walk reaches the leaves,
+    so consumers can stop early.
 
     The store must not be mutated while the evaluation runs: selectivity
     counts are memoized per bound pattern for the duration of the call,
     since the same (pattern, bindings) shape recurs across sibling
     branches of the join tree.
     """
-    remaining = list(patterns)
-    # Filter variable sets are immutable; compute them once instead of
-    # on every recursion node.
     pending_filters = [(f, frozenset(f.variables())) for f in filters]
-    results: list[Solution] = []
 
     count_cache: dict[tuple[Term | None, Term | None, Term | None], int] = {}
 
@@ -531,9 +537,12 @@ def evaluate_bgp(
             cached = count_cache[key] = store.count(s, p, o)
         return cached
 
-    def run(solution: Solution,
-            todo: list[TriplePattern],
-            unchecked: list[tuple[FilterExpr, frozenset[str]]]) -> None:
+    # A node is (solution, todo patterns, pending filters).  open_node
+    # resolves one node: None when a filter prunes it, an ("emit", sol)
+    # leaf, or ("children", iterator) whose items are child nodes.
+    def open_node(solution: Solution,
+                  todo: list[TriplePattern],
+                  unchecked: list[tuple[FilterExpr, frozenset[str]]]):
         # Partition filters in one pass (by position, not O(n^2)
         # equality scans) into those whose variables are now all bound
         # and those still pending.
@@ -545,15 +554,14 @@ def evaluate_bgp(
                 f, f_vars = entry
                 if f_vars <= bound_names:
                     if not f.evaluate(solution):
-                        return
+                        return None
                 else:
                     still_pending.append(entry)
         if not todo:
-            results.append(solution)
-            return
+            return ("emit", solution)
         # Cheapest pattern next, under current bindings; min() is a
         # single O(n) scan (no need to rank the rest — they are
-        # re-scored on the next recursion level anyway).
+        # re-scored at the next join level anyway).
         if len(todo) == 1:
             chosen = todo[0]
             rest: list[TriplePattern] = []
@@ -566,20 +574,89 @@ def evaluate_bgp(
         s = None if isinstance(bound.s, Variable) else bound.s
         p = None if isinstance(bound.p, Variable) else bound.p
         o = None if isinstance(bound.o, Variable) else bound.o
-        for ts, tp, to in store.triples(s, p, o):
-            new_solution = dict(solution)
-            ok = True
-            for term, value in ((bound.s, ts), (bound.p, tp), (bound.o, to)):
-                if isinstance(term, Variable):
-                    if new_solution.get(term.name, value) != value:
-                        ok = False
-                        break
-                    new_solution[term.name] = value
-            if ok:
-                run(new_solution, rest, still_pending)
 
-    run(dict(initial or {}), remaining, pending_filters)
-    return results
+        def children() -> Iterator[tuple]:
+            for ts, tp, to in store.triples(s, p, o):
+                new_solution = dict(solution)
+                ok = True
+                for term, value in (
+                    (bound.s, ts), (bound.p, tp), (bound.o, to)
+                ):
+                    if isinstance(term, Variable):
+                        if new_solution.get(term.name, value) != value:
+                            ok = False
+                            break
+                        new_solution[term.name] = value
+                if ok:
+                    yield (new_solution, rest, still_pending)
+
+        return ("children", children())
+
+    root = (dict(initial or {}), list(patterns), pending_filters)
+    stack: list[Iterator[tuple]] = [iter((root,))]
+    while stack:
+        node = next(stack[-1], None)
+        if node is None:
+            stack.pop()
+            continue
+        opened = open_node(*node)
+        if opened is None:
+            continue
+        kind, payload = opened
+        if kind == "emit":
+            yield payload
+        else:
+            stack.append(payload)
+
+
+def iter_bgp(
+    store: TripleStore,
+    patterns: Iterable[TriplePattern],
+    filters: Iterable[FilterExpr] = (),
+    initial: Solution | None = None,
+    planner=None,
+) -> Iterator[Solution]:
+    """Stream the solution mappings of a basic graph pattern.
+
+    ``planner`` selects the evaluator: ``None`` or ``"greedy"`` use the
+    greedy per-level re-scoring join; ``"cost"`` uses the process-wide
+    :func:`repro.rdf.planner.default_planner`; a
+    :class:`~repro.rdf.planner.QueryPlanner` instance uses that planner
+    (and its plan cache).  All evaluators produce the same solution
+    multiset; enumeration order may differ between them.
+    """
+    if isinstance(planner, str):
+        if planner == "greedy":
+            planner = None
+        elif planner == "cost":
+            from repro.rdf.planner import default_planner
+
+            planner = default_planner()
+        else:
+            raise ValueError(
+                f"unknown planner {planner!r}; "
+                "expected 'cost' or 'greedy'"
+            )
+    if planner is None:
+        return _greedy_stream(store, patterns, filters, initial)
+    return planner.solutions(store, patterns, filters, initial)
+
+
+def evaluate_bgp(
+    store: TripleStore,
+    patterns: Iterable[TriplePattern],
+    filters: Iterable[FilterExpr] = (),
+    initial: Solution | None = None,
+    planner=None,
+) -> list[Solution]:
+    """Evaluate a basic graph pattern; returns all solution mappings.
+
+    Patterns are joined in selectivity order (cheapest first, given the
+    bindings accumulated so far); filters run as soon as every variable
+    they mention is bound.  Materializing wrapper over
+    :func:`iter_bgp`; ``planner`` is forwarded unchanged.
+    """
+    return list(iter_bgp(store, patterns, filters, initial, planner))
 
 
 def _sort_key(term: Term):
@@ -593,43 +670,56 @@ def _sort_key(term: Term):
     return (2, str(term))
 
 
+def _distinct_stream(rows: Iterator[Solution]) -> Iterator[Solution]:
+    """Incremental DISTINCT: first occurrence wins, order preserved."""
+    seen: set[tuple] = set()
+    for row in rows:
+        key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+        if key not in seen:
+            seen.add(key)
+            yield row
+
+
 def sparql_select(
-    store: TripleStore, query: str | SelectQuery
+    store: TripleStore, query: str | SelectQuery, planner=None
 ) -> list[Solution]:
     """Run a SELECT query; returns solution rows (dicts of bindings).
 
     Rows are projected to the SELECT variables; ``SELECT *`` keeps every
-    variable of the pattern.
+    variable of the pattern.  Evaluation streams: without ``ORDER BY``
+    the ``OFFSET``/``LIMIT`` window is sliced off the solution stream
+    and the join stops early, and ``DISTINCT`` dedups incrementally
+    rather than after materializing every row.  ``planner`` is
+    forwarded to :func:`iter_bgp`.
     """
     if isinstance(query, str):
         query = parse_sparql(query)
 
-    solutions = evaluate_bgp(store, query.patterns, query.filters)
-
     project = query.variables or sorted(query.all_variables())
-    rows = [
+    rows: Iterator[Solution] = (
         {name: sol[name] for name in project if name in sol}
-        for sol in solutions
-    ]
-
+        for sol in iter_bgp(
+            store, query.patterns, query.filters, planner=planner
+        )
+    )
     if query.distinct:
-        seen: set[tuple] = set()
-        unique: list[Solution] = []
-        for row in rows:
-            key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
-            if key not in seen:
-                seen.add(key)
-                unique.append(row)
-        rows = unique
+        rows = _distinct_stream(rows)
 
+    if not query.order_by:
+        stop = (
+            None if query.limit is None
+            else query.offset + query.limit
+        )
+        return list(islice(rows, query.offset, stop))
+
+    out = list(rows)
     for name, descending in reversed(query.order_by):
-        rows.sort(
+        out.sort(
             key=lambda row: _sort_key(row.get(name, Literal(""))),
             reverse=descending,
         )
-
     if query.offset:
-        rows = rows[query.offset:]
+        out = out[query.offset:]
     if query.limit is not None:
-        rows = rows[: query.limit]
-    return rows
+        out = out[: query.limit]
+    return out

@@ -6,16 +6,60 @@ lookups rather than scans — the standard design of in-memory RDF stores.
 Pattern positions are bound by passing a term and left open by passing
 ``None`` (or a :class:`~repro.rdf.terms.Variable`, which is treated as
 open for convenience when evaluating query patterns).
+
+The store also maintains **persistent cardinality statistics** for the
+cost-based query planner (:mod:`repro.rdf.planner`): total size,
+per-predicate triple counts, and per-predicate distinct subject/object
+counts, all updated incrementally in :meth:`add`/:meth:`remove` — no
+rescans, ever.  :meth:`stats` snapshots them and :meth:`estimate`
+answers O(1) selectivity questions that :meth:`count` would answer with
+O(index-row) sums.  Every successful mutation bumps :attr:`epoch`,
+which is how cached query plans detect staleness.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.rdf.terms import IRI, Literal, BNode, Term, Triple, Variable
 
-__all__ = ["TripleStore"]
+__all__ = ["PredicateStats", "StoreStats", "TripleStore"]
+
+#: Distinct tokens for store identity (plan-cache keys survive id()
+#: reuse because tokens are never recycled).
+_STORE_TOKENS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class PredicateStats:
+    """Cardinality summary of one predicate.
+
+    ``triples / distinct_subjects`` is the average out-degree (objects
+    per subject); ``triples / distinct_objects`` the average in-degree.
+    """
+
+    triples: int
+    distinct_subjects: int
+    distinct_objects: int
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A point-in-time snapshot of the store's cardinality statistics.
+
+    All numbers are maintained incrementally by ``add``/``remove``;
+    taking the snapshot copies the per-predicate table but performs no
+    index scans.
+    """
+
+    size: int
+    distinct_subjects: int
+    distinct_objects: int
+    epoch: int
+    predicates: dict[Term, PredicateStats]
 
 # Concrete (non-variable) term types allowed in stored triples.
 _CONCRETE = (IRI, Literal, BNode)
@@ -44,9 +88,25 @@ class TripleStore:
             lambda: defaultdict(set)
         )
         self._size = 0
+        # Incremental cardinality statistics (see module docstring).
+        self._pred_triples: dict[Term, int] = {}
+        self._pred_subjects: dict[Term, int] = {}
+        self._pred_objects: dict[Term, int] = {}
+        self._epoch = 0
+        self._token = next(_STORE_TOKENS)
         self.prefixes: dict[str, str] = {}
         for s, p, o in triples:
             self.add(s, p, o)
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; bumped by every successful add/remove."""
+        return self._epoch
+
+    @property
+    def token(self) -> int:
+        """Process-unique store identity (never recycled, unlike id())."""
+        return self._token
 
     # -- mutation ---------------------------------------------------------------
 
@@ -63,12 +123,26 @@ class TripleStore:
                     f"{pos_name} must be IRI/Literal/BNode, got "
                     f"{type(term).__name__}"
                 )
-        if o in self._spo.get(s, {}).get(p, ()):  # type: ignore[arg-type]
+        row = self._spo.get(s)
+        objs = row.get(p) if row is not None else None
+        if objs is not None and o in objs:
             return False
+        # Statistics bookkeeping needs the *pre-insert* index state:
+        # s is a new subject of p iff s had no p-edge yet, and o a new
+        # object of p iff the POS row for (p, o) did not exist.
+        new_subject = objs is None
+        by_o = self._pos.get(p)
+        new_object = by_o is None or o not in by_o
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
         self._size += 1
+        self._pred_triples[p] = self._pred_triples.get(p, 0) + 1
+        if new_subject:
+            self._pred_subjects[p] = self._pred_subjects.get(p, 0) + 1
+        if new_object:
+            self._pred_objects[p] = self._pred_objects.get(p, 0) + 1
+        self._epoch += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -88,6 +162,10 @@ class TripleStore:
             return False
         objs.remove(o)
         if not objs:
+            # s lost its last p-edge: one fewer distinct subject of p.
+            self._pred_subjects[p] -= 1
+            if not self._pred_subjects[p]:
+                del self._pred_subjects[p]
             del row[p]
             if not row:
                 del self._spo[s]
@@ -95,6 +173,10 @@ class TripleStore:
         subjs = by_o[o]
         subjs.discard(s)
         if not subjs:
+            # o is no longer an object of p.
+            self._pred_objects[p] -= 1
+            if not self._pred_objects[p]:
+                del self._pred_objects[p]
             del by_o[o]
             if not by_o:
                 del self._pos[p]
@@ -105,7 +187,11 @@ class TripleStore:
             del by_s[s]
             if not by_s:
                 del self._osp[o]
+        self._pred_triples[p] -= 1
+        if not self._pred_triples[p]:
+            del self._pred_triples[p]
         self._size -= 1
+        self._epoch += 1
         return True
 
     def bind_prefix(self, prefix: str, base: str) -> None:
@@ -189,6 +275,71 @@ class TripleStore:
         if p is not None:
             return sum(len(v) for v in self._pos.get(p, {}).values())
         return sum(len(v) for v in self._osp.get(o, {}).values())
+
+    # -- cardinality statistics ---------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Snapshot of the incrementally maintained statistics.
+
+        O(#predicates) to copy the per-predicate table; no index scans.
+        The snapshot is what the planner's cost model reads and what the
+        stats-consistency fuzz suite checks against a from-scratch
+        recount.
+        """
+        return StoreStats(
+            size=self._size,
+            distinct_subjects=len(self._spo),
+            distinct_objects=len(self._osp),
+            epoch=self._epoch,
+            predicates={
+                p: PredicateStats(
+                    triples=n,
+                    distinct_subjects=self._pred_subjects.get(p, 0),
+                    distinct_objects=self._pred_objects.get(p, 0),
+                )
+                for p, n in self._pred_triples.items()
+            },
+        )
+
+    def estimate(
+        self, s_bound: bool, p: Term | None, o_bound: bool
+    ) -> float:
+        """O(1) estimated match count for a triple-pattern class.
+
+        ``s_bound``/``o_bound`` say whether the subject/object position
+        is bound (to *some* constant — which one does not matter, that
+        is the point: the estimate depends only on the pattern's stat
+        class); ``p`` is the concrete predicate or ``None`` when the
+        predicate position is open.  Unlike :meth:`count`, unbound-
+        position estimates never sum index rows — they divide the
+        incremental per-predicate counters.
+        """
+        if p is not None:
+            n = self._pred_triples.get(p)
+            if n is None:
+                return 0.0
+            if s_bound and o_bound:
+                return 1.0
+            if s_bound:
+                return n / self._pred_subjects[p]
+            if o_bound:
+                return n / self._pred_objects[p]
+            return float(n)
+        if not self._size:
+            return 0.0
+        if s_bound and o_bound:
+            return max(
+                1.0, self._size / (len(self._spo) * len(self._osp))
+            )
+        if s_bound:
+            return self._size / len(self._spo)
+        if o_bound:
+            return self._size / len(self._osp)
+        return float(self._size)
+
+    def predicate_count(self) -> int:
+        """Number of distinct predicates currently in the store."""
+        return len(self._pos)
 
     def subjects(self, p: Term | None = None, o: Term | None = None
                  ) -> Iterator[Term]:

@@ -132,6 +132,14 @@ class ServiceStats:
         retries: interaction-provider retry attempts.
         breaker_rejections: interaction calls rejected by an open
             circuit breaker.
+        plan_cache_hits: BGP plan-cache hits of the translator's query
+            planner (zeros when the translator runs ``planner="greedy"``).
+        plan_cache_misses: plan-cache misses (first sight of a query
+            shape), same scope.
+        plan_cache_invalidations: cached plans dropped because the
+            store's mutation epoch moved, same scope.
+        plans_compiled: plans built (misses + invalidations), same
+            scope.
     """
 
     requests: int
@@ -153,6 +161,19 @@ class ServiceStats:
     degraded: int = 0
     retries: int = 0
     breaker_rejections: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_invalidations: int = 0
+    plans_compiled: int = 0
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Hit fraction of plan-cache lookups (0.0 before any lookup)."""
+        lookups = (
+            self.plan_cache_hits + self.plan_cache_misses
+            + self.plan_cache_invalidations
+        )
+        return self.plan_cache_hits / lookups if lookups else 0.0
 
     @property
     def accounted(self) -> int:
@@ -270,6 +291,9 @@ class TranslationService:
         self._build_metrics()
         if self.cache is not None:
             self.cache.bind_registry(self.registry)
+        planner = getattr(self.nl2cm, "planner", None)
+        if planner is not None:
+            planner.bind_registry(self.registry)
 
     def _build_metrics(self) -> None:
         r = self.registry
@@ -678,6 +702,15 @@ class TranslationService:
                     self._m_breaker_rejections.value()
                 ),
             )
+            planner = getattr(self.nl2cm, "planner", None)
+            if planner is not None:
+                plans = planner.snapshot()
+                snapshot.update(
+                    plan_cache_hits=plans.hits,
+                    plan_cache_misses=plans.misses,
+                    plan_cache_invalidations=plans.invalidations,
+                    plans_compiled=plans.compiled,
+                )
             cache_stats = (
                 self.cache.stats() if self.cache is not None else None
             )

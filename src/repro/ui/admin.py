@@ -14,10 +14,12 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.diagnostics import AnalysisReport
     from repro.obs.metrics import MetricsRegistry
+    from repro.rdf.planner import PlanExplain
     from repro.service.service import ServiceStats
 
 __all__ = [
-    "render_analysis_report", "render_metrics", "render_service_stats",
+    "render_analysis_report", "render_metrics", "render_plan",
+    "render_service_stats",
 ]
 
 # Pipeline order, parents before their children; unknown stages follow
@@ -85,6 +87,14 @@ def render_service_stats(stats: "ServiceStats") -> str:
             f"{stats.retries} retrie(s)  "
             f"{stats.breaker_rejections} breaker rejection(s)"
         )
+    if stats.plans_compiled or stats.plan_cache_hits:
+        lines.append(
+            f"query plans: {stats.plans_compiled} compiled  "
+            f"cache hits: {stats.plan_cache_hits}  "
+            f"misses: {stats.plan_cache_misses}  "
+            f"invalidated: {stats.plan_cache_invalidations}  "
+            f"hit rate: {stats.plan_cache_hit_rate:.1%}"
+        )
 
     if stats.stages:
         ordered = [s for s in _STAGE_ORDER if s in stats.stages]
@@ -101,6 +111,17 @@ def render_service_stats(stats: "ServiceStats") -> str:
             ["stage", "kind", "mean ms", "n"], rows
         ))
     return "\n".join(lines)
+
+
+def render_plan(explain: "PlanExplain") -> str:
+    """The admin-panel plan view of one explained BGP evaluation.
+
+    Shows the chosen join order, the planner's estimated cardinality
+    next to the rows each step actually produced, and whether the
+    request hit the plan cache — the query-planning sibling of the
+    per-translation "peek under the hood".
+    """
+    return explain.render()
 
 
 def render_metrics(registry: "MetricsRegistry") -> str:

@@ -234,3 +234,57 @@ class TestEngineEdgeCases:
         result = engine.evaluate(parse_oassisql(FIGURE1))
         ranked = [b["x"].local_name for b in result.bindings()]
         assert "Delaware_Park" in ranked[:2]
+
+
+class TestPlannerModes:
+    """planner="cost" must be invisible in the engine's results."""
+
+    def canon(self, result):
+        return sorted(
+            (
+                tuple(sorted(
+                    (k, str(v)) for k, v in o.binding.items()
+                )),
+                tuple(sorted(o.supports.items())),
+                o.accepted,
+            )
+            for o in result.outcomes
+        )
+
+    def test_cost_and_greedy_agree_on_figure1(self, ontology):
+        query = parse_oassisql(FIGURE1)
+        results = {}
+        for mode in ("greedy", "cost"):
+            crowd = SimulatedCrowd(
+                buffalo_travel_truth(), size=120, noise=0.08, seed=11
+            )
+            engine = OassisEngine(
+                ontology, crowd, EngineConfig(), planner=mode
+            )
+            results[mode] = engine.evaluate(query)
+        greedy, cost = results["greedy"], results["cost"]
+        assert greedy.where_bindings == cost.where_bindings
+        assert greedy.tasks_used == cost.tasks_used
+        assert self.canon(greedy) == self.canon(cost)
+        assert (
+            sorted(map(str, greedy.bindings()))
+            == sorted(map(str, cost.bindings()))
+        )
+
+    def test_dedicated_planner_records_cache_traffic(self, ontology):
+        from repro.rdf.planner import QueryPlanner
+
+        planner = QueryPlanner()
+        engine = make_engine(ontology, buffalo_travel_truth())
+        engine.planner = planner
+        query = parse_oassisql(FIGURE1)
+        engine.evaluate(query)
+        engine.evaluate(query)
+        snap = planner.snapshot()
+        assert snap.misses == 1
+        assert snap.hits == 1
+
+    def test_unknown_planner_mode_rejected(self, ontology):
+        crowd = SimulatedCrowd(buffalo_travel_truth(), size=10)
+        with pytest.raises(ValueError):
+            OassisEngine(ontology, crowd, planner="bogus")

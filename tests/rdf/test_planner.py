@@ -1,0 +1,316 @@
+"""Tests for the cost-based query planner and its plan cache."""
+
+import pytest
+
+from repro.rdf.planner import (
+    PlanExplain,
+    QueryPlanner,
+    default_planner,
+    query_shape,
+)
+from repro.rdf.sparql import (
+    FilterExpr,
+    TriplePattern,
+    evaluate_bgp,
+    iter_bgp,
+)
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import IRI, Literal, Variable
+
+
+KB = "http://x/"
+TYPE, NEAR, LABEL = IRI(KB + "type"), IRI(KB + "near"), IRI(KB + "label")
+PLACE = IRI(KB + "Place")
+
+
+def iri(name):
+    return IRI(KB + name)
+
+
+def canon(solutions):
+    return sorted(
+        tuple(sorted((k, str(v)) for k, v in s.items()))
+        for s in solutions
+    )
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    for i in range(12):
+        s.add(iri(f"place{i}"), TYPE, PLACE)
+        s.add(iri(f"place{i}"), NEAR, iri(f"place{(i + 1) % 12}"))
+        s.add(iri(f"place{i}"), LABEL, Literal(f"Place {i}"))
+    s.add(iri("hotel"), TYPE, iri("Hotel"))
+    s.add(iri("hotel"), NEAR, iri("place0"))
+    return s
+
+
+BGP = [
+    TriplePattern(Variable("x"), TYPE, PLACE),
+    TriplePattern(Variable("x"), NEAR, Variable("y")),
+    TriplePattern(Variable("y"), LABEL, Variable("l")),
+]
+
+
+class TestQueryShape:
+    def test_constants_abstract_to_stat_class(self):
+        a = query_shape([TriplePattern(Variable("x"), TYPE, PLACE)])
+        b = query_shape(
+            [TriplePattern(Variable("z"), TYPE, iri("Hotel"))]
+        )
+        assert a == b
+
+    def test_predicate_identity_is_part_of_the_shape(self):
+        a = query_shape([TriplePattern(Variable("x"), TYPE, PLACE)])
+        b = query_shape([TriplePattern(Variable("x"), NEAR, PLACE)])
+        assert a != b
+
+    def test_variable_names_canonicalize(self):
+        a = query_shape([
+            TriplePattern(Variable("x"), NEAR, Variable("y")),
+            TriplePattern(Variable("y"), LABEL, Variable("l")),
+        ])
+        b = query_shape([
+            TriplePattern(Variable("u"), NEAR, Variable("v")),
+            TriplePattern(Variable("v"), LABEL, Variable("w")),
+        ])
+        assert a == b
+
+    def test_join_structure_differs(self):
+        joined = query_shape([
+            TriplePattern(Variable("x"), NEAR, Variable("y")),
+            TriplePattern(Variable("y"), LABEL, Variable("l")),
+        ])
+        cartesian = query_shape([
+            TriplePattern(Variable("x"), NEAR, Variable("y")),
+            TriplePattern(Variable("z"), LABEL, Variable("l")),
+        ])
+        assert joined != cartesian
+
+    def test_filters_and_initial_bindings_contribute(self):
+        bgp = [TriplePattern(Variable("x"), NEAR, Variable("y"))]
+        flt = FilterExpr("cmp", (
+            "=", FilterExpr("var", ("x",)),
+            FilterExpr("term", (iri("a"),)),
+        ))
+        assert query_shape(bgp) != query_shape(bgp, filters=[flt])
+        assert query_shape(bgp) != query_shape(bgp, initial_vars=["x"])
+
+
+class TestPlanCache:
+    def test_hit_on_same_shape_different_constants(self, store):
+        planner = QueryPlanner()
+        list(planner.solutions(store, BGP))
+        other = [
+            TriplePattern(Variable("a"), TYPE, iri("Hotel")),
+            TriplePattern(Variable("a"), NEAR, Variable("b")),
+            TriplePattern(Variable("b"), LABEL, Variable("c")),
+        ]
+        list(planner.solutions(store, other))
+        snap = planner.snapshot()
+        assert (snap.hits, snap.misses, snap.compiled) == (1, 1, 1)
+        assert snap.hit_rate == 0.5
+
+    def test_mutation_epoch_invalidates(self, store):
+        planner = QueryPlanner()
+        list(planner.solutions(store, BGP))
+        store.add(iri("extra"), TYPE, PLACE)
+        list(planner.solutions(store, BGP))
+        snap = planner.snapshot()
+        assert snap.invalidations == 1
+        assert snap.compiled == 2
+        # The re-planned entry is fresh again.
+        list(planner.solutions(store, BGP))
+        assert planner.snapshot().hits == 1
+
+    def test_remove_also_bumps_the_epoch(self, store):
+        planner = QueryPlanner()
+        list(planner.solutions(store, BGP))
+        store.remove(iri("hotel"), NEAR, iri("place0"))
+        list(planner.solutions(store, BGP))
+        assert planner.snapshot().invalidations == 1
+
+    def test_lru_bound(self, store):
+        planner = QueryPlanner(cache_size=2)
+        shapes = [
+            [TriplePattern(Variable("x"), p, Variable("y"))]
+            for p in (TYPE, NEAR, LABEL)
+        ]
+        for bgp in shapes:
+            list(planner.solutions(store, bgp))
+        snap = planner.snapshot()
+        assert snap.cache_size == 2
+        assert snap.cache_capacity == 2
+        # The first shape was evicted: re-running it misses again.
+        list(planner.solutions(store, shapes[0]))
+        assert planner.snapshot().misses == 4
+
+    def test_invalid_cache_size_rejected(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(cache_size=0)
+
+    def test_clear_drops_plans_but_keeps_counters(self, store):
+        planner = QueryPlanner()
+        list(planner.solutions(store, BGP))
+        planner.clear()
+        snap = planner.snapshot()
+        assert snap.cache_size == 0
+        assert snap.misses == 1
+        list(planner.solutions(store, BGP))
+        assert planner.snapshot().misses == 2
+
+    def test_stores_do_not_share_plans(self, store):
+        planner = QueryPlanner()
+        other = TripleStore()
+        other.add(iri("a"), TYPE, PLACE)
+        other.add(iri("a"), NEAR, iri("b"))
+        other.add(iri("b"), LABEL, Literal("B"))
+        list(planner.solutions(store, BGP))
+        list(planner.solutions(other, BGP))
+        assert planner.snapshot().misses == 2
+
+    def test_default_planner_is_shared(self):
+        assert default_planner() is default_planner()
+
+
+class TestPlanQuality:
+    def test_selective_pattern_goes_first(self, store):
+        # type=Hotel matches one triple, the open NEAR pattern 13 —
+        # the plan must probe the hotel first.
+        planner = QueryPlanner()
+        bgp = [
+            TriplePattern(Variable("x"), NEAR, Variable("y")),
+            TriplePattern(Variable("x"), TYPE, iri("Hotel")),
+        ]
+        bound = planner.plan(store, bgp)
+        assert bound.plan.order[0] == 1
+
+    def test_bound_variable_propagation(self, store):
+        # After placing the type pattern, NEAR probes with ?x bound —
+        # its estimate must be per-subject, not the full predicate.
+        planner = QueryPlanner()
+        bound = planner.plan(store, BGP)
+        first = bound.plan.order[0]
+        assert BGP[first].variables() == {"x"}
+        assert all(est >= 1.0 for est in bound.plan.estimates[:1])
+
+    def test_filters_attach_at_first_full_binding(self, store):
+        planner = QueryPlanner()
+        flt = FilterExpr("cmp", (
+            "!=", FilterExpr("var", ("l",)),
+            FilterExpr("term", (Literal("Place 0"),)),
+        ))
+        results = list(planner.solutions(store, BGP, filters=[flt]))
+        expected = evaluate_bgp(store, BGP, filters=[flt])
+        assert canon(results) == canon(expected)
+        assert all(s["l"] != Literal("Place 0") for s in results)
+
+    def test_never_bindable_filter_is_dropped(self, store):
+        # Seed parity: a filter over a variable no pattern binds is
+        # silently ignored, not an error.
+        flt = FilterExpr("cmp", (
+            "=", FilterExpr("var", ("ghost",)),
+            FilterExpr("term", (iri("a"),)),
+        ))
+        planner = QueryPlanner()
+        fast = list(planner.solutions(store, BGP, filters=[flt]))
+        slow = evaluate_bgp(store, BGP, filters=[flt])
+        assert canon(fast) == canon(slow)
+
+    def test_initial_bindings(self, store):
+        planner = QueryPlanner()
+        initial = {"x": iri("place3")}
+        fast = list(planner.solutions(store, BGP, initial=initial))
+        slow = evaluate_bgp(store, BGP, initial=initial)
+        assert canon(fast) == canon(slow)
+        assert len(fast) == 1
+
+    def test_duplicate_variable_pattern(self, store):
+        store.add(iri("loop"), NEAR, iri("loop"))
+        bgp = [TriplePattern(Variable("x"), NEAR, Variable("x"))]
+        planner = QueryPlanner()
+        fast = list(planner.solutions(store, bgp))
+        assert canon(fast) == canon(evaluate_bgp(store, bgp))
+        assert fast == [{"x": iri("loop")}]
+
+    def test_variable_predicate(self, store):
+        bgp = [TriplePattern(iri("hotel"), Variable("p"), Variable("o"))]
+        planner = QueryPlanner()
+        fast = list(planner.solutions(store, bgp))
+        assert canon(fast) == canon(evaluate_bgp(store, bgp))
+
+    def test_empty_bgp_yields_initial_solution(self, store):
+        planner = QueryPlanner()
+        assert list(planner.solutions(store, [])) == [{}]
+
+
+class TestIterBgpDispatch:
+    def test_string_modes(self, store):
+        greedy = list(iter_bgp(store, BGP, planner="greedy"))
+        cost = list(iter_bgp(store, BGP, planner="cost"))
+        assert canon(greedy) == canon(cost)
+
+    def test_planner_instance(self, store):
+        planner = QueryPlanner()
+        list(iter_bgp(store, BGP, planner=planner))
+        assert planner.snapshot().misses == 1
+
+    def test_unknown_mode_rejected(self, store):
+        with pytest.raises(ValueError):
+            iter_bgp(store, BGP, planner="quantum")
+
+    def test_streaming_stops_early(self, store):
+        # Pulling two solutions must not run the join to completion:
+        # the generator yields lazily off the explicit stack.
+        it = iter_bgp(store, BGP, planner="cost")
+        first = next(it)
+        second = next(it)
+        assert first != second
+
+
+class TestExplain:
+    def test_explain_reports_order_estimates_and_actuals(self, store):
+        planner = QueryPlanner()
+        explain = planner.explain(store, BGP)
+        assert isinstance(explain, PlanExplain)
+        assert explain.cache == "miss"
+        assert sorted(explain.order) == [0, 1, 2]
+        assert len(explain.steps) == 3
+        assert explain.rows == len(evaluate_bgp(store, BGP))
+        assert explain.steps[-1].output_rows == explain.rows
+        rendered = explain.render()
+        assert "join order" in rendered
+        assert "plan cache: miss" in rendered
+        assert f"rows: {explain.rows}" in rendered
+
+    def test_explain_hits_cache_on_repeat(self, store):
+        planner = QueryPlanner()
+        planner.explain(store, BGP)
+        assert planner.explain(store, BGP).cache == "hit"
+
+    def test_explain_empty_bgp(self, store):
+        explain = QueryPlanner().explain(store, [])
+        assert explain.rows == 1
+        assert "(empty)" in explain.render()
+
+
+class TestObservability:
+    def test_counters_mirror_into_registry(self, store):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        planner = QueryPlanner()
+        planner.bind_registry(registry)
+        list(planner.solutions(store, BGP))
+        list(planner.solutions(store, BGP))
+        store.add(iri("extra"), TYPE, PLACE)
+        list(planner.solutions(store, BGP))
+        cache = registry.get("planner_plan_cache_total")
+        assert cache.value(result="miss") == 1
+        assert cache.value(result="hit") == 1
+        assert cache.value(result="invalidated") == 1
+        compiled = registry.get("planner_plans_compiled_total")
+        assert compiled.value() == 2
+        exposition = registry.expose()
+        assert "planner_plan_cache_size 1" in exposition

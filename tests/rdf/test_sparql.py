@@ -205,3 +205,87 @@ class TestParserErrors:
     def test_dollar_variables_accepted(self):
         query = parse_sparql("SELECT $x WHERE { $x $p $o }")
         assert query.variables == ["x"]
+
+
+class TestStreaming:
+    """LIMIT/OFFSET slice the solution stream; joins never recurse."""
+
+    def test_limit_offset_window_matches_unsliced_run(self, store):
+        base = PREFIX + "SELECT ?x ?r WHERE { ?x kb:rating ?r }"
+        full = sparql_select(store, base)
+        window = sparql_select(store, base + " LIMIT 2 OFFSET 1")
+        # No ORDER BY: the window is a contiguous slice of the same
+        # stream (same evaluator, same enumeration order).
+        assert window == full[1:3]
+
+    def test_limit_stops_the_join_early(self, store):
+        probes = []
+        original = type(store).triples
+
+        def counting(self, s=None, p=None, o=None):
+            for t in original(self, s, p, o):
+                probes.append(t)
+                yield t
+
+        query = PREFIX + "SELECT ?x WHERE { ?x kb:rating ?r } LIMIT 1"
+        try:
+            type(store).triples = counting
+            rows = sparql_select(store, query)
+        finally:
+            type(store).triples = original
+        assert len(rows) == 1
+        # Four entities carry ratings; an eager evaluator would probe
+        # all of them before slicing.
+        assert len(probes) < 4
+
+    def test_distinct_dedups_incrementally(self, store):
+        query = (PREFIX +
+                 "SELECT DISTINCT ?t WHERE { ?x kb:instanceOf ?t } "
+                 "LIMIT 1")
+        rows = sparql_select(store, query)
+        assert len(rows) == 1
+        assert rows[0]["t"] in (kb("Place"), kb("Museum"))
+
+    def test_order_by_still_sees_every_row(self, store):
+        query = (PREFIX + "SELECT ?x ?r WHERE { ?x kb:rating ?r } "
+                 "ORDER BY DESC(?r) LIMIT 1")
+        rows = sparql_select(store, query)
+        assert rows[0]["x"] == kb("Niagara_Falls")
+
+    def test_planner_modes_agree_on_select(self, store):
+        query = (PREFIX + "SELECT ?x ?r WHERE "
+                 "{ ?x kb:instanceOf kb:Place . ?x kb:rating ?r } "
+                 "ORDER BY DESC(?r)")
+        greedy = sparql_select(store, query, planner="greedy")
+        cost = sparql_select(store, query, planner="cost")
+        assert greedy == cost
+
+    def test_hundred_pattern_chain_needs_no_recursion(self):
+        # One pattern per joined variable used to recurse once per
+        # pattern; the explicit stack must evaluate a 100-pattern
+        # chain even under a recursion limit the old evaluator would
+        # have blown through.
+        import sys
+
+        from repro.rdf.sparql import TriplePattern, evaluate_bgp
+        from repro.rdf.store import TripleStore
+        from repro.rdf.terms import Variable
+
+        n = 100
+        nxt = IRI("http://x/next")
+        store = TripleStore()
+        for i in range(n + 1):
+            store.add(IRI(f"http://x/n{i}"), nxt, IRI(f"http://x/n{i+1}"))
+        chain = [
+            TriplePattern(Variable(f"v{i}"), nxt, Variable(f"v{i+1}"))
+            for i in range(n)
+        ]
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(90)
+            for planner in ("greedy", "cost"):
+                solutions = evaluate_bgp(store, chain, planner=planner)
+                assert len(solutions) == 2
+                assert all(len(s) == n + 1 for s in solutions)
+        finally:
+            sys.setrecursionlimit(limit)

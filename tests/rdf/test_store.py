@@ -194,3 +194,73 @@ class TestStoreProperties:
             for p in (P, None):
                 n = store.count(s, p, None)
                 assert n == len(list(store.triples(s, p, None)))
+
+
+class TestStats:
+    def test_empty_store(self):
+        snap = TripleStore().stats()
+        assert snap.size == 0
+        assert snap.predicates == {}
+        assert snap.epoch == 0
+
+    def test_incremental_counts(self, store):
+        snap = store.stats()
+        assert snap.size == 4
+        assert snap.distinct_subjects == 2  # A, B
+        p = snap.predicates[P]
+        assert (p.triples, p.distinct_subjects, p.distinct_objects) \
+            == (2, 1, 2)
+        q = snap.predicates[Q]
+        assert (q.triples, q.distinct_subjects, q.distinct_objects) \
+            == (2, 2, 2)
+
+    def test_duplicate_add_leaves_stats_alone(self, store):
+        before = store.stats()
+        assert store.add(A, P, B) is False
+        after = store.stats()
+        assert after == before
+
+    def test_remove_decrements(self, store):
+        store.remove(A, P, B)
+        p = store.stats().predicates[P]
+        assert (p.triples, p.distinct_subjects, p.distinct_objects) \
+            == (1, 1, 1)
+        store.remove(A, P, C)
+        assert P not in store.stats().predicates
+
+    def test_epoch_bumps_on_every_mutation(self, store):
+        epoch = store.epoch
+        store.add(C, P, A)
+        assert store.epoch == epoch + 1
+        store.remove(C, P, A)
+        assert store.epoch == epoch + 2
+        # No-op mutations leave the epoch alone.
+        store.add(A, P, B)
+        store.remove(C, P, A)
+        assert store.epoch == epoch + 2
+
+    def test_snapshot_is_detached(self, store):
+        snap = store.stats()
+        store.add(C, P, A)
+        assert snap.predicates[P].triples == 2
+        assert store.stats().predicates[P].triples == 3
+
+    def test_tokens_are_unique(self):
+        assert TripleStore().token != TripleStore().token
+
+    def test_estimate_known_predicate(self, store):
+        # P: 2 triples, 1 subject (A), 2 objects (B, C).
+        assert store.estimate(False, P, False) == 2.0
+        assert store.estimate(True, P, False) == 2.0   # per subject
+        assert store.estimate(False, P, True) == 1.0   # per object
+        assert store.estimate(True, P, True) == 1.0
+        assert store.estimate(True, IRI("http://x/none"), True) == 0.0
+
+    def test_estimate_open_predicate(self, store):
+        assert store.estimate(False, None, False) == 4.0
+        assert store.estimate(True, None, False) == 2.0  # 4/2 subjects
+        assert store.estimate(True, None, True) >= 1.0
+        assert TripleStore().estimate(True, None, True) == 0.0
+
+    def test_predicate_count(self, store):
+        assert store.predicate_count() == 2

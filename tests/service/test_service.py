@@ -277,3 +277,54 @@ class TestUnexpectedExceptionAudit:
         assert healthy[0].ok
         stats = service.stats()
         assert stats.requests == stats.accounted == 4
+
+
+class TestPlannerStats:
+    def test_plan_cache_counters_surface_in_stats(self, ontology):
+        from repro.rdf.sparql import TriplePattern
+        from repro.rdf.terms import Variable
+
+        nl2cm = NL2CM(ontology=ontology, planner="cost")
+        service = TranslationService(nl2cm, cache=None)
+        bgp = [TriplePattern(
+            Variable("x"), IRI("http://repro.example/kb/instanceOf"),
+            IRI("http://repro.example/kb/Place"),
+        )]
+        list(nl2cm.planner.solutions(ontology.store, bgp))
+        list(nl2cm.planner.solutions(ontology.store, bgp))
+        stats = service.stats()
+        assert stats.plan_cache_misses == 1
+        assert stats.plan_cache_hits == 1
+        assert stats.plans_compiled == 1
+        assert stats.plan_cache_hit_rate == 0.5
+        # The counters are also mirrored into the service registry.
+        cache = service.registry.get("planner_plan_cache_total")
+        assert cache.value(result="hit") == 1
+
+    def test_greedy_translator_reports_zero_plan_traffic(self, ontology):
+        service = TranslationService(
+            NL2CM(ontology=ontology, planner="greedy"), cache=None
+        )
+        service.translate("Where do you visit in Buffalo?")
+        stats = service.stats()
+        assert stats.plans_compiled == 0
+        assert stats.plan_cache_hit_rate == 0.0
+
+    def test_admin_panel_shows_plan_line(self, ontology):
+        from repro.rdf.sparql import TriplePattern
+        from repro.rdf.terms import Variable
+        from repro.ui.admin import render_service_stats
+
+        nl2cm = NL2CM(ontology=ontology, planner="cost")
+        service = TranslationService(nl2cm, cache=None)
+        bgp = [TriplePattern(
+            Variable("x"), IRI("http://repro.example/kb/instanceOf"),
+            Variable("t"),
+        )]
+        list(nl2cm.planner.solutions(ontology.store, bgp))
+        panel = render_service_stats(service.stats())
+        assert "query plans: 1 compiled" in panel
+
+    def test_planner_mode_validation(self, ontology):
+        with pytest.raises(ValueError):
+            NL2CM(ontology=ontology, planner="fastest")

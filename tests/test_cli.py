@@ -44,6 +44,53 @@ class TestMainFunction:
         args = build_parser().parse_args(["hello"])
         assert args.crowd_size == 120
         assert not args.execute
+        assert args.planner == "cost"
+
+    def test_explain_question_file(self, tmp_path, capsys):
+        batch = tmp_path / "questions.txt"
+        batch.write_text(
+            "Where do you visit in Buffalo?\n"
+            "Where do you visit in Buffalo?\n",
+            "utf-8",
+        )
+        status = main(["--explain", str(batch)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "== query plan ==" in out
+        assert "join order" in out
+        # The repeated question reuses the first question's plan.
+        assert "plan cache: miss" in out
+        assert "plan cache: hit" in out
+
+    def test_explain_query_file(self, tmp_path, capsys):
+        query = tmp_path / "query.oql"
+        query.write_text(
+            "SELECT VARIABLES\n"
+            "WHERE\n"
+            "{$x instanceOf Place}\n"
+            "SATISFYING\n"
+            "{[] visit $x}\n"
+            "WITH SUPPORT THRESHOLD = 0.1\n",
+            "utf-8",
+        )
+        status = main(["--explain", str(query)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "plan cache: miss" in out
+        assert "instanceOf" in out
+
+    def test_explain_missing_file(self, capsys):
+        status = main(["--explain", "/nonexistent/nope.txt"])
+        assert status == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_planner_greedy_translates_identically(self, capsys):
+        question = "Where do you visit in Buffalo?"
+        assert main(["--planner", "greedy", question]) == 0
+        greedy_out = capsys.readouterr().out
+        assert main(["--planner", "cost", question]) == 0
+        cost_out = capsys.readouterr().out
+        assert greedy_out == cost_out
 
 
 class TestSubprocess:
