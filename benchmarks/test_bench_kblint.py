@@ -1,0 +1,96 @@
+"""E14: KB lint overhead — construction-time analysis must stay cheap.
+
+``NL2CM(kb_lint="warn")`` (the default) runs OntologyLint + PatternLint
+over the knowledge artifacts once, at construction.  The CI gate pins
+that this single streaming pass costs under 5% of a genuinely *cold*
+construction.  Like E11, the comparison uses **medians of per-round
+measurements** (immune to GC pauses and scheduler noise) and measures
+the two quantities directly rather than by differencing two noisy
+end-to-end runs: each round clears the snapshot loader caches before
+timing the construction, and clears the analyzer memo before timing
+the lint pass, so neither side can hide behind a cache.
+"""
+
+import statistics
+import time
+
+from repro import NL2CM
+from repro.analysis import kblint
+from repro.analysis.kblint import OntologyLint
+from repro.data import ontologies
+from repro.eval.harness import format_table
+
+ROUNDS = 25
+MAX_OVERHEAD = 0.05
+
+_LOADERS = (
+    ontologies.load_geo,
+    ontologies.load_dbpedia,
+    ontologies.load_food,
+    ontologies.load_merged_ontology,
+)
+
+
+def test_bench_kb_lint_overhead(report_writer):
+    construction = []
+    lint = []
+    # Two untimed rounds first: they exercise the exact cold path the
+    # timed rounds measure, so first-call costs (bytecode, allocator
+    # warm-up) are paid before any measurement.
+    for round_no in range(ROUNDS + 2):
+        for loader in _LOADERS:
+            loader.cache_clear()
+        kblint._MEMO.clear()
+        start = time.perf_counter()
+        nl2cm = NL2CM(kb_lint="off")
+        elapsed_construction = time.perf_counter() - start
+
+        kblint._MEMO.clear()
+        start = time.perf_counter()
+        nl2cm._lint_knowledge_artifacts()
+        elapsed_lint = time.perf_counter() - start
+        if round_no >= 2:
+            construction.append(elapsed_construction)
+            lint.append(elapsed_lint)
+    construction_med = statistics.median(construction)
+    lint_med = statistics.median(lint)
+    # Each round's lint is paired with its own construction, so slow
+    # rounds (GC, scheduler) inflate both sides of the ratio equally.
+    overhead = statistics.median(
+        l / c for l, c in zip(lint, construction)
+    )
+
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ["cold construction (kb_lint=off)",
+             f"{construction_med * 1000:.1f} ms"],
+            ["cold KB lint pass", f"{lint_med * 1000:.2f} ms"],
+            ["overhead", f"{overhead:.2%}"],
+            ["budget", f"{MAX_OVERHEAD:.0%}"],
+        ],
+    )
+    report_writer("E14-kblint-overhead", table)
+
+    assert overhead < MAX_OVERHEAD
+
+
+def test_bench_memoized_relint_is_free(ontology):
+    # Re-linting a cached (frozen) ontology hits the analyzer memo: the
+    # repeat pass must be an order of magnitude under the cold pass.
+    linter = OntologyLint()
+
+    kblint._MEMO.clear()
+    start = time.perf_counter()
+    linter.lint(ontology)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(10):
+        linter.lint(ontology)
+    memoized = (time.perf_counter() - start) / 10
+
+    assert memoized < cold / 5, (
+        f"memoized re-lint {memoized * 1000:.2f} ms vs "
+        f"cold {cold * 1000:.2f} ms"
+    )

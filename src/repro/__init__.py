@@ -29,17 +29,22 @@ Executing the translated query against a simulated crowd::
 from repro.analysis import (
     AnalysisReport,
     Diagnostic,
+    OntologyLint,
     PatternLint,
     QueryLint,
+    ScenarioLint,
     Severity,
 )
 from repro.core.pipeline import NL2CM, TranslationResult
 from repro.core.verification import VerificationResult
 from repro.crowd.model import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
+from repro.data.scenario import ScenarioPack, default_pack, load_pack
 from repro.errors import (
+    KBLintError,
     QueryLintError,
     ReproError,
+    ScenarioPackError,
     TranslationError,
     VerificationError,
 )
@@ -106,9 +111,16 @@ __all__ = [
     "Severity",
     "QueryLint",
     "PatternLint",
+    "OntologyLint",
+    "ScenarioLint",
+    "ScenarioPack",
+    "default_pack",
+    "load_pack",
     "ReproError",
     "TranslationError",
     "VerificationError",
     "QueryLintError",
+    "KBLintError",
+    "ScenarioPackError",
     "__version__",
 ]

@@ -22,10 +22,16 @@ Static analysis (exit status 1 when any ERROR-level diagnostic fires)::
     python -m repro --lint query.oql        # one saved OASSIS-QL query
     python -m repro --lint questions.txt    # translate + lint each line
     python -m repro --lint-patterns         # the IX pattern bank
+    python -m repro --lint-kb               # every embedded KB snapshot
+    python -m repro --lint-pack packs/demo  # one scenario-pack directory
     python -m repro --lint q.oql --lint-report counts.json
 
 ``--lint`` sniffs the file: if the first non-comment line starts with
-``SELECT`` it is a query file, otherwise a question batch.
+``SELECT`` it is a query file, otherwise a question batch.  All four
+lint flags compose: their reports merge into one run with one exit
+status (0 clean, 1 any ERROR diagnostic, 2 unreadable input) and one
+``--lint-report`` JSON artifact with per-rule counts keyed by analyzer
+family.
 
 Query planning (see ``docs/performance.md``)::
 
@@ -135,6 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lint-patterns", action="store_true",
                         help="statically analyze the IX detection "
                              "pattern bank; exit 1 on errors")
+    parser.add_argument("--lint-kb", action="store_true",
+                        help="statically analyze every embedded "
+                             "ontology snapshot plus the default "
+                             "scenario pack; exit 1 on errors")
+    parser.add_argument("--lint-pack", metavar="DIR",
+                        help="statically analyze the scenario pack in "
+                             "DIR (*.ttl + patterns.txt + optional "
+                             "vocabularies/ and corpus.json); exit 1 "
+                             "on errors")
     parser.add_argument("--lint-report", metavar="FILE",
                         help="also write the diagnostic counts of a "
                              "lint run to FILE as JSON")
@@ -267,14 +282,28 @@ def run_lint(args) -> int:
 
     from repro.analysis import (
         LintOutcome,
+        lint_knowledge_base,
         lint_pattern_bank,
         lint_query_source,
         lint_questions,
+        lint_scenario_pack,
     )
 
     outcome = LintOutcome()
     if args.lint_patterns:
-        outcome.reports.extend(lint_pattern_bank().reports)
+        outcome.merge(lint_pattern_bank())
+    if args.lint_kb:
+        outcome.merge(lint_knowledge_base())
+    if args.lint_pack:
+        from repro.data.scenario import load_pack
+        from repro.errors import ScenarioPackError
+
+        try:
+            pack = load_pack(args.lint_pack)
+        except (OSError, ScenarioPackError) as err:
+            print(f"cannot load scenario pack: {err}", file=sys.stderr)
+            return 2
+        outcome.merge(lint_scenario_pack(pack))
     if args.lint:
         path = Path(args.lint)
         try:
@@ -299,7 +328,7 @@ def run_lint(args) -> int:
             sub = lint_questions(
                 questions, NL2CM(ontology=load_merged_ontology())
             )
-        outcome.reports.extend(sub.reports)
+        outcome.merge(sub)
     print(outcome.render())
     if args.lint_report:
         try:
@@ -364,7 +393,7 @@ def run_explain(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
-    if args.lint or args.lint_patterns:
+    if args.lint or args.lint_patterns or args.lint_kb or args.lint_pack:
         return run_lint(args)
     if args.explain:
         return run_explain(args)

@@ -1,14 +1,18 @@
-"""Static analysis for OASSIS-QL queries and IX detection patterns.
+"""Static analysis for queries, patterns and knowledge artifacts.
 
 The cheap gate in front of crowd execution: a translated query that is
 syntactically fine but semantically broken — unbound SATISFYING
 variables, a cartesian WHERE product, predicates the ontology has never
 heard of — would burn (simulated) crowd budget before anyone noticed.
-Two analyzers share one diagnostic core:
+Four analyzers share one diagnostic core:
 
 * :class:`QueryLint` — rule-based checks over
   :class:`~repro.oassisql.ast.OassisQuery` ASTs;
-* :class:`PatternLint` — checks over the IX detection pattern bank.
+* :class:`PatternLint` — checks over the IX detection pattern bank;
+* :class:`OntologyLint` — single-streaming-pass checks over
+  :class:`~repro.rdf.ontology.Ontology` snapshots;
+* :class:`ScenarioLint` — cross-artifact checks over a whole
+  :class:`~repro.data.scenario.ScenarioPack`.
 
 Quickstart::
 
@@ -20,10 +24,12 @@ Quickstart::
         print(diagnostic.render())
 
 Rules are declared in :data:`~repro.analysis.querylint.QUERY_RULES` /
-:data:`~repro.analysis.patternlint.PATTERN_RULES`; a
+:data:`~repro.analysis.patternlint.PATTERN_RULES` /
+:data:`~repro.analysis.kblint.ONTOLOGY_RULES` /
+:data:`~repro.analysis.scenariolint.SCENARIO_RULES`; a
 :class:`RuleRegistry` lets an administrator disable rules or override
 severities without touching analyzer code.  The rule catalog lives in
-``docs/query-lint.md``.
+``docs/static-analysis.md``.
 """
 
 from repro.analysis.diagnostics import (
@@ -32,15 +38,20 @@ from repro.analysis.diagnostics import (
     Location,
     Severity,
 )
+from repro.analysis.kblint import ONTOLOGY_RULES, OntologyLint
 from repro.analysis.patternlint import PATTERN_RULES, PatternLint
 from repro.analysis.querylint import QUERY_RULES, QueryLint, query_locations
 from repro.analysis.registry import Rule, RuleRegistry
 from repro.analysis.runner import (
     LintOutcome,
+    lint_knowledge_base,
+    lint_ontology,
     lint_pattern_bank,
     lint_query_source,
     lint_questions,
+    lint_scenario_pack,
 )
+from repro.analysis.scenariolint import SCENARIO_RULES, ScenarioLint
 
 __all__ = [
     "AnalysisReport",
@@ -53,14 +64,23 @@ __all__ = [
     "QUERY_RULES",
     "PatternLint",
     "PATTERN_RULES",
+    "OntologyLint",
+    "ONTOLOGY_RULES",
+    "ScenarioLint",
+    "SCENARIO_RULES",
     "LintOutcome",
     "lint_query_source",
     "lint_questions",
     "lint_pattern_bank",
+    "lint_ontology",
+    "lint_scenario_pack",
+    "lint_knowledge_base",
     "default_registry",
 ]
 
 
 def default_registry() -> RuleRegistry:
-    """A registry holding every rule of both analyzers."""
-    return RuleRegistry(QUERY_RULES + PATTERN_RULES)
+    """A registry holding every rule of all four analyzers."""
+    return RuleRegistry(
+        QUERY_RULES + PATTERN_RULES + ONTOLOGY_RULES + SCENARIO_RULES
+    )

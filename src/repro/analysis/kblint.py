@@ -1,0 +1,580 @@
+"""OntologyLint: static analysis of ontology snapshots.
+
+The ontology is the artifact every other stage leans on: the FREyA
+substitute resolves entities against its label index, the query
+generator grounds noun phrases in its classes and properties, and the
+OASSIS engine joins over its triples.  A dangling reference or a
+lexicalization gap does not crash anything — it silently makes some
+questions untranslatable — which is exactly the failure mode a linter
+exists for.
+
+All sixteen rules are computed from **one streaming pass** over the
+store's predicate-major index (:meth:`TripleStore.predicate_index`):
+the pass fills per-predicate and per-node accumulators, and a finalize
+step turns them into diagnostics.  No rule re-scans the store, so the
+analyzer works unchanged against the planned disk-backed and federated
+store backends, where a full scan is the expensive operation.
+
+The accumulators key nodes by their IRI **value strings**, not by the
+term objects: strings hash at C speed with the hash cached in the
+object, where the frozen-dataclass terms pay a Python-level
+``__hash__`` call on every set operation.  The finalize step is almost
+entirely set algebra over those strings, so this representation is
+what keeps the construction-time ``kb_lint="warn"`` gate under its 5%
+budget.
+
+The ontology snapshots carry no declared schema (no ``rdfs:domain`` /
+``rdfs:range``), so the domain/range rules are **inferred**: when at
+least :data:`_INFER_MIN` subjects (objects) of a predicate are typed
+and a dominant class covers :data:`_INFER_RATIO` of them, outliers are
+flagged.  That is deliberately conservative — it fires on the one
+mis-typed entity in a uniform column, not on genuinely heterogeneous
+predicates.
+
+Reports for frozen (cached) ontologies are memoized keyed by the
+store's ``(token, epoch)`` identity plus the registry configuration, so
+repeated ``NL2CM(kb_lint="warn")`` constructions pay for the analysis
+once per process.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from itertools import chain
+
+from repro.analysis.diagnostics import AnalysisReport, Location, Severity
+from repro.analysis.registry import Rule, RuleRegistry
+from repro.rdf.ontology import KB, Ontology, normalize_label
+from repro.rdf.terms import IRI, Literal, RDFS, Term
+
+__all__ = ["ONTOLOGY_RULES", "OntologyLint"]
+
+_E = Severity.ERROR
+_W = Severity.WARNING
+_I = Severity.INFO
+
+#: Every OntologyLint rule, in catalog order (see docs/static-analysis.md).
+ONTOLOGY_RULES: list[Rule] = [
+    Rule("label-not-literal", "ontology", _E,
+         "an rdfs:label/kb:alias object is not a literal; the lexical "
+         "index skips it"),
+    Rule("empty-label", "ontology", _E,
+         "a label or alias normalizes to the empty string and can never "
+         "match a phrase"),
+    Rule("class-as-literal", "ontology", _E,
+         "the object of kb:instanceOf is a literal, not a class IRI"),
+    Rule("dangling-object", "ontology", _E,
+         "a fact references an IRI that is described nowhere (no "
+         "outgoing triples)"),
+    Rule("orphan-entity", "ontology", _W,
+         "an entity carries only labels: untyped, unreferenced, and in "
+         "no fact"),
+    Rule("untyped-entity", "ontology", _W,
+         "an entity participates in facts but has no kb:instanceOf "
+         "type"),
+    Rule("missing-label", "ontology", _I,
+         "a term has no rdfs:label; entity resolution falls back to "
+         "the IRI local name"),
+    Rule("duplicate-label", "ontology", _W,
+         "two terms share the same normalized preferred label"),
+    Rule("alias-duplicates-label", "ontology", _I,
+         "an alias normalizes to the same string as the term's "
+         "preferred label"),
+    Rule("near-duplicate-predicate", "ontology", _W,
+         "two predicates are near-duplicates (same normalized label or "
+         "local name)"),
+    Rule("mixed-object-kinds", "ontology", _W,
+         "a predicate links to both IRIs and literals; joins see only "
+         "one kind"),
+    Rule("literal-type-inconsistency", "ontology", _W,
+         "a predicate's literal objects mix strings, numbers or "
+         "booleans"),
+    Rule("inferred-domain-violation", "ontology", _W,
+         "a subject's type disagrees with the predicate's inferred "
+         "domain class"),
+    Rule("inferred-range-violation", "ontology", _W,
+         "an object's type disagrees with the predicate's inferred "
+         "range class"),
+    Rule("self-reference", "ontology", _I,
+         "a triple relates a term to itself"),
+    Rule("disconnected-islands", "ontology", _I,
+         "the entity graph splits into multiple unconnected islands"),
+]
+
+#: Minimum typed subjects/objects before domain/range inference engages.
+_INFER_MIN = 4
+#: Fraction of typed subjects/objects the dominant class must cover.
+_INFER_RATIO = 0.8
+
+#: Bounded memo of finalized diagnostics for shared (frozen) stores.
+_MEMO: OrderedDict[tuple, tuple] = OrderedDict()
+_MEMO_MAX = 16
+
+_KB_BASE = KB.base
+_LABEL_V = RDFS.label.value
+_ALIAS_V = KB.alias.value
+_TYPE_V = KB.instanceOf.value
+
+
+def _term_ref(term: Term) -> str:
+    """Compact human rendering: ``kb:`` terms by local name."""
+    if isinstance(term, IRI):
+        return _ref(term.value)
+    return str(term)
+
+
+def _local(value: str) -> str:
+    """The fragment after the last ``#`` or ``/`` of an IRI value."""
+    for sep in ("#", "/"):
+        if sep in value:
+            return value.rsplit(sep, 1)[1]
+    return value
+
+
+def _ref(value: str) -> str:
+    """:func:`_term_ref` over a raw IRI value string."""
+    if value.startswith(_KB_BASE):
+        return f"kb:{_local(value)}"
+    return f"<{value}>"
+
+
+def _loc(term: Term) -> Location:
+    return Location(_term_ref(term))
+
+
+def _vloc(value: str) -> Location:
+    return Location(_ref(value))
+
+
+class _Accumulators:
+    """Everything the single streaming pass collects.
+
+    Node keys are IRI **value strings** (see the module docstring);
+    the stream fills only what it must per-triple, and anything
+    derivable from these maps (referenced objects, connected
+    components) is computed once in finalize with bulk set operations.
+    """
+
+    def __init__(self):
+        self.subjects: set[str] = set()
+        # label/alias maps carry (literal, normalized text) pairs, so
+        # finalize never re-normalizes what the stream already did.
+        self.labels: dict[str, list[tuple[Literal, str]]] = {}
+        self.aliases: dict[str, list[tuple[Literal, str]]] = {}
+        self.types: dict[str, set[str]] = {}
+        self.classes: set[str] = set()
+        self.data_predicates: set[str] = set()
+        self.pred_iri_objects: dict[str, set[str]] = {}
+        self.pred_subjects: dict[str, set[str]] = {}
+        self.pred_literal_kinds: dict[str, set[str]] = {}
+        # (object value, subject values) pairs collected while the
+        # stream is converting those very subjects anyway; the
+        # component merge happens once in finalize.
+        self.edge_groups: list[tuple[str, list[str]]] = []
+
+    # -- derived in finalize --------------------------------------------------
+
+    def all_objects(self) -> set[str]:
+        """IRI objects of any data fact (one C-level bulk union)."""
+        if not self.pred_iri_objects:
+            return set()
+        return set().union(*self.pred_iri_objects.values())
+
+    def components(self) -> list[set[str]]:
+        """Connected components of the entity graph.
+
+        Small-to-large set merging: every node points at its component
+        set, and each merge folds the smaller set into the larger one,
+        so the total work is O(n log n) bulk set operations instead of
+        per-edge pointer chasing.
+        """
+        comp: dict[str, set[str]] = {}
+        comp_get = comp.get
+        for o, vsubs in self.edge_groups:
+            target = comp_get(o)
+            if target is None:
+                target = {o}
+                comp[o] = target
+            for sv in vsubs:
+                current = comp_get(sv)
+                if current is None:
+                    target.add(sv)
+                    comp[sv] = target
+                elif current is not target:
+                    if len(current) > len(target):
+                        current, target = target, current
+                    target.update(current)
+                    for node in current:
+                        comp[node] = target
+        return list({id(c): c for c in comp.values()}.values())
+
+
+def _literal_kind(literal: Literal) -> str:
+    if isinstance(literal.value, bool):
+        return "boolean"
+    if literal.is_numeric:
+        return "number"
+    return "string"
+
+
+class OntologyLint:
+    """Rule-based static analyzer for :class:`Ontology` snapshots.
+
+    Args:
+        registry: a configured :class:`RuleRegistry`; a fresh one with
+            every ontology rule at default severity if omitted.
+    """
+
+    def __init__(self, registry: RuleRegistry | None = None):
+        self.registry = registry or RuleRegistry(ONTOLOGY_RULES)
+
+    def lint(
+        self, ontology: Ontology, subject: str = "ontology"
+    ) -> AnalysisReport:
+        """Analyze one ontology; one pass over the store, never raises."""
+        store = ontology.store
+        memo_key = (store.token, store.epoch, self._config_key(), subject)
+        cached = _MEMO.get(memo_key)
+        if cached is not None:
+            _MEMO.move_to_end(memo_key)
+            report = AnalysisReport(subject=subject)
+            report.extend(list(cached))
+            return report
+
+        report = AnalysisReport(subject=subject)
+        acc = self._stream(store, report)
+        self._finalize(acc, report)
+
+        _MEMO[memo_key] = tuple(report.diagnostics)
+        while len(_MEMO) > _MEMO_MAX:
+            _MEMO.popitem(last=False)
+        return report
+
+    def _config_key(self) -> tuple:
+        return self.registry.config_key("ontology")
+
+    # -- the streaming pass --------------------------------------------------
+
+    def _stream(self, store, report: AnalysisReport) -> _Accumulators:
+        """One predicate-major pass over the store's own index.
+
+        Dispatching once per predicate and once per distinct object
+        (instead of once per triple) keeps the inner loops to bulk set
+        updates — the difference between the lint pass being free or
+        being a visible construction-time tax.
+        """
+        emit = self.registry.emit
+        acc = _Accumulators()
+        edge_groups = acc.edge_groups
+
+        for p, by_o in store.predicate_index():
+            # Dispatch on the predicate's value string: interned-string
+            # equality, where comparing IRI dataclasses pays a
+            # generated __eq__ per predicate.
+            pv = p.value
+            if pv == _LABEL_V or pv == _ALIAS_V:
+                is_label = pv == _LABEL_V
+                kind = "label" if is_label else "alias"
+                target = acc.labels if is_label else acc.aliases
+                for o, subs in by_o.items():
+                    if type(o) is not Literal:
+                        for s in subs:
+                            emit(report, "label-not-literal",
+                                 f"{kind} of {_term_ref(s)} is "
+                                 f"{_term_ref(o)}, not a literal",
+                                 _loc(s),
+                                 hint="labels and aliases must be "
+                                      "quoted strings")
+                        continue
+                    norm = normalize_label(str(o.value))
+                    if not norm:
+                        for s in subs:
+                            emit(report, "empty-label",
+                                 f"{kind} of {_term_ref(s)} normalizes "
+                                 f"to an empty string",
+                                 _loc(s),
+                                 hint="remove the label or give it "
+                                      "word characters")
+                        continue
+                    pair = (o, norm)
+                    for s in subs:
+                        if type(s) is IRI:
+                            sv = s.value
+                            pairs = target.get(sv)
+                            if pairs is None:
+                                target[sv] = [pair]
+                            else:
+                                pairs.append(pair)
+                continue
+
+            if pv == _TYPE_V:
+                types = acc.types
+                for o, subs in by_o.items():
+                    if type(o) is not IRI:
+                        for s in subs:
+                            emit(report, "class-as-literal",
+                                 f"{_term_ref(s)} is declared an "
+                                 f"instance of the literal {o.n3()}",
+                                 _loc(s),
+                                 hint="kb:instanceOf must point at a "
+                                      "class IRI")
+                        continue
+                    ov = o.value
+                    acc.classes.add(ov)
+                    vsubs: list[str] = []
+                    for s in subs:
+                        if type(s) is IRI:
+                            sv = s.value
+                            vsubs.append(sv)
+                            tset = types.get(sv)
+                            if tset is None:
+                                types[sv] = {ov}
+                            else:
+                                tset.add(ov)
+                    edge_groups.append((ov, vsubs))
+                continue
+
+            # -- data facts, one predicate at a time ------------------------
+            acc.data_predicates.add(pv)
+            iri_objects: set = set()
+            literal_kinds: set = set()
+            psubs: set[str] = set()
+            for o, subs in by_o.items():
+                vsubs = [
+                    s.value for s in subs if type(s) is IRI
+                ]
+                psubs.update(vsubs)
+                if type(o) is IRI:
+                    if o in subs:
+                        emit(report, "self-reference",
+                             f"{_term_ref(o)} is related to itself "
+                             f"via {_ref(pv)}",
+                             _loc(o),
+                             hint="self-loops are usually data-entry "
+                                  "mistakes")
+                    ov = o.value
+                    iri_objects.add(ov)
+                    edge_groups.append((ov, vsubs))
+                elif type(o) is Literal:
+                    literal_kinds.add(_literal_kind(o))
+            if iri_objects:
+                acc.pred_iri_objects[pv] = iri_objects
+            if literal_kinds:
+                acc.pred_literal_kinds[pv] = literal_kinds
+            acc.pred_subjects[pv] = psubs
+
+        # Subjects come straight off the store's own subject index;
+        # scrub blank nodes once instead of type-checking per triple.
+        acc.subjects = {
+            s.value for s in store.subject_keys() if type(s) is IRI
+        }
+        return acc
+
+    # -- finalize: accumulators -> diagnostics -------------------------------
+
+    def _finalize(self, acc: _Accumulators, report: AnalysisReport) -> None:
+        emit = self.registry.emit
+        predicates = acc.data_predicates | {_TYPE_V}
+        all_objects = acc.all_objects()
+
+        # The rules below are "set algebra, then report": each computes
+        # its offender set with C-level set operations and only loops
+        # (sorted, for determinism) over the usually-tiny result.
+        # Offender sets are usually empty, so anything needed only to
+        # *describe* an offender (which predicate referenced it, which
+        # facts touch it) is computed lazily from the tiny result set
+        # instead of materialized for the whole graph up front.
+
+        # dangling-object: referenced in a fact, described nowhere.
+        dangling = (all_objects - acc.subjects - predicates
+                    - acc.classes)
+        if dangling:
+            via_pred: dict[str, str] = {}
+            for pv, objects in acc.pred_iri_objects.items():
+                for o in objects & dangling:
+                    via_pred.setdefault(o, pv)
+            for o in sorted(dangling):
+                emit(report, "dangling-object",
+                     f"{_ref(o)} is referenced via {_ref(via_pred[o])} "
+                     f"but described nowhere",
+                     _vloc(o),
+                     hint="add at least a label and a type for the "
+                          "entity, or fix the reference")
+
+        # orphan / untyped entities (classes and predicates are exempt:
+        # classes are described by their members, predicates by use).
+        untyped_all = (acc.subjects - acc.classes - predicates
+                       - acc.types.keys())
+        orphans = set(untyped_all)
+        if orphans:
+            # subtract subjects-of-data-facts per predicate rather than
+            # unioning them all; the orphan candidate set is tiny.
+            for psubs in acc.pred_subjects.values():
+                orphans -= psubs
+                if not orphans:
+                    break
+        if orphans:
+            orphans -= all_objects
+        for s in sorted(orphans):
+            emit(report, "orphan-entity",
+                 f"{_ref(s)} has labels but no type, no facts "
+                 f"and no references",
+                 _vloc(s),
+                 hint="type it with kb:instanceOf, use it in a "
+                      "fact, or drop it")
+        for s in sorted(untyped_all - orphans):
+            emit(report, "untyped-entity",
+                 f"{_ref(s)} participates in facts but has no "
+                 f"kb:instanceOf type",
+                 _vloc(s),
+                 hint="untyped entities cannot be offered as "
+                      "class-constrained candidates")
+
+        # missing-label: every node the lexical index will serve.
+        unlabeled = (acc.subjects | acc.classes | all_objects
+                     | predicates) - acc.labels.keys()
+        for node in sorted(unlabeled):
+            emit(report, "missing-label",
+                 f"{_ref(node)} has no rdfs:label; resolution "
+                 f"falls back to {_local(node)!r}",
+                 _vloc(node),
+                 hint="declare the preferred surface form "
+                      "explicitly")
+
+        # duplicate-label / alias-duplicates-label.  Offenders are rare,
+        # so collect them first and only sort the (tiny) offender lists.
+        by_label: dict[str, list[str]] = {}
+        for iri, labels in acc.labels.items():
+            for _, norm in labels:
+                by_label.setdefault(norm, []).append(iri)
+        dup_groups: list[tuple[str, list[str]]] = []
+        for text, iris in by_label.items():
+            if len(iris) < 2:
+                continue
+            distinct = sorted(set(iris))
+            if len(distinct) > 1:
+                dup_groups.append((text, distinct))
+        for text, distinct in sorted(dup_groups):
+            names = ", ".join(_ref(i) for i in distinct)
+            emit(report, "duplicate-label",
+                 f"preferred label {text!r} is shared by {names}",
+                 _vloc(distinct[0]),
+                 hint="shared surface forms belong in kb:alias; "
+                      "preferred labels should disambiguate")
+        alias_dups: list[tuple[str, str]] = []
+        for iri, pairs in acc.aliases.items():
+            own = {norm for _, norm in acc.labels.get(iri, [])}
+            if not own:
+                continue
+            for lit, norm in pairs:
+                if norm in own:
+                    alias_dups.append((iri, str(lit.value)))
+        for iri, text in sorted(alias_dups):
+            emit(report, "alias-duplicates-label",
+                 f"alias {text!r} of {_ref(iri)} "
+                 f"repeats its preferred label",
+                 _vloc(iri),
+                 hint="drop the redundant alias")
+
+        # near-duplicate-predicate: by normalized label and local name.
+        data_preds = sorted(acc.data_predicates)
+        by_pred_label: dict[str, list[str]] = {}
+        for p in data_preds:
+            for _, norm in acc.labels.get(p, []):
+                by_pred_label.setdefault(norm, []).append(p)
+            key = _local(p).replace("_", "").lower()
+            by_pred_label.setdefault(f"\x00{key}", []).append(p)
+        seen_pairs: set[tuple] = set()
+        for key, preds in sorted(by_pred_label.items()):
+            distinct = sorted(set(preds))
+            if len(distinct) < 2:
+                continue
+            pair = tuple(distinct)
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            names = ", ".join(_ref(p) for p in distinct)
+            how = ("local name" if key.startswith("\x00")
+                   else f"label {key!r}")
+            emit(report, "near-duplicate-predicate",
+                 f"predicates {names} collide on {how}",
+                 _vloc(distinct[0]),
+                 hint="merge them or rename one; near-duplicates split "
+                      "facts across predicates")
+
+        # object-kind consistency per predicate.
+        for p in data_preds:
+            iri_n = len(acc.pred_iri_objects.get(p, ()))
+            kinds = acc.pred_literal_kinds.get(p, set())
+            if iri_n and kinds:
+                emit(report, "mixed-object-kinds",
+                     f"{_ref(p)} links to {iri_n} IRI object(s) "
+                     f"and literal object(s)",
+                     _vloc(p),
+                     hint="split the predicate; joins traverse IRIs, "
+                          "filters compare literals")
+            if len(kinds) > 1:
+                emit(report, "literal-type-inconsistency",
+                     f"{_ref(p)} has literal objects of mixed "
+                     f"kinds: {', '.join(sorted(kinds))}",
+                     _vloc(p),
+                     hint="pick one literal type per predicate so "
+                          "comparisons are well-defined")
+
+        # inferred domain/range violations.
+        for p in data_preds:
+            self._infer_check(
+                acc, report, p, acc.pred_subjects.get(p, set()),
+                "inferred-domain-violation", "subject", "domain",
+            )
+            self._infer_check(
+                acc, report, p, acc.pred_iri_objects.get(p, set()),
+                "inferred-range-violation", "object", "range",
+            )
+
+        # disconnected-islands: one diagnostic for the whole graph.
+        islands = acc.components()
+        if len(islands) > 1:
+            reps = sorted(min(ns) for ns in islands)
+            shown = ", ".join(_ref(r) for r in reps[:5])
+            emit(report, "disconnected-islands",
+                 f"the entity graph has {len(islands)} unconnected "
+                 f"islands (around {shown})",
+                 Location("entity graph"),
+                 hint="expected for merged multi-domain snapshots; "
+                      "within one domain it usually means missing "
+                      "linking facts")
+
+    def _infer_check(
+        self, acc: _Accumulators, report: AnalysisReport, p: str,
+        terms: set[str], rule: str, role: str, schema_word: str,
+    ) -> None:
+        if len(terms) < _INFER_MIN:
+            return
+        types_of = acc.types
+        typed = terms & types_of.keys()
+        if len(typed) < _INFER_MIN:
+            return
+        # Counter over a chained map stays in C for the whole count.
+        freq = Counter(
+            chain.from_iterable(map(types_of.__getitem__, typed))
+        )
+        dominant, count = max(
+            freq.items(), key=lambda kv: (kv[1], kv[0])
+        )
+        if count / len(typed) < _INFER_RATIO:
+            return  # genuinely heterogeneous; nothing to infer
+        violators = [t for t in typed if dominant not in types_of[t]]
+        for t in sorted(violators):
+            got = ", ".join(
+                _ref(c) for c in sorted(acc.types[t])
+            )
+            self.registry.emit(
+                report, rule,
+                f"{role} {_ref(t)} of {_ref(p)} is typed "
+                f"{got}, but the inferred {schema_word} is "
+                f"{_ref(dominant)} ({count}/{len(typed)})",
+                _vloc(t),
+                hint=f"type {_ref(t)} as {_ref(dominant)} "
+                     f"or fix the fact",
+            )

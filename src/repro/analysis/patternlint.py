@@ -37,7 +37,7 @@ __all__ = ["PATTERN_RULES", "PatternLint"]
 _E = Severity.ERROR
 _W = Severity.WARNING
 
-#: Every PatternLint rule, in catalog order (see docs/query-lint.md).
+#: Every PatternLint rule, in catalog order (see docs/static-analysis.md).
 PATTERN_RULES: list[Rule] = [
     Rule("duplicate-pattern-name", "pattern", _E,
          "two patterns share a name; matches become unattributable"),
@@ -69,6 +69,142 @@ PATTERN_RULES: list[Rule] = [
 
 def _pattern_location(pattern: IXPattern) -> Location:
     return Location(f"pattern {pattern.name}")
+
+
+class _PatternFacts:
+    """Pure structural facts about one (immutable) pattern.
+
+    Everything here is a function of the pattern alone — no registry,
+    no vocabulary state — so it is computed once per pattern object and
+    cached: the production bank is loaded once per process, and
+    re-linting it (every ``NL2CM`` construction) should not re-derive
+    shapes, filter walks, or findings that cannot have changed.  The
+    vocabulary rules are the exception (they depend on the registry the
+    linter was built with), so only the vocabulary *references* are
+    cached and the membership checks stay live.
+
+    ``var_findings`` / ``filter_findings`` / ``conn_findings`` are
+    ``(rule, message, hint)`` triples the linter replays through its
+    own registry, preserving per-rule configuration.
+    """
+
+    __slots__ = (
+        "shape_key", "normalized_filter", "vocab_refs", "location",
+        "var_findings", "filter_findings", "conn_findings",
+    )
+
+    def __init__(self, pattern: IXPattern):
+        self.shape_key = _shape_key(pattern)
+        self.normalized_filter = _normalized_filter(pattern)
+        self.location = _pattern_location(pattern)
+        if pattern.filter is not None:
+            self.vocab_refs, pos_values = _filter_refs(pattern.filter)
+            contradictions = tuple(_contradictions(pattern.filter))
+            filter_vars = pattern.filter.variables()
+        else:
+            self.vocab_refs = set()
+            pos_values = []
+            contradictions = ()
+            filter_vars = set()
+        self.var_findings = tuple(
+            _variable_findings(pattern, filter_vars)
+        )
+        self.filter_findings = tuple(
+            _filter_findings(pos_values, contradictions)
+        )
+        self.conn_findings = tuple(_connectivity_findings(pattern))
+
+
+def _variable_findings(pattern: IXPattern, filter_vars: set[str]):
+    """(rule, message, hint) for the variable-dataflow rules."""
+    if not pattern.edges:
+        n_vars = len(pattern.variables())
+        if n_vars != 1:
+            yield ("edge-free-multi-variable",
+                   f"edge-free pattern uses {n_vars} variables",
+                   "an edge-free pattern matches single nodes; "
+                   "use one variable")
+        return
+    edge_vars: dict[str, int] = {}
+    for edge in pattern.edges:
+        edge_vars[edge.head] = edge_vars.get(edge.head, 0) + 1
+        edge_vars[edge.dependent] = edge_vars.get(edge.dependent, 0) + 1
+    for name in sorted(filter_vars - edge_vars.keys()):
+        yield ("filter-undeclared-variable",
+               f"filter references ${name}, but no edge mentions it",
+               f"add an edge constraining ${name} or fix the "
+               f"variable name")
+    for name in sorted(edge_vars):
+        if (
+            edge_vars[name] == 1
+            and name != pattern.anchor
+            and name not in filter_vars
+        ):
+            yield ("unconstrained-variable",
+                   f"${name} appears in one edge and is never "
+                   f"constrained or anchored",
+                   f"constrain ${name} in the filter or drop the "
+                   f"edge")
+
+
+def _filter_findings(pos_values: list[str], contradictions: tuple):
+    """(rule, message, hint) for the pure filter-semantics rules."""
+    classes = achievable_pos_classes()
+    for value in pos_values:
+        if value not in classes:
+            yield ("unreachable-pos-class",
+                   f'POS() can never equal "{value}"',
+                   "achievable classes include: "
+                   + ", ".join(sorted(
+                       c for c in classes if c.isalpha()
+                   )))
+    for fn, var, values in contradictions:
+        rendered = ", ".join(f'"{v}"' for v in values)
+        yield ("contradictory-filter",
+               f"{fn}(${var}) is required to equal {rendered} at once",
+               "use || between alternative values")
+
+
+def _connectivity_findings(pattern: IXPattern):
+    """(rule, message, hint) for the edge-connectivity rule."""
+    if len(pattern.edges) < 2:
+        return
+    groups: list[set[str]] = []
+    for edge in pattern.edges:
+        touching = [
+            g for g in groups
+            if edge.head in g or edge.dependent in g
+        ]
+        merged = {edge.head, edge.dependent}
+        for g in touching:
+            merged |= g
+            groups.remove(g)
+        groups.append(merged)
+    if len(groups) > 1:
+        yield ("disconnected-pattern",
+               f"the edges form {len(groups)} unconnected variable "
+               f"groups",
+               "connect the groups through a shared variable; "
+               "disconnected groups match all combinations")
+
+
+#: id(pattern) -> (pattern, facts).  Keeping the pattern itself in the
+#: value pins the id, so the key can never be silently recycled; the
+#: identity check on lookup makes the cache correct even if it were.
+_FACTS_CACHE: dict[int, tuple[IXPattern, _PatternFacts]] = {}
+_FACTS_MAX = 256
+
+
+def _pattern_facts(pattern: IXPattern) -> _PatternFacts:
+    key = id(pattern)
+    hit = _FACTS_CACHE.get(key)
+    if hit is not None and hit[0] is pattern:
+        return hit[1]
+    facts = _PatternFacts(pattern)
+    if len(_FACTS_CACHE) >= _FACTS_MAX:
+        _FACTS_CACHE.clear()
+    _FACTS_CACHE[key] = (pattern, facts)
+    return facts
 
 
 class PatternLint:
@@ -105,69 +241,29 @@ class PatternLint:
                     Location(f"pattern {name}"),
                     hint="give each pattern a unique name",
                 )
+        emit = self.registry.emit
         for pattern in patterns:
-            self._check_variables(pattern, report)
-            self._check_filter(pattern, report)
-            self._check_connectivity(pattern, report)
+            facts = _pattern_facts(pattern)
+            location = facts.location
+            for rule, message, hint in facts.var_findings:
+                emit(report, rule, message, location, hint=hint)
+            self._check_vocabularies(facts, report)
+            for rule, message, hint in facts.filter_findings:
+                emit(report, rule, message, location, hint=hint)
+            for rule, message, hint in facts.conn_findings:
+                emit(report, rule, message, location, hint=hint)
         self._check_overlaps(patterns, report)
         return report
 
-    # -- per-pattern variable dataflow ---------------------------------------
+    # -- vocabulary reachability (registry-dependent, stays live) ------------
 
-    def _check_variables(self, pattern: IXPattern, report) -> None:
-        edge_vars: Counter[str] = Counter()
-        for edge in pattern.edges:
-            edge_vars[edge.head] += 1
-            edge_vars[edge.dependent] += 1
-        filter_vars = (
-            pattern.filter.variables() if pattern.filter else set()
-        )
-
-        if not pattern.edges:
-            if len(pattern.variables()) != 1:
-                self.registry.emit(
-                    report, "edge-free-multi-variable",
-                    f"edge-free pattern uses "
-                    f"{len(pattern.variables())} variables",
-                    _pattern_location(pattern),
-                    hint="an edge-free pattern matches single nodes; "
-                         "use one variable",
-                )
+    def _check_vocabularies(
+        self, facts: _PatternFacts, report
+    ) -> None:
+        if self.vocabularies is None or not facts.vocab_refs:
             return
-
-        for name in sorted(filter_vars - set(edge_vars)):
-            self.registry.emit(
-                report, "filter-undeclared-variable",
-                f"filter references ${name}, but no edge mentions it",
-                _pattern_location(pattern),
-                hint=f"add an edge constraining ${name} or fix the "
-                     f"variable name",
-            )
-        for name in sorted(edge_vars):
-            if (
-                edge_vars[name] == 1
-                and name != pattern.anchor
-                and name not in filter_vars
-            ):
-                self.registry.emit(
-                    report, "unconstrained-variable",
-                    f"${name} appears in one edge and is never "
-                    f"constrained or anchored",
-                    _pattern_location(pattern),
-                    hint=f"constrain ${name} in the filter or drop the "
-                         f"edge",
-                )
-
-    # -- filter semantics ----------------------------------------------------
-
-    def _check_filter(self, pattern: IXPattern, report) -> None:
-        if pattern.filter is None:
-            return
-        location = _pattern_location(pattern)
-
-        for vocab_name in sorted(_vocabulary_refs(pattern.filter)):
-            if self.vocabularies is None:
-                continue
+        location = facts.location
+        for vocab_name in sorted(facts.vocab_refs):
             if vocab_name not in self.vocabularies:
                 self.registry.emit(
                     report, "unknown-vocabulary",
@@ -186,65 +282,21 @@ class PatternLint:
                     hint=f"populate {vocab_name} or drop the test",
                 )
 
-        classes = achievable_pos_classes()
-        for value in _pos_comparisons(pattern.filter):
-            if value not in classes:
-                self.registry.emit(
-                    report, "unreachable-pos-class",
-                    f'POS() can never equal "{value}"',
-                    location,
-                    hint="achievable classes include: "
-                         + ", ".join(sorted(
-                             c for c in classes if c.isalpha()
-                         )),
-                )
-
-        for fn, var, values in _contradictions(pattern.filter):
-            rendered = ", ".join(f'"{v}"' for v in values)
-            self.registry.emit(
-                report, "contradictory-filter",
-                f"{fn}(${var}) is required to equal {rendered} at once",
-                location,
-                hint="use || between alternative values",
-            )
-
     # -- structure -----------------------------------------------------------
-
-    def _check_connectivity(self, pattern: IXPattern, report) -> None:
-        if len(pattern.edges) < 2:
-            return
-        groups: list[set[str]] = []
-        for edge in pattern.edges:
-            touching = [
-                g for g in groups
-                if edge.head in g or edge.dependent in g
-            ]
-            merged = {edge.head, edge.dependent}
-            for g in touching:
-                merged |= g
-                groups.remove(g)
-            groups.append(merged)
-        if len(groups) > 1:
-            self.registry.emit(
-                report, "disconnected-pattern",
-                f"the edges form {len(groups)} unconnected variable "
-                f"groups",
-                _pattern_location(pattern),
-                hint="connect the groups through a shared variable; "
-                     "disconnected groups match all combinations",
-            )
 
     def _check_overlaps(self, patterns: list[IXPattern], report) -> None:
         by_shape: dict[tuple, list[IXPattern]] = {}
         for pattern in patterns:
-            by_shape.setdefault(_shape_key(pattern), []).append(pattern)
+            by_shape.setdefault(
+                _pattern_facts(pattern).shape_key, []
+            ).append(pattern)
         for group in by_shape.values():
             if len(group) < 2:
                 continue
             first = group[0]
+            first_filter = _pattern_facts(first).normalized_filter
             for other in group[1:]:
-                first_filter = _normalized_filter(first)
-                other_filter = _normalized_filter(other)
+                other_filter = _pattern_facts(other).normalized_filter
                 if first_filter == other_filter:
                     relation = "duplicates"
                 elif first_filter is None or other_filter is None:
@@ -267,33 +319,34 @@ class PatternLint:
 # Filter-tree walks
 # ---------------------------------------------------------------------------
 
-def _walk(filter_expr: PatternFilter):
-    yield filter_expr
-    for arg in filter_expr.args:
-        if isinstance(arg, PatternFilter):
-            yield from _walk(arg)
+def _filter_refs(
+    filter_expr: PatternFilter,
+) -> tuple[set[str], list[str]]:
+    """Vocabulary names and ``POS()``-compared constants, in one walk.
 
-
-def _vocabulary_refs(filter_expr: PatternFilter) -> set[str]:
-    return {
-        node.args[1] for node in _walk(filter_expr) if node.op == "in"
-    }
-
-
-def _pos_comparisons(filter_expr: PatternFilter) -> list[str]:
-    """Constants that ``POS($x)`` is compared to with ``=``/``!=``."""
-    out: list[str] = []
-    for node in _walk(filter_expr):
-        if node.op != "cmp":
-            continue
-        _, left, right = node.args
-        for a, b in ((left, right), (right, left)):
-            if (
-                a.op == "func" and a.args[0] == "POS"
-                and b.op == "const"
-            ):
-                out.append(b.args[0])
-    return out
+    The two collections used to be separate traversals; fusing them
+    halves the tree-walk cost of the hottest per-pattern check.
+    """
+    vocabs: set[str] = set()
+    pos_values: list[str] = []
+    stack = [filter_expr]
+    while stack:
+        node = stack.pop()
+        op = node.op
+        if op == "in":
+            vocabs.add(node.args[1])
+        elif op == "cmp":
+            _, left, right = node.args
+            for a, b in ((left, right), (right, left)):
+                if (
+                    a.op == "func" and a.args[0] == "POS"
+                    and b.op == "const"
+                ):
+                    pos_values.append(b.args[0])
+        for arg in node.args:
+            if isinstance(arg, PatternFilter):
+                stack.append(arg)
+    return vocabs, pos_values
 
 
 def _conjuncts(filter_expr: PatternFilter) -> list[PatternFilter]:

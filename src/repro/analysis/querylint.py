@@ -45,7 +45,7 @@ __all__ = ["QUERY_RULES", "QueryLint", "query_locations"]
 _E = Severity.ERROR
 _W = Severity.WARNING
 
-#: Every QueryLint rule, in catalog order (see docs/query-lint.md).
+#: Every QueryLint rule, in catalog order (see docs/static-analysis.md).
 QUERY_RULES: list[Rule] = [
     Rule("empty-query", "query", _E,
          "the query has neither a WHERE nor a SATISFYING clause"),

@@ -49,6 +49,7 @@ class RuleRegistry:
         self._rules: dict[str, Rule] = {}
         self._disabled: set[str] = set()
         self._severity_overrides: dict[str, Severity] = {}
+        self._config_cache: dict[str | None, tuple] = {}
         for rule in rules:
             self.register(rule)
 
@@ -56,6 +57,7 @@ class RuleRegistry:
         if rule.id in self._rules:
             raise LintConfigError(f"rule {rule.id!r} already registered")
         self._rules[rule.id] = rule
+        self._config_cache.clear()
         return rule
 
     # -- introspection -------------------------------------------------------
@@ -84,22 +86,42 @@ class RuleRegistry:
         rule = self[rule_id]
         return self._severity_overrides.get(rule.id, rule.severity)
 
+    def config_key(self, analyzer: str | None = None) -> tuple:
+        """Hashable fingerprint of the effective configuration.
+
+        Memo keys derived from it stay valid because every mutation
+        (register / disable / enable / override) drops the cache.
+        """
+        cached = self._config_cache.get(analyzer)
+        if cached is None:
+            cached = tuple(
+                (r.id, r.id not in self._disabled,
+                 int(self._severity_overrides.get(r.id, r.severity)))
+                for r in self.rules(analyzer)
+            )
+            self._config_cache[analyzer] = cached
+        return cached
+
     # -- configuration -------------------------------------------------------
 
     def disable(self, rule_id: str) -> None:
         self._disabled.add(self[rule_id].id)
+        self._config_cache.clear()
 
     def enable(self, rule_id: str) -> None:
         self._disabled.discard(self[rule_id].id)
+        self._config_cache.clear()
 
     def override_severity(
         self, rule_id: str, severity: Severity | str
     ) -> None:
         self._severity_overrides[self[rule_id].id] = Severity.parse(severity)
+        self._config_cache.clear()
 
     def reset_overrides(self) -> None:
         self._disabled.clear()
         self._severity_overrides.clear()
+        self._config_cache.clear()
 
     # -- emission ------------------------------------------------------------
 

@@ -1,6 +1,6 @@
 """Batch lint entry points shared by the CLI and the CI corpus job.
 
-Three front doors, all returning :class:`LintOutcome`:
+Six front doors, all returning :class:`LintOutcome`:
 
 * :func:`lint_query_source` — one saved OASSIS-QL query text (parsed
   *without* semantic validation, so lint can report what ``validate()``
@@ -8,11 +8,17 @@ Three front doors, all returning :class:`LintOutcome`:
 * :func:`lint_questions` — translate each NL question through a shared
   :class:`~repro.core.pipeline.NL2CM` and lint the result (reusing the
   pipeline's own lint report when the translator produced one);
-* :func:`lint_pattern_bank` — the IX pattern bank + vocabularies.
+* :func:`lint_pattern_bank` — the IX pattern bank + vocabularies;
+* :func:`lint_ontology` — one ontology snapshot (OntologyLint);
+* :func:`lint_scenario_pack` — a whole scenario pack: its ontology,
+  its pattern bank *and* the cross-artifact seams (ScenarioLint);
+* :func:`lint_knowledge_base` — every embedded snapshot plus the
+  default pack, the ``--lint-kb`` sweep CI runs.
 
 A :class:`LintOutcome` aggregates the per-subject reports, knows the
 process exit code (nonzero iff any ERROR diagnostic) and serializes the
-diagnostic counts for the CI build artifact.
+diagnostic counts for the CI build artifact — overall and keyed by
+analyzer family.
 """
 
 from __future__ import annotations
@@ -20,8 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.diagnostics import AnalysisReport, Location, Severity
-from repro.analysis.patternlint import PatternLint
-from repro.analysis.querylint import QueryLint
+from repro.analysis.kblint import ONTOLOGY_RULES, OntologyLint
+from repro.analysis.patternlint import PATTERN_RULES, PatternLint
+from repro.analysis.querylint import QUERY_RULES, QueryLint
+from repro.analysis.scenariolint import SCENARIO_RULES, ScenarioLint
 from repro.core.ixdetect import load_default_patterns
 from repro.core.ixpatterns import IXPattern
 from repro.data.vocabularies import VocabularyRegistry, load_vocabularies
@@ -30,8 +38,20 @@ from repro.rdf.ontology import Ontology
 
 __all__ = [
     "LintOutcome", "lint_query_source", "lint_questions",
-    "lint_pattern_bank",
+    "lint_pattern_bank", "lint_ontology", "lint_scenario_pack",
+    "lint_knowledge_base",
 ]
+
+#: rule id -> analyzer family, for the per-family counts breakdown.
+#: Synthetic runner-emitted rules count toward the query family.
+_RULE_FAMILY: dict[str, str] = {
+    rule.id: rule.analyzer
+    for rule in (
+        QUERY_RULES + PATTERN_RULES + ONTOLOGY_RULES + SCENARIO_RULES
+    )
+}
+_RULE_FAMILY["syntax-error"] = "query"
+_RULE_FAMILY["translation-failed"] = "query"
 
 
 @dataclass
@@ -61,20 +81,48 @@ class LintOutcome:
         return 1 if self.errors else 0
 
     def counts(self) -> dict:
-        """JSON-ready summary (the CI job's build artifact)."""
+        """JSON-ready summary (the CI job's build artifact).
+
+        Besides the overall totals and per-rule counts, ``families``
+        breaks both down per analyzer family (``query`` / ``pattern``
+        / ``ontology`` / ``scenario``), so one merged artifact can
+        cover every lint surface and still be diffable per analyzer.
+        """
         by_rule: dict[str, int] = {}
+        families: dict[str, dict] = {}
         for report in self.reports:
             for diagnostic in report.diagnostics:
                 by_rule[diagnostic.rule] = (
                     by_rule.get(diagnostic.rule, 0) + 1
                 )
+                family = _RULE_FAMILY.get(diagnostic.rule, "query")
+                bucket = families.setdefault(family, {
+                    "errors": 0, "warnings": 0, "infos": 0, "rules": {},
+                })
+                key = {
+                    Severity.ERROR: "errors",
+                    Severity.WARNING: "warnings",
+                    Severity.INFO: "infos",
+                }[diagnostic.severity]
+                bucket[key] += 1
+                bucket["rules"][diagnostic.rule] = (
+                    bucket["rules"].get(diagnostic.rule, 0) + 1
+                )
+        for bucket in families.values():
+            bucket["rules"] = dict(sorted(bucket["rules"].items()))
         return {
             "subjects": len(self.reports),
             "errors": self.errors,
             "warnings": self.warnings,
             "infos": self.infos,
             "rules": dict(sorted(by_rule.items())),
+            "families": dict(sorted(families.items())),
         }
+
+    def merge(self, other: "LintOutcome") -> "LintOutcome":
+        """Fold another outcome's reports into this one (returns self)."""
+        self.reports.extend(other.reports)
+        return self
 
     def summary(self) -> str:
         return (
@@ -183,3 +231,53 @@ def lint_pattern_bank(
     linter = PatternLint(vocabularies=vocabularies)
     outcome.add(linter.lint(patterns))
     return outcome
+
+
+def lint_ontology(
+    ontology: Ontology, subject: str = "ontology"
+) -> LintOutcome:
+    """Lint one ontology snapshot with OntologyLint."""
+    outcome = LintOutcome()
+    outcome.add(OntologyLint().lint(ontology, subject=subject))
+    return outcome
+
+
+def lint_scenario_pack(pack) -> LintOutcome:
+    """Lint a whole scenario pack: every artifact plus the seams.
+
+    Runs OntologyLint on the pack's ontology, PatternLint on its
+    pattern bank (against its vocabularies) and ScenarioLint on the
+    cross-artifact relationships.
+    """
+    outcome = LintOutcome()
+    outcome.add(OntologyLint().lint(
+        pack.ontology, subject=f"pack {pack.name!r}: ontology"
+    ))
+    outcome.add(PatternLint(vocabularies=pack.vocabularies).lint(
+        pack.patterns, subject=f"pack {pack.name!r}: pattern bank"
+    ))
+    outcome.add(ScenarioLint().lint(pack))
+    return outcome
+
+
+def lint_knowledge_base() -> LintOutcome:
+    """Lint every embedded snapshot plus the default scenario pack.
+
+    The ``--lint-kb`` sweep: each snapshot is linted on its own (a
+    regression in one file should name that file), then the default
+    pack covers the merged ontology and the cross-artifact seams.
+    """
+    from repro.data.ontologies import (
+        load_dbpedia, load_food, load_geo,
+    )
+    from repro.data.scenario import default_pack
+
+    outcome = LintOutcome()
+    linter = OntologyLint()
+    for name, onto in (
+        ("geo.ttl", load_geo()),
+        ("dbpedia.ttl", load_dbpedia()),
+        ("food.ttl", load_food()),
+    ):
+        outcome.add(linter.lint(onto, subject=name))
+    return outcome.merge(lint_scenario_pack(default_pack()))

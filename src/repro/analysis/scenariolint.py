@@ -1,0 +1,214 @@
+"""ScenarioLint: cross-artifact analysis of a scenario pack.
+
+OntologyLint checks the ontology and PatternLint checks the pattern
+bank, each in isolation.  The failures that actually burn a new domain
+live *between* the artifacts: a gold query referencing an entity the
+pack's ontology never defines, a vocabulary lemma no pattern can reach,
+a "supported" corpus question the verifier rejects before parsing.
+ScenarioLint takes the whole :class:`~repro.data.scenario.ScenarioPack`
+and checks those seams.
+
+Reachability model for vocabularies: a lemma is *reachable* when some
+pattern's filter tests membership in a vocabulary containing it.  The
+packaged registry builds ``V_opinion`` as the union of ``V_positive`` /
+``V_negative``, so polarity-half lemmas are reachable through the union
+— but a lemma added to a half **after** the union was built is not,
+which is exactly the vocabulary-drift bug this rule exists to catch.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.diagnostics import AnalysisReport, Location, Severity
+from repro.analysis.patternlint import _filter_refs
+from repro.analysis.querylint import QueryLint
+from repro.analysis.registry import Rule, RuleRegistry
+from repro.core.verification import Verifier
+from repro.data.scenario import ScenarioPack
+from repro.errors import OassisQLSyntaxError
+from repro.rdf.ontology import KB
+
+__all__ = ["SCENARIO_RULES", "ScenarioLint"]
+
+_E = Severity.ERROR
+_W = Severity.WARNING
+_I = Severity.INFO
+
+#: Every ScenarioLint rule, in catalog order (docs/static-analysis.md).
+SCENARIO_RULES: list[Rule] = [
+    Rule("duplicate-question-id", "scenario", _E,
+         "two corpus questions share an id; eval results become "
+         "unattributable"),
+    Rule("question-unverifiable", "scenario", _W,
+         "a question annotated as supported is rejected by the "
+         "verifier"),
+    Rule("gold-query-syntax-error", "scenario", _E,
+         "a gold query does not parse as OASSIS-QL"),
+    Rule("gold-query-lint-error", "scenario", _E,
+         "a gold query fails QueryLint against the pack's ontology"),
+    Rule("gold-entity-unresolved", "scenario", _E,
+         "a gold general entity does not resolve in the pack's "
+         "ontology"),
+    Rule("unreachable-vocabulary-lemmas", "scenario", _W,
+         "lemmas of a vocabulary are outside every pattern-referenced "
+         "vocabulary"),
+    Rule("vocabulary-ontology-overlap", "scenario", _I,
+         "IX vocabulary lemmas double as ontology label tokens "
+         "(detection/grounding ambiguity)"),
+]
+
+
+class ScenarioLint:
+    """Rule-based cross-artifact analyzer for scenario packs.
+
+    Args:
+        registry: a configured :class:`RuleRegistry`; a fresh one with
+            every scenario rule at default severity if omitted.
+    """
+
+    def __init__(self, registry: RuleRegistry | None = None):
+        self.registry = registry or RuleRegistry(SCENARIO_RULES)
+
+    def lint(
+        self, pack: ScenarioPack, subject: str | None = None
+    ) -> AnalysisReport:
+        """Analyze one pack's cross-artifact seams; never raises."""
+        report = AnalysisReport(
+            subject=subject or f"scenario pack {pack.name!r}"
+        )
+        self._check_corpus(pack, report)
+        self._check_gold_queries(pack, report)
+        self._check_vocabulary_reachability(pack, report)
+        self._check_vocabulary_overlap(pack, report)
+        return report
+
+    # -- corpus ---------------------------------------------------------------
+
+    def _check_corpus(self, pack: ScenarioPack, report) -> None:
+        ids = Counter(q.id for q in pack.corpus)
+        for qid, count in sorted(ids.items()):
+            if count > 1:
+                self.registry.emit(
+                    report, "duplicate-question-id",
+                    f"{count} corpus questions are named {qid!r}",
+                    Location(f"question {qid}"),
+                    hint="give each corpus question a unique id",
+                )
+        verifier = Verifier()
+        for q in pack.corpus:
+            if not q.supported:
+                continue
+            result = verifier.verify(q.text)
+            if not result.ok:
+                self.registry.emit(
+                    report, "question-unverifiable",
+                    f"question {q.id} is annotated supported but the "
+                    f"verifier rejects it ({result.reason})",
+                    Location(f"question {q.id}"),
+                    hint="fix the annotation or the verifier rule",
+                )
+
+    # -- gold queries and entities -------------------------------------------
+
+    def _check_gold_queries(self, pack: ScenarioPack, report) -> None:
+        from repro.oassisql.parser import parse_oassisql
+
+        querylint = QueryLint(ontology=pack.ontology)
+        store = pack.ontology.store
+        for q in pack.corpus:
+            location = Location(f"question {q.id}")
+            for name in q.gold_general_entities:
+                iri = KB[name]
+                known = (
+                    iri in pack.ontology.classes
+                    or iri in pack.ontology.properties
+                    or store.count(iri, None, None) > 0
+                    or store.count(None, None, iri) > 0
+                )
+                if not known:
+                    self.registry.emit(
+                        report, "gold-entity-unresolved",
+                        f"gold entity {name!r} of question {q.id} is "
+                        f"not in the pack's ontology",
+                        location,
+                        hint="add the entity to the ontology or fix "
+                             "the annotation",
+                    )
+            if q.gold_query is None:
+                continue
+            try:
+                query = parse_oassisql(q.gold_query, validate=False)
+            except OassisQLSyntaxError as err:
+                self.registry.emit(
+                    report, "gold-query-syntax-error",
+                    f"gold query of question {q.id} does not parse: "
+                    f"{err}",
+                    location,
+                    hint="gold queries must be valid OASSIS-QL",
+                )
+                continue
+            inner = querylint.lint(query, subject=q.id)
+            for diagnostic in inner.errors:
+                self.registry.emit(
+                    report, "gold-query-lint-error",
+                    f"gold query of question {q.id}: "
+                    f"[{diagnostic.rule}] {diagnostic.message}",
+                    location,
+                    hint=diagnostic.hint,
+                )
+
+    # -- vocabularies ---------------------------------------------------------
+
+    def _check_vocabulary_reachability(
+        self, pack: ScenarioPack, report
+    ) -> None:
+        referenced: set[str] = set()
+        for pattern in pack.patterns:
+            if pattern.filter is not None:
+                referenced |= _filter_refs(pattern.filter)[0]
+        reachable: set[str] = set()
+        for name in referenced:
+            if name in pack.vocabularies:
+                reachable |= set(pack.vocabularies[name])
+        for name in pack.vocabularies.names():
+            unreachable = sorted(
+                lemma for lemma in pack.vocabularies[name]
+                if lemma not in reachable
+            )
+            if not unreachable:
+                continue
+            shown = ", ".join(unreachable[:5])
+            if len(unreachable) > 5:
+                shown += ", ..."
+            self.registry.emit(
+                report, "unreachable-vocabulary-lemmas",
+                f"{len(unreachable)} lemma(s) of {name} are outside "
+                f"every pattern-referenced vocabulary ({shown})",
+                Location(f"vocabulary {name}"),
+                hint="reference the vocabulary from a pattern, or "
+                     "rebuild derived unions after editing",
+            )
+
+    def _check_vocabulary_overlap(
+        self, pack: ScenarioPack, report
+    ) -> None:
+        ontology_tokens = pack.ontology.vocabulary_words()
+        for name in pack.vocabularies.names():
+            overlap = sorted(
+                lemma for lemma in pack.vocabularies[name]
+                if lemma in ontology_tokens
+            )
+            if not overlap:
+                continue
+            shown = ", ".join(overlap[:5])
+            if len(overlap) > 5:
+                shown += ", ..."
+            self.registry.emit(
+                report, "vocabulary-ontology-overlap",
+                f"{len(overlap)} lemma(s) of {name} are also ontology "
+                f"label tokens ({shown})",
+                Location(f"vocabulary {name}"),
+                hint="overlapping words are both IX candidates and "
+                     "entity mentions; detection order decides",
+            )

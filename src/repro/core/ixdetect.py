@@ -17,6 +17,7 @@ units ready for Individual Triple Creation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from importlib import resources
 
 from repro.data.vocabularies import VocabularyRegistry, load_vocabularies
@@ -33,14 +34,24 @@ __all__ = ["IX", "IXFinder", "IXCreator", "IXDetector",
            "load_default_patterns"]
 
 
-def load_default_patterns() -> list[IXPattern]:
-    """The default pattern set from ``repro/data/ix_patterns.txt``."""
+@lru_cache(maxsize=1)
+def _default_pattern_bank() -> tuple[IXPattern, ...]:
     text = (
         resources.files("repro.data")
         .joinpath("ix_patterns.txt")
         .read_text("utf-8")
     )
-    return parse_patterns(text)
+    return tuple(parse_patterns(text))
+
+
+def load_default_patterns() -> list[IXPattern]:
+    """The default pattern set from ``repro/data/ix_patterns.txt``.
+
+    The embedded bank is parsed once per process (patterns are
+    immutable, so sharing the objects is safe); each call returns a
+    fresh list, so callers may extend it without affecting others.
+    """
+    return list(_default_pattern_bank())
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ makes for pattern matching over machine learning.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from dataclasses import dataclass, field
 
 from repro.data.vocabularies import VocabularyRegistry
@@ -85,12 +86,15 @@ class PatternFilter:
 
     def variables(self) -> set[str]:
         out: set[str] = set()
-        if self.op == "func":
-            out.add(self.args[1])
-        else:
-            for arg in self.args:
-                if isinstance(arg, PatternFilter):
-                    out |= arg.variables()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.op == "func":
+                out.add(node.args[1])
+            else:
+                for arg in node.args:
+                    if isinstance(arg, PatternFilter):
+                        stack.append(arg)
         return out
 
     def evaluate(
@@ -148,11 +152,13 @@ def pos_class_of_tag(tag: str) -> str:
     return tag.lower()
 
 
+@lru_cache(maxsize=1)
 def achievable_pos_classes() -> frozenset[str]:
     """Every class ``POS($x)`` can evaluate to, given the tagger's tagset.
 
     A filter comparing ``POS($x)`` against anything else can never match
-    — PatternLint's unreachable-pattern check.
+    — PatternLint's unreachable-pattern check.  Pure function of the
+    constant tagset, so it is computed once per process.
     """
     return frozenset(pos_class_of_tag(tag) for tag in TAGSET)
 

@@ -23,9 +23,13 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.kblint import OntologyLint
+from repro.analysis.patternlint import PATTERN_RULES, PatternLint
+from repro.analysis.registry import RuleRegistry
 from repro.analysis.querylint import QueryLint
 from repro.core.compose import ComposedQuery, QueryComposer
 from repro.core.ixdetect import IX, IXCreator, IXFinder
@@ -36,6 +40,7 @@ from repro.data.ontologies import load_merged_ontology
 from repro.data.vocabularies import VocabularyRegistry
 from repro.errors import (
     InteractionProtocolError,
+    KBLintError,
     QueryLintError,
     VerificationError,
 )
@@ -55,6 +60,24 @@ from repro.ui.interaction import (
 )
 
 __all__ = ["NL2CM", "TranslationResult", "TranslationTrace"]
+
+
+@lru_cache(maxsize=1)
+def _default_ontology_lint() -> OntologyLint:
+    """The default-configured OntologyLint every translator shares.
+
+    The pipeline never mutates lint configuration, so one instance (and
+    one rule registry) serves every construction; callers that want
+    custom configuration build their own analyzers.
+    """
+    return OntologyLint()
+
+
+@lru_cache(maxsize=1)
+def _default_pattern_registry() -> RuleRegistry:
+    """Default pattern-rule registry shared by every translator."""
+    return RuleRegistry(PATTERN_RULES)
+
 
 #: Name of the per-request root span that wraps the whole pipeline.
 ROOT_SPAN = "translate"
@@ -172,6 +195,17 @@ class NL2CM:
             composed query has ERROR-level diagnostics, ``"warn"`` keeps
             the report on the result without raising, ``"off"`` skips
             the stage entirely.
+        kb_lint: construction-time validation of the knowledge
+            artifacts this translator will trust — OntologyLint over
+            the ontology plus PatternLint over the pattern bank and
+            vocabularies.  ``"warn"`` (default) keeps the merged report
+            on :attr:`kb_lint_report`; ``"error"`` additionally raises
+            :class:`~repro.errors.KBLintError` when the report has
+            ERROR-level diagnostics (fail-fast, before the first
+            translation can go wrong); ``"off"`` skips the check
+            (``kb_lint_report`` stays ``None``).  Repeated
+            constructions over the same cached ontology reuse the
+            memoized OntologyLint analysis.
         planner: BGP evaluator for ontology queries made on behalf of
             this translator (e.g. the OASSIS engine the demo builds for
             the translated query): ``"cost"`` (default) creates a
@@ -193,6 +227,9 @@ class NL2CM:
     #: Legal values of the ``lint`` constructor argument.
     LINT_MODES = ("error", "warn", "off")
 
+    #: Legal values of the ``kb_lint`` constructor argument.
+    KB_LINT_MODES = ("error", "warn", "off")
+
     #: Legal values of the ``planner`` constructor argument.
     PLANNER_MODES = ("cost", "greedy")
 
@@ -204,12 +241,18 @@ class NL2CM:
         vocabularies: VocabularyRegistry | None = None,
         feedback: FeedbackStore | None = None,
         lint: str = "error",
+        kb_lint: str = "warn",
         planner: str = "cost",
         stage_timeout_ms: float | None = None,
     ):
         if lint not in self.LINT_MODES:
             raise ValueError(
                 f"lint must be one of {self.LINT_MODES}, got {lint!r}"
+            )
+        if kb_lint not in self.KB_LINT_MODES:
+            raise ValueError(
+                f"kb_lint must be one of {self.KB_LINT_MODES}, "
+                f"got {kb_lint!r}"
             )
         if planner not in self.PLANNER_MODES:
             raise ValueError(
@@ -245,6 +288,32 @@ class NL2CM:
         )
         self.composer = QueryComposer()
         self.linter = QueryLint(ontology=self.ontology)
+        self.kb_lint_mode = kb_lint
+        #: Merged ontology + pattern-bank report (None with "off").
+        self.kb_lint_report: AnalysisReport | None = None
+        if kb_lint != "off":
+            self.kb_lint_report = self._lint_knowledge_artifacts()
+            if kb_lint == "error" and self.kb_lint_report.has_errors:
+                raise KBLintError(self.kb_lint_report)
+
+    def _lint_knowledge_artifacts(self) -> AnalysisReport:
+        """OntologyLint + PatternLint over this translator's artifacts.
+
+        One merged report: the ontology diagnostics first (memoized per
+        cached store, so repeated constructions pay once per process),
+        then the pattern bank checked against the finder's resolved
+        vocabulary registry.
+        """
+        report = _default_ontology_lint().lint(
+            self.ontology, subject="knowledge base"
+        )
+        report.extend(
+            PatternLint(
+                vocabularies=self.finder.vocabularies,
+                registry=_default_pattern_registry(),
+            ).lint(self.finder.patterns, subject="knowledge base")
+        )
+        return report
 
     # -- public API ------------------------------------------------------------
 

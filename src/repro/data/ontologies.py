@@ -7,7 +7,11 @@ use the publicly available general data ontologies LinkedGeoData and
 DBpedia", paper Section 4.2).
 
 Results are cached: the snapshots are immutable package data, so one
-parse per process is enough.
+parse per process is enough.  The cached instances are **frozen** —
+mutating a shared cached ontology would silently poison every later
+caller, so ``add``/``remove`` on their stores raise
+:class:`~repro.errors.FrozenStoreError` instead.  Callers that need a
+mutable ontology (e.g. mutation tests) take ``load_geo().copy()``.
 """
 
 from __future__ import annotations
@@ -27,22 +31,22 @@ def _read(filename: str) -> str:
 @lru_cache(maxsize=None)
 def load_geo() -> Ontology:
     """The LinkedGeoData-like snapshot (Buffalo, Las Vegas, Paris)."""
-    return Ontology.from_turtle(_read("geo.ttl"))
+    return Ontology.from_turtle(_read("geo.ttl")).freeze()
 
 
 @lru_cache(maxsize=None)
 def load_dbpedia() -> Ontology:
     """The DBpedia-like snapshot (cameras, beverages, seasons, ...)."""
-    return Ontology.from_turtle(_read("dbpedia.ttl"))
+    return Ontology.from_turtle(_read("dbpedia.ttl")).freeze()
 
 
 @lru_cache(maxsize=None)
 def load_food() -> Ontology:
     """The nutrition snapshot (dishes, nutrients, ingredients)."""
-    return Ontology.from_turtle(_read("food.ttl"))
+    return Ontology.from_turtle(_read("food.ttl")).freeze()
 
 
 @lru_cache(maxsize=None)
 def load_merged_ontology() -> Ontology:
     """All snapshots merged — the demo configuration."""
-    return Ontology.merged(load_geo(), load_dbpedia(), load_food())
+    return Ontology.merged(load_geo(), load_dbpedia(), load_food()).freeze()

@@ -1,0 +1,176 @@
+"""Scenario packs: one bundle of every knowledge artifact a domain needs.
+
+A *scenario pack* is the unit the ROADMAP's scenario-diversity item
+ships: an ontology, the IX vocabularies, the detection pattern bank and
+an annotated question corpus, bundled so they can be validated
+**against each other** (``ScenarioLint``) before the system trusts
+them.  The embedded demo data forms the default pack; new domains are
+directories laid out as::
+
+    mypack/
+        *.ttl                 # ontology snapshots (merged on load)
+        patterns.txt          # IX detection patterns
+        vocabularies/
+            V_opinion.txt     # one word list per vocabulary, by name
+            ...
+        corpus.json           # list of CorpusQuestion-shaped objects
+
+``corpus.json`` entries carry the same fields as
+:class:`~repro.data.corpus.CorpusQuestion`; only ``id``, ``text`` and
+``domain`` are required.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.ixpatterns import IXPattern, parse_patterns
+from repro.data.corpus import CORPUS, CorpusQuestion
+from repro.data.ontologies import load_merged_ontology
+from repro.data.vocabularies import (
+    Vocabulary,
+    VocabularyRegistry,
+    load_vocabularies,
+)
+from repro.errors import ReproError, ScenarioPackError
+from repro.rdf.ontology import Ontology
+
+__all__ = ["ScenarioPack", "default_pack", "load_pack"]
+
+
+@dataclass
+class ScenarioPack:
+    """A named bundle of cross-validatable knowledge artifacts."""
+
+    name: str
+    ontology: Ontology
+    vocabularies: VocabularyRegistry
+    patterns: list[IXPattern]
+    corpus: tuple[CorpusQuestion, ...] = field(default_factory=tuple)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ScenarioPack({self.name!r}, {len(self.ontology)} triples, "
+            f"{len(self.vocabularies.names())} vocabularies, "
+            f"{len(self.patterns)} patterns, "
+            f"{len(self.corpus)} questions)"
+        )
+
+
+def default_pack() -> ScenarioPack:
+    """The embedded demo scenario: merged snapshots + packaged data."""
+    from repro.core.ixdetect import load_default_patterns
+
+    return ScenarioPack(
+        name="default",
+        ontology=load_merged_ontology(),
+        vocabularies=load_vocabularies(),
+        patterns=load_default_patterns(),
+        corpus=CORPUS,
+    )
+
+
+_CORPUS_FIELDS = {
+    "id", "text", "domain", "supported", "reject_reason",
+    "gold_ix_anchors", "gold_general_entities", "gold_query",
+    "from_paper",
+}
+
+
+def _load_corpus(path: Path) -> tuple[CorpusQuestion, ...]:
+    try:
+        entries = json.loads(path.read_text("utf-8"))
+    except (OSError, ValueError) as err:
+        raise ScenarioPackError(f"unreadable corpus {path}: {err}") from err
+    if not isinstance(entries, list):
+        raise ScenarioPackError(
+            f"{path}: expected a JSON list of question objects"
+        )
+    questions = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ScenarioPackError(
+                f"{path}: entry {i} is not an object"
+            )
+        unknown = set(entry) - _CORPUS_FIELDS
+        if unknown:
+            raise ScenarioPackError(
+                f"{path}: entry {i} has unknown fields "
+                f"{sorted(unknown)}"
+            )
+        missing = {"id", "text", "domain"} - set(entry)
+        if missing:
+            raise ScenarioPackError(
+                f"{path}: entry {i} is missing {sorted(missing)}"
+            )
+        for tuple_field in ("gold_ix_anchors", "gold_general_entities"):
+            if tuple_field in entry:
+                entry[tuple_field] = tuple(entry[tuple_field])
+        try:
+            questions.append(CorpusQuestion(**entry))
+        except TypeError as err:
+            raise ScenarioPackError(f"{path}: entry {i}: {err}") from err
+    return tuple(questions)
+
+
+def load_pack(directory: str | Path) -> ScenarioPack:
+    """Load a scenario pack from a directory (layout in module docs).
+
+    Raises:
+        ScenarioPackError: when the directory is missing artifacts or
+            an artifact cannot be parsed.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise ScenarioPackError(f"not a pack directory: {root}")
+
+    ttl_files = sorted(root.glob("*.ttl"))
+    if not ttl_files:
+        raise ScenarioPackError(f"{root}: no *.ttl ontology snapshot")
+    try:
+        ontologies = [
+            Ontology.from_turtle(path.read_text("utf-8"))
+            for path in ttl_files
+        ]
+    except (OSError, ReproError) as err:
+        raise ScenarioPackError(
+            f"{root}: cannot load ontology: {err}"
+        ) from err
+    ontology = (
+        ontologies[0] if len(ontologies) == 1
+        else Ontology.merged(*ontologies)
+    )
+
+    patterns_file = root / "patterns.txt"
+    if not patterns_file.is_file():
+        raise ScenarioPackError(f"{root}: missing patterns.txt")
+    try:
+        patterns = parse_patterns(patterns_file.read_text("utf-8"))
+    except (OSError, ReproError) as err:
+        raise ScenarioPackError(
+            f"{root}: cannot load patterns: {err}"
+        ) from err
+
+    vocabularies = VocabularyRegistry()
+    vocab_dir = root / "vocabularies"
+    if vocab_dir.is_dir():
+        for path in sorted(vocab_dir.glob("*.txt")):
+            words = [
+                line.strip()
+                for line in path.read_text("utf-8").splitlines()
+                if line.strip() and not line.startswith("#")
+            ]
+            vocabularies.register(Vocabulary(path.stem, words))
+
+    corpus_file = root / "corpus.json"
+    corpus = _load_corpus(corpus_file) if corpus_file.is_file() else ()
+
+    return ScenarioPack(
+        name=root.name,
+        ontology=ontology,
+        vocabularies=vocabularies,
+        patterns=patterns,
+        corpus=tuple(corpus),
+    )

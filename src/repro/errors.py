@@ -51,6 +51,17 @@ class TurtleSyntaxError(RDFError):
         super().__init__(message)
 
 
+class FrozenStoreError(RDFError):
+    """A mutation was attempted on a frozen :class:`TripleStore`.
+
+    The embedded ontology snapshots are loaded once per process and
+    shared through an ``lru_cache``; freezing them makes accidental
+    mutation (which would poison every later caller) a loud, typed
+    error instead of silent corruption.  Callers that genuinely need a
+    mutable ontology take a :meth:`~repro.rdf.ontology.Ontology.copy`.
+    """
+
+
 class SPARQLSyntaxError(RDFError):
     """A SPARQL query string could not be parsed."""
 
@@ -168,6 +179,31 @@ class QueryLintError(TranslationError):
             first = errors[0]
             message += f": [{first.rule}] {first.message}"
         super().__init__(message)
+
+
+class KBLintError(TranslationError):
+    """The knowledge artifacts failed the static-analysis gate.
+
+    Raised at :class:`~repro.core.pipeline.NL2CM` construction when the
+    translator was built with ``kb_lint="error"`` and KBLint found
+    ERROR-level diagnostics in the ontology, vocabularies or pattern
+    bank.  Carries the full
+    :class:`~repro.analysis.diagnostics.AnalysisReport`.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        errors = report.errors
+        message = f"knowledge-base lint found {len(errors)} error(s)"
+        if errors:
+            first = errors[0]
+            message += f": [{first.rule}] {first.message}"
+        super().__init__(message)
+
+
+class ScenarioPackError(ReproError):
+    """A scenario-pack directory could not be loaded (missing or
+    malformed ontology, vocabulary, pattern or corpus artifacts)."""
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import IRI, Literal, Namespace, RDFS, Term
@@ -29,12 +30,22 @@ __all__ = ["Ontology", "EntityMatch", "KB"]
 KB = Namespace("http://repro.example/kb/")
 
 
+_NON_WORD = re.compile(r"[^\w\s,]")
+_COMMA_RUN = re.compile(r"\s*,\s*")
+_SPACE_RUN = re.compile(r"\s+")
+
+
+@lru_cache(maxsize=4096)
 def normalize_label(text: str) -> str:
-    """Lower-case, collapse whitespace/underscores, strip punctuation."""
-    text = text.replace("_", " ")
-    text = re.sub(r"[^\w\s,]", "", text.lower())
-    text = re.sub(r"\s*,\s*", ", ", text)
-    return re.sub(r"\s+", " ", text).strip()
+    """Lower-case, collapse whitespace/underscores, strip punctuation.
+
+    Pure string -> string, and the same surface forms recur constantly
+    (index construction, entity lookup, every lint pass), so the cache
+    turns repeat normalization into a dict hit.
+    """
+    text = _NON_WORD.sub("", text.replace("_", " ").lower())
+    text = _COMMA_RUN.sub(", ", text)
+    return _SPACE_RUN.sub(" ", text).strip()
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +99,25 @@ class Ontology:
             store.add_all(onto.store.triples())
             store.prefixes.update(onto.store.prefixes)
         return cls(store)
+
+    def freeze(self) -> "Ontology":
+        """Freeze the backing store (see :meth:`TripleStore.freeze`).
+
+        The lexical/schema indexes are derived from the store at
+        construction; freezing guarantees they can never drift from it.
+        Returns ``self`` for chaining.
+        """
+        self.store.freeze()
+        return self
+
+    def copy(self) -> "Ontology":
+        """A mutable deep copy: fresh store, freshly built indexes.
+
+        This is how callers holding a frozen (cached) ontology obtain
+        one they may mutate — e.g. the seeded mutation tests that delete
+        a triple and re-lint.
+        """
+        return Ontology(self.store.copy())
 
     # -- index construction ------------------------------------------------------
 

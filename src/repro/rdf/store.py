@@ -24,6 +24,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.errors import FrozenStoreError
 from repro.rdf.terms import IRI, Literal, BNode, Term, Triple, Variable
 
 __all__ = ["PredicateStats", "StoreStats", "TripleStore"]
@@ -94,6 +95,7 @@ class TripleStore:
         self._pred_objects: dict[Term, int] = {}
         self._epoch = 0
         self._token = next(_STORE_TOKENS)
+        self._frozen = False
         self.prefixes: dict[str, str] = {}
         for s, p, o in triples:
             self.add(s, p, o)
@@ -108,6 +110,22 @@ class TripleStore:
         """Process-unique store identity (never recycled, unlike id())."""
         return self._token
 
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has been called."""
+        return self._frozen
+
+    def freeze(self) -> "TripleStore":
+        """Make the store immutable: ``add``/``remove`` raise afterwards.
+
+        Used by the ``lru_cache``'d ontology loaders so a shared cached
+        snapshot cannot be mutated in place (which would silently poison
+        every later caller).  Freezing is one-way; take a :meth:`copy`
+        for a mutable clone.  Returns ``self`` for chaining.
+        """
+        self._frozen = True
+        return self
+
     # -- mutation ---------------------------------------------------------------
 
     def add(self, s: Term, p: Term, o: Term) -> bool:
@@ -115,7 +133,13 @@ class TripleStore:
 
         Raises:
             TypeError: if any position is a variable or a non-RDF value.
+            FrozenStoreError: if the store has been frozen.
         """
+        if self._frozen:
+            raise FrozenStoreError(
+                "cannot add to a frozen store; use copy() for a "
+                "mutable clone"
+            )
         for pos_name, term in (("subject", s), ("predicate", p),
                                ("object", o)):
             if not isinstance(term, _CONCRETE):
@@ -155,7 +179,15 @@ class TripleStore:
         Emptied nested dicts/sets are pruned from all three indexes, so
         wildcard scans and :meth:`count` stay proportional to the live
         triples after heavy add/remove churn.
+
+        Raises:
+            FrozenStoreError: if the store has been frozen.
         """
+        if self._frozen:
+            raise FrozenStoreError(
+                "cannot remove from a frozen store; use copy() for a "
+                "mutable clone"
+            )
         row = self._spo.get(s)
         objs = row.get(p) if row is not None else None
         if objs is None or o not in objs:
@@ -247,6 +279,24 @@ class TripleStore:
     def contains(self, s: Term, p: Term, o: Term) -> bool:
         """True if the concrete triple is in the store."""
         return o in self._spo.get(s, {}).get(p, set())
+
+    def predicate_index(self):
+        """Live predicate-major view: ``(p, {o: {s, ...}})`` pairs.
+
+        Bulk access for single-pass analyzers (OntologyLint streams
+        the whole store once and per-triple generator dispatch is the
+        dominant cost at that size).  The nested containers are the
+        store's own indexes: callers must treat them as read-only.
+        """
+        return self._pos.items()
+
+    def subject_keys(self):
+        """Live read-only view of every subject with outgoing triples.
+
+        Companion to :meth:`predicate_index`: analyzers get the
+        distinct-subject set without re-deriving it triple by triple.
+        """
+        return self._spo.keys()
 
     def count(
         self,
@@ -389,7 +439,10 @@ class TripleStore:
         return self.contains(s, p, o)
 
     def copy(self) -> "TripleStore":
-        """A shallow copy (terms are immutable, so this is a full copy)."""
+        """A shallow copy (terms are immutable, so this is a full copy).
+
+        The clone is always mutable, even when the source is frozen.
+        """
         clone = TripleStore(self.triples())
         clone.prefixes = dict(self.prefixes)
         return clone

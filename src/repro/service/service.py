@@ -125,6 +125,11 @@ class ServiceStats:
             translations (including ones that raised ``QueryLintError``).
         lint_warnings: WARNING-level lint diagnostics, same scope.
         lint_infos: INFO-level lint diagnostics, same scope.
+        kb_lint_errors: ERROR-level diagnostics of the translator's
+            construction-time knowledge-base lint (0 when the
+            translator was built with ``kb_lint="off"``).
+        kb_lint_warnings: WARNING-level KB lint diagnostics, same scope.
+        kb_lint_infos: INFO-level KB lint diagnostics, same scope.
         slow_queries: translations retained by the slow-query log.
         degraded: fresh translations that served at least one
             interaction from the resilience fallback (a subset of
@@ -157,6 +162,9 @@ class ServiceStats:
     lint_errors: int = 0
     lint_warnings: int = 0
     lint_infos: int = 0
+    kb_lint_errors: int = 0
+    kb_lint_warnings: int = 0
+    kb_lint_infos: int = 0
     slow_queries: int = 0
     degraded: int = 0
     retries: int = 0
@@ -336,6 +344,16 @@ class TranslationService:
             "QueryLint diagnostics across fresh translations.",
             labelnames=("severity",),
         )
+        self._m_kb_lint = r.gauge(
+            "nl2cm_kb_lint_diagnostics",
+            "Construction-time knowledge-base lint diagnostics of the "
+            "shared translator (ontology + pattern bank), by severity. "
+            "A gauge, not a counter: the KB is linted once per "
+            "translator, so this mirrors that report, it does not "
+            "accumulate.",
+            labelnames=("severity",),
+        )
+        self._apply_kb_lint_gauges()
         self._m_slow = r.counter(
             "nl2cm_slow_queries_total",
             "Translations retained by the slow-query log.",
@@ -527,6 +545,20 @@ class TranslationService:
                 self._stage_children[(stage, kind)] = child
             child.observe(self_time)
 
+    def _apply_kb_lint_gauges(self) -> None:
+        """Mirror the translator's KB lint report into the registry.
+
+        Re-applied after :meth:`reset_stats` (a registry reset zeroes
+        gauges, but the construction-time report still stands).
+        """
+        report = getattr(self.nl2cm, "kb_lint_report", None)
+        for severity, count in (
+            ("error", len(report.errors) if report else 0),
+            ("warning", len(report.warnings) if report else 0),
+            ("info", len(report.infos) if report else 0),
+        ):
+            self._m_kb_lint.labels(severity=severity).set(count)
+
     def _count_lint(self, report) -> None:
         for severity, diagnostics in (
             ("error", report.errors),
@@ -695,6 +727,15 @@ class TranslationService:
                     self._m_lint.value(severity="warning")
                 ),
                 lint_infos=int(self._m_lint.value(severity="info")),
+                kb_lint_errors=int(
+                    self._m_kb_lint.value(severity="error")
+                ),
+                kb_lint_warnings=int(
+                    self._m_kb_lint.value(severity="warning")
+                ),
+                kb_lint_infos=int(
+                    self._m_kb_lint.value(severity="info")
+                ),
                 slow_queries=int(self._m_slow.value()),
                 degraded=int(self._m_degraded.value()),
                 retries=int(self._m_retries.value()),
@@ -726,6 +767,7 @@ class TranslationService:
         """
         with self._lock:
             self.registry.reset()
+            self._apply_kb_lint_gauges()
         if self.cache is not None:
             self.cache.reset_counters()
         if self.slow_log is not None:

@@ -79,6 +79,12 @@ def render_service_stats(stats: "ServiceStats") -> str:
         f"{stats.lint_warnings} warning(s)  "
         f"{stats.lint_infos} info(s)"
     )
+    if stats.kb_lint_errors or stats.kb_lint_warnings or stats.kb_lint_infos:
+        lines.append(
+            f"kb lint: {stats.kb_lint_errors} error(s)  "
+            f"{stats.kb_lint_warnings} warning(s)  "
+            f"{stats.kb_lint_infos} info(s)"
+        )
     if stats.slow_queries:
         lines.append(f"slow queries: {stats.slow_queries}")
     if stats.degraded or stats.retries or stats.breaker_rejections:

@@ -1,0 +1,182 @@
+"""KB lint wiring: pipeline gate, service counters, admin panel, CLI.
+
+The analyzer itself is covered in test_kblint/test_scenariolint; this
+file pins every layer the ``kb_lint`` mode threads through, mirroring
+what test_integration does for query lint.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.pipeline import NL2CM
+from repro.errors import KBLintError
+from repro.rdf.ontology import Ontology
+from repro.service import TranslationService
+from repro.ui.admin import render_service_stats
+
+BROKEN_TTL = """\
+@prefix kb: <http://repro.example/kb/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+kb:Place rdfs:label kb:Oops .
+kb:Buffalo kb:instanceOf kb:Place ;
+    rdfs:label "buffalo" .
+"""
+
+ONTOLOGY_TTL = """\
+@prefix kb: <http://repro.example/kb/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+kb:Place rdfs:label "place" .
+kb:Buffalo kb:instanceOf kb:Place ;
+    rdfs:label "buffalo" .
+"""
+
+PATTERNS = """\
+PATTERN opinion TYPE lexical ANCHOR $x
+filter(LEMMA($x) in V_opinion)
+"""
+
+
+class TestPipelineGate:
+    def test_default_warn_mode_keeps_the_report(self):
+        nl2cm = NL2CM()
+        assert nl2cm.kb_lint_mode == "warn"
+        report = nl2cm.kb_lint_report
+        assert report is not None
+        assert not report.has_errors  # embedded KB is ERROR-free
+        assert report.subject == "knowledge base"
+
+    def test_off_mode_skips_the_analysis(self):
+        nl2cm = NL2CM(kb_lint="off")
+        assert nl2cm.kb_lint_report is None
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="kb_lint"):
+            NL2CM(kb_lint="loud")
+
+    def test_error_mode_fails_fast_on_broken_kb(self):
+        with pytest.raises(KBLintError) as exc:
+            NL2CM(
+                ontology=Ontology.from_turtle(BROKEN_TTL),
+                kb_lint="error",
+            )
+        report = exc.value.report
+        assert report.has_errors
+        assert "label-not-literal" in report.rules_fired()
+        assert "label-not-literal" in str(exc.value)
+
+    def test_warn_mode_tolerates_broken_kb(self):
+        nl2cm = NL2CM(
+            ontology=Ontology.from_turtle(BROKEN_TTL), kb_lint="warn"
+        )
+        assert nl2cm.kb_lint_report.has_errors
+
+    def test_error_mode_passes_on_clean_kb(self):
+        nl2cm = NL2CM(kb_lint="error")
+        assert not nl2cm.kb_lint_report.has_errors
+
+    def test_report_covers_patterns_too(self):
+        # The construction-time gate lints the ontology AND the
+        # pattern bank; pattern diagnostics land in the same report.
+        nl2cm = NL2CM()
+        families = {
+            d.rule for d in nl2cm.kb_lint_report.diagnostics
+        }
+        assert families  # embedded KB has known warnings/infos
+
+
+class TestServiceCounters:
+    @pytest.fixture(scope="class")
+    def service(self):
+        return TranslationService(NL2CM())
+
+    def test_stats_mirror_the_construction_report(self, service):
+        stats = service.stats()
+        report = service.nl2cm.kb_lint_report
+        assert stats.kb_lint_errors == len(report.errors)
+        assert stats.kb_lint_warnings == len(report.warnings)
+        assert stats.kb_lint_infos == len(report.infos)
+        assert stats.kb_lint_warnings > 0
+
+    def test_reset_stats_preserves_kb_gauges(self, service):
+        before = service.stats()
+        service.reset_stats()
+        after = service.stats()
+        assert after.kb_lint_warnings == before.kb_lint_warnings
+        assert after.kb_lint_infos == before.kb_lint_infos
+
+    def test_metrics_exposition_carries_the_gauge(self, service):
+        text = service.registry.expose()
+        assert "nl2cm_kb_lint_diagnostics" in text
+
+    def test_admin_panel_shows_kb_lint_line(self, service):
+        panel = render_service_stats(service.stats())
+        assert "kb lint:" in panel
+
+    def test_admin_panel_hides_zero_kb_lint(self):
+        service = TranslationService(NL2CM(kb_lint="off"))
+        panel = render_service_stats(service.stats())
+        assert "kb lint:" not in panel
+
+
+@pytest.fixture
+def pack_dir(tmp_path):
+    root = tmp_path / "demo"
+    root.mkdir()
+    (root / "base.ttl").write_text(ONTOLOGY_TTL)
+    (root / "patterns.txt").write_text(PATTERNS)
+    vocab = root / "vocabularies"
+    vocab.mkdir()
+    (vocab / "V_opinion.txt").write_text("like\nlove\n")
+    return root
+
+
+class TestCLI:
+    def test_lint_kb_exits_zero(self, capsys):
+        assert main(["--lint-kb"]) == 0
+        out = capsys.readouterr().out
+        assert "geo.ttl" in out
+        assert "scenario pack 'default'" in out
+
+    def test_lint_kb_report_has_family_breakdown(self, tmp_path,
+                                                 capsys):
+        report_path = tmp_path / "counts.json"
+        assert main(
+            ["--lint-kb", "--lint-report", str(report_path)]
+        ) == 0
+        counts = json.loads(report_path.read_text())
+        assert counts["errors"] == 0
+        assert "ontology" in counts["families"]
+        assert "scenario" in counts["families"]
+        assert counts["families"]["ontology"]["rules"]
+
+    def test_lint_pack_directory(self, pack_dir, capsys):
+        assert main(["--lint-pack", str(pack_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pack 'demo'" in out
+
+    def test_lint_pack_missing_directory_exits_two(self, tmp_path,
+                                                   capsys):
+        status = main(["--lint-pack", str(tmp_path / "nope")])
+        assert status == 2
+        assert "cannot load scenario pack" in capsys.readouterr().err
+
+    def test_lint_pack_with_errors_exits_one(self, pack_dir, capsys):
+        (pack_dir / "base.ttl").write_text(BROKEN_TTL)
+        assert main(["--lint-pack", str(pack_dir)]) == 1
+        assert "label-not-literal" in capsys.readouterr().out
+
+    def test_lint_flags_compose_into_one_run(self, pack_dir, tmp_path,
+                                             capsys):
+        report_path = tmp_path / "counts.json"
+        status = main([
+            "--lint-patterns", "--lint-kb",
+            "--lint-pack", str(pack_dir),
+            "--lint-report", str(report_path),
+        ])
+        assert status == 0
+        counts = json.loads(report_path.read_text())
+        out = capsys.readouterr().out
+        assert f"{counts['subjects']} subject(s)" in out
+        assert counts["subjects"] >= 9  # bank + 6 KB + 3 pack subjects

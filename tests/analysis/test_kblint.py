@@ -1,0 +1,325 @@
+"""OntologyLint: one dedicated firing test per rule, plus KB health.
+
+The firing tests build minimal Turtle snapshots that trigger exactly
+the targeted smell; the health tests pin the acceptance criterion that
+every embedded snapshot (and the merged ontology) is ERROR-free.
+"""
+
+import pytest
+
+from repro.analysis import OntologyLint
+from repro.analysis.kblint import ONTOLOGY_RULES, _MEMO
+from repro.analysis.registry import RuleRegistry
+from repro.analysis.diagnostics import Severity
+from repro.data.ontologies import (
+    load_dbpedia,
+    load_food,
+    load_geo,
+    load_merged_ontology,
+)
+from repro.rdf.ontology import KB, Ontology
+
+PREFIX = (
+    "@prefix kb: <http://repro.example/kb/> .\n"
+    "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+)
+
+
+def lint_turtle(text, registry=None):
+    linter = OntologyLint(registry=registry)
+    return linter.lint(Ontology.from_turtle(PREFIX + text))
+
+
+class TestLexicalRules:
+    def test_label_not_literal(self):
+        report = lint_turtle("kb:A rdfs:label kb:B .\n")
+        assert "label-not-literal" in report.rules_fired()
+        assert report.has_errors
+
+    def test_empty_label(self):
+        report = lint_turtle('kb:A rdfs:label "!!!" .\n')
+        assert "empty-label" in report.rules_fired()
+        assert report.has_errors
+
+    def test_missing_label(self):
+        report = lint_turtle("kb:A kb:instanceOf kb:City .\n")
+        assert "missing-label" in report.rules_fired()
+
+    def test_duplicate_label(self):
+        report = lint_turtle(
+            'kb:A rdfs:label "spring" .\n'
+            'kb:B rdfs:label "Spring" .\n'
+        )
+        assert "duplicate-label" in report.rules_fired()
+
+    def test_alias_duplicates_label(self):
+        report = lint_turtle(
+            'kb:A rdfs:label "park" ;\n'
+            '    kb:alias "park" .\n'
+        )
+        assert "alias-duplicates-label" in report.rules_fired()
+
+    def test_distinct_alias_is_clean(self):
+        report = lint_turtle(
+            'kb:A rdfs:label "park" ;\n'
+            '    kb:alias "green space" .\n'
+        )
+        assert "alias-duplicates-label" not in report.rules_fired()
+
+
+class TestReferenceRules:
+    def test_class_as_literal(self):
+        report = lint_turtle('kb:A kb:instanceOf "place" .\n')
+        assert "class-as-literal" in report.rules_fired()
+        assert report.has_errors
+
+    def test_dangling_object(self):
+        report = lint_turtle(
+            "kb:A kb:instanceOf kb:City .\n"
+            "kb:A kb:near kb:Ghost .\n"
+        )
+        assert "dangling-object" in report.rules_fired()
+        assert report.has_errors
+
+    def test_described_object_is_not_dangling(self):
+        report = lint_turtle(
+            "kb:A kb:instanceOf kb:City .\n"
+            "kb:B kb:instanceOf kb:City .\n"
+            "kb:A kb:near kb:B .\n"
+        )
+        assert "dangling-object" not in report.rules_fired()
+
+    def test_orphan_entity(self):
+        report = lint_turtle('kb:A rdfs:label "lonely" .\n')
+        assert "orphan-entity" in report.rules_fired()
+
+    def test_untyped_entity(self):
+        report = lint_turtle(
+            "kb:A kb:near kb:B .\n"
+            "kb:B kb:instanceOf kb:City .\n"
+        )
+        assert "untyped-entity" in report.rules_fired()
+
+    def test_self_reference(self):
+        report = lint_turtle(
+            "kb:A kb:instanceOf kb:City .\n"
+            "kb:A kb:near kb:A .\n"
+        )
+        assert "self-reference" in report.rules_fired()
+
+
+class TestPredicateRules:
+    def test_near_duplicate_predicate_by_local_name(self):
+        report = lint_turtle(
+            "kb:A kb:locatedIn kb:C .\n"
+            "kb:B kb:located_in kb:C .\n"
+            "kb:C kb:instanceOf kb:City .\n"
+        )
+        assert "near-duplicate-predicate" in report.rules_fired()
+
+    def test_near_duplicate_predicate_by_label(self):
+        report = lint_turtle(
+            'kb:sits rdfs:label "located" .\n'
+            'kb:rests rdfs:label "located" .\n'
+            "kb:A kb:sits kb:C .\n"
+            "kb:B kb:rests kb:C .\n"
+            "kb:C kb:instanceOf kb:City .\n"
+        )
+        assert "near-duplicate-predicate" in report.rules_fired()
+
+    def test_mixed_object_kinds(self):
+        report = lint_turtle(
+            "kb:A kb:near kb:B .\n"
+            "kb:B kb:instanceOf kb:City .\n"
+            'kb:C kb:near "downtown" .\n'
+        )
+        assert "mixed-object-kinds" in report.rules_fired()
+
+    def test_literal_type_inconsistency(self):
+        report = lint_turtle(
+            'kb:A kb:population "many" .\n'
+            "kb:B kb:population 50 .\n"
+        )
+        assert "literal-type-inconsistency" in report.rules_fired()
+
+    def test_uniform_literals_are_clean(self):
+        report = lint_turtle(
+            "kb:A kb:population 10 .\n"
+            "kb:B kb:population 50 .\n"
+        )
+        assert "literal-type-inconsistency" not in report.rules_fired()
+
+
+# 4 conforming subjects + 1 outlier: enough for inference (min 4
+# typed, dominant class at exactly the 0.8 ratio floor).
+_DOMAIN_SKEW = (
+    "kb:a kb:instanceOf kb:City .\n"
+    "kb:b kb:instanceOf kb:City .\n"
+    "kb:c kb:instanceOf kb:City .\n"
+    "kb:d kb:instanceOf kb:City .\n"
+    "kb:e kb:instanceOf kb:Park .\n"
+)
+
+
+class TestInferenceRules:
+    def test_inferred_domain_violation(self):
+        report = lint_turtle(
+            _DOMAIN_SKEW
+            + "".join(
+                f"kb:{s} kb:population {i} .\n"
+                for i, s in enumerate("abcde")
+            )
+        )
+        fired = report.rules_fired()
+        assert "inferred-domain-violation" in fired
+        [diag] = [
+            d for d in report.diagnostics
+            if d.rule == "inferred-domain-violation"
+        ]
+        assert "kb:e" in diag.message
+
+    def test_inferred_range_violation(self):
+        report = lint_turtle(
+            _DOMAIN_SKEW
+            + "".join(f"kb:x kb:near kb:{o} .\n" for o in "abcde")
+        )
+        assert "inferred-range-violation" in report.rules_fired()
+
+    def test_too_few_samples_do_not_infer(self):
+        report = lint_turtle(
+            "kb:a kb:instanceOf kb:City .\n"
+            "kb:b kb:instanceOf kb:City .\n"
+            "kb:c kb:instanceOf kb:Park .\n"
+            + "".join(
+                f"kb:{s} kb:population {i} .\n"
+                for i, s in enumerate("abc")
+            )
+        )
+        assert "inferred-domain-violation" not in report.rules_fired()
+
+    def test_heterogeneous_column_does_not_infer(self):
+        report = lint_turtle(
+            "kb:a kb:instanceOf kb:City .\n"
+            "kb:b kb:instanceOf kb:City .\n"
+            "kb:c kb:instanceOf kb:Park .\n"
+            "kb:d kb:instanceOf kb:Park .\n"
+            + "".join(
+                f"kb:{s} kb:population {i} .\n"
+                for i, s in enumerate("abcd")
+            )
+        )
+        assert "inferred-domain-violation" not in report.rules_fired()
+
+
+class TestGraphRules:
+    def test_disconnected_islands(self):
+        report = lint_turtle(
+            "kb:a kb:near kb:b .\n"
+            "kb:c kb:touches kb:d .\n"
+        )
+        fired = report.rules_fired()
+        assert "disconnected-islands" in fired
+        [diag] = [
+            d for d in report.diagnostics
+            if d.rule == "disconnected-islands"
+        ]
+        assert "2 unconnected islands" in diag.message
+
+    def test_connected_graph_is_clean(self):
+        report = lint_turtle(
+            "kb:a kb:near kb:b .\n"
+            "kb:b kb:near kb:c .\n"
+        )
+        assert "disconnected-islands" not in report.rules_fired()
+
+
+class TestRegistryConfiguration:
+    def test_disable_rule(self):
+        registry = RuleRegistry(ONTOLOGY_RULES)
+        registry.disable("missing-label")
+        report = lint_turtle(
+            "kb:A kb:instanceOf kb:City .\n", registry=registry
+        )
+        assert "missing-label" not in report.rules_fired()
+
+    def test_override_severity(self):
+        registry = RuleRegistry(ONTOLOGY_RULES)
+        registry.override_severity("missing-label", Severity.ERROR)
+        report = lint_turtle(
+            "kb:A kb:instanceOf kb:City .\n", registry=registry
+        )
+        assert report.has_errors
+        assert all(
+            d.severity == Severity.ERROR
+            for d in report.diagnostics if d.rule == "missing-label"
+        )
+
+    def test_rule_ids_are_unique(self):
+        ids = [r.id for r in ONTOLOGY_RULES]
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 12
+
+    def test_all_rules_are_ontology_family(self):
+        assert all(r.analyzer == "ontology" for r in ONTOLOGY_RULES)
+
+
+class TestMemoization:
+    def test_frozen_snapshot_report_is_memoized(self):
+        _MEMO.clear()
+        ontology = load_geo()  # cached loader result, frozen
+        linter = OntologyLint()
+        first = linter.lint(ontology, subject="geo")
+        assert len(_MEMO) == 1
+        second = linter.lint(ontology, subject="geo")
+        assert [d.rule for d in first.diagnostics] == [
+            d.rule for d in second.diagnostics
+        ]
+        assert len(_MEMO) == 1
+
+    def test_mutation_invalidates_memo(self):
+        _MEMO.clear()
+        ontology = load_geo().copy()
+        linter = OntologyLint()
+        linter.lint(ontology, subject="copy")
+        store = ontology.store
+        triple = next(iter(store.triples()))
+        store.remove(*triple)
+        linter.lint(Ontology(store), subject="copy")
+        assert len(_MEMO) == 2  # epoch changed -> distinct key
+
+    def test_registry_config_changes_memo_key(self):
+        _MEMO.clear()
+        ontology = load_geo()
+        OntologyLint().lint(ontology, subject="geo")
+        registry = RuleRegistry(ONTOLOGY_RULES)
+        registry.disable("missing-label")
+        OntologyLint(registry=registry).lint(ontology, subject="geo")
+        assert len(_MEMO) == 2
+
+
+class TestSnapshotHealth:
+    """The acceptance gate: every embedded snapshot is ERROR-free."""
+
+    @pytest.mark.parametrize("loader", [
+        load_geo, load_dbpedia, load_food, load_merged_ontology,
+    ])
+    def test_snapshot_has_zero_errors(self, loader):
+        report = OntologyLint().lint(loader())
+        assert not report.has_errors, report.render()
+
+    def test_seeded_deletion_fires_dangling_object(self):
+        # Remove every description of an entity other facts point at:
+        # the linter must notice the now-dangling reference.
+        ontology = load_geo().copy()
+        store = ontology.store
+        victim = KB["Buffalo,_NY"]
+        assert store.count(None, None, victim) > 0
+        for triple in list(store.triples(victim, None, None)):
+            store.remove(*triple)
+        report = OntologyLint().lint(Ontology(store))
+        fired = report.rules_fired()
+        assert "dangling-object" in fired
+        assert any(
+            "Buffalo,_NY" in d.message
+            for d in report.diagnostics if d.rule == "dangling-object"
+        )

@@ -1,0 +1,187 @@
+"""ScenarioLint: one firing test per cross-artifact rule.
+
+Each test assembles a minimal in-memory :class:`ScenarioPack` seeded
+with exactly one cross-artifact inconsistency; the health tests pin
+that the embedded default pack carries zero ERROR diagnostics.
+"""
+
+from repro.analysis import ScenarioLint
+from repro.analysis.scenariolint import SCENARIO_RULES
+from repro.core.ixpatterns import parse_patterns
+from repro.data.corpus import CorpusQuestion
+from repro.data.scenario import ScenarioPack, default_pack
+from repro.data.vocabularies import (
+    Vocabulary,
+    VocabularyRegistry,
+    load_vocabularies,
+)
+from repro.rdf.ontology import Ontology
+
+ONTOLOGY_TTL = """\
+@prefix kb: <http://repro.example/kb/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+kb:Place rdfs:label "place" .
+kb:Buffalo kb:instanceOf kb:Place ;
+    rdfs:label "buffalo" .
+kb:visit rdfs:label "visit" .
+kb:Buffalo kb:visit kb:Buffalo .
+"""
+
+PATTERNS = """\
+PATTERN opinion TYPE lexical ANCHOR $x
+filter(LEMMA($x) in V_opinion)
+"""
+
+
+def make_pack(corpus=(), vocabularies=None, patterns=PATTERNS):
+    if vocabularies is None:
+        vocabularies = VocabularyRegistry([
+            Vocabulary("V_opinion", ["like", "love"]),
+        ])
+    return ScenarioPack(
+        name="test",
+        ontology=Ontology.from_turtle(ONTOLOGY_TTL),
+        vocabularies=vocabularies,
+        patterns=parse_patterns(patterns),
+        corpus=tuple(corpus),
+    )
+
+
+def question(qid="q1", text="Where do you visit in Buffalo?", **kw):
+    return CorpusQuestion(id=qid, text=text, domain="travel", **kw)
+
+
+class TestCorpusRules:
+    def test_duplicate_question_id(self):
+        pack = make_pack([question("q1"), question("q1")])
+        report = ScenarioLint().lint(pack)
+        assert "duplicate-question-id" in report.rules_fired()
+        assert report.has_errors
+
+    def test_question_unverifiable(self):
+        pack = make_pack([
+            question(text="How should I store coffee?", supported=True),
+        ])
+        report = ScenarioLint().lint(pack)
+        assert "question-unverifiable" in report.rules_fired()
+
+    def test_unsupported_question_is_exempt(self):
+        pack = make_pack([
+            question(text="How should I store coffee?", supported=False,
+                     reject_reason="non-crowd"),
+        ])
+        report = ScenarioLint().lint(pack)
+        assert "question-unverifiable" not in report.rules_fired()
+
+
+class TestGoldRules:
+    def test_gold_query_syntax_error(self):
+        pack = make_pack([
+            question(gold_query="SELECT VARIABLES\nWHERE {$x"),
+        ])
+        report = ScenarioLint().lint(pack)
+        assert "gold-query-syntax-error" in report.rules_fired()
+        assert report.has_errors
+
+    def test_gold_query_lint_error(self):
+        pack = make_pack([
+            question(gold_query=(
+                "SELECT VARIABLES\nWHERE\n{[] instanceOf Place}"
+            )),
+        ])
+        report = ScenarioLint().lint(pack)
+        assert "gold-query-lint-error" in report.rules_fired()
+
+    def test_clean_gold_query(self):
+        pack = make_pack([
+            question(gold_query=(
+                "SELECT VARIABLES\nWHERE\n{$x instanceOf Place}\n"
+                "SATISFYING\n{[] visit $x}\n"
+                "WITH SUPPORT THRESHOLD = 0.1"
+            )),
+        ])
+        report = ScenarioLint().lint(pack)
+        fired = report.rules_fired()
+        assert "gold-query-syntax-error" not in fired
+        assert "gold-query-lint-error" not in fired
+
+    def test_gold_entity_unresolved(self):
+        pack = make_pack([
+            question(gold_general_entities=("Atlantis",)),
+        ])
+        report = ScenarioLint().lint(pack)
+        assert "gold-entity-unresolved" in report.rules_fired()
+        assert report.has_errors
+
+    def test_gold_entity_resolves_by_fact_participation(self):
+        pack = make_pack([
+            question(gold_general_entities=("Buffalo", "Place")),
+        ])
+        report = ScenarioLint().lint(pack)
+        assert "gold-entity-unresolved" not in report.rules_fired()
+
+
+class TestVocabularyRules:
+    def test_unreachable_vocabulary_lemmas(self):
+        vocabularies = VocabularyRegistry([
+            Vocabulary("V_opinion", ["like", "love"]),
+            Vocabulary("V_stray", ["meander"]),
+        ])
+        pack = make_pack(vocabularies=vocabularies)
+        report = ScenarioLint().lint(pack)
+        [diag] = [
+            d for d in report.diagnostics
+            if d.rule == "unreachable-vocabulary-lemmas"
+        ]
+        assert "V_stray" in diag.message
+        assert "meander" in diag.message
+
+    def test_vocabulary_drift_after_union_is_caught(self):
+        # The packaged V_opinion is the union of V_positive/V_negative
+        # built at load time; a lemma added to a half afterwards never
+        # reaches a pattern.  That drift is this rule's reason to exist.
+        vocabularies = load_vocabularies()
+        positive = vocabularies["V_positive"]
+        vocabularies.register(
+            Vocabulary("V_positive", list(positive) + ["stupendous"])
+        )
+        pack = default_pack()
+        pack.vocabularies = vocabularies
+        report = ScenarioLint().lint(pack)
+        assert any(
+            d.rule == "unreachable-vocabulary-lemmas"
+            and "stupendous" in d.message
+            for d in report.diagnostics
+        )
+
+    def test_vocabulary_ontology_overlap(self):
+        vocabularies = VocabularyRegistry([
+            Vocabulary("V_opinion", ["like", "place"]),
+        ])
+        pack = make_pack(vocabularies=vocabularies)
+        report = ScenarioLint().lint(pack)
+        [diag] = [
+            d for d in report.diagnostics
+            if d.rule == "vocabulary-ontology-overlap"
+        ]
+        assert "place" in diag.message
+
+
+class TestDefaultPackHealth:
+    def test_default_pack_has_zero_errors(self):
+        report = ScenarioLint().lint(default_pack())
+        assert not report.has_errors, report.render()
+
+    def test_default_pack_lemmas_all_reachable(self):
+        report = ScenarioLint().lint(default_pack())
+        assert (
+            "unreachable-vocabulary-lemmas" not in report.rules_fired()
+        )
+
+    def test_rule_ids_are_unique(self):
+        ids = [r.id for r in SCENARIO_RULES]
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 6
+
+    def test_all_rules_are_scenario_family(self):
+        assert all(r.analyzer == "scenario" for r in SCENARIO_RULES)

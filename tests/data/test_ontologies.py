@@ -43,6 +43,33 @@ class TestSnapshots:
         assert dbp.store.contains(KB.Fall, KB.instanceOf, KB.Season)
 
 
+class TestCachedSnapshotsAreFrozen:
+    """Regression: the loaders lru_cache one shared Ontology, so a
+    mutation through any reference used to poison every later caller.
+    The cached instances are now frozen; ``.copy()`` is the escape
+    hatch for callers that really want to mutate."""
+
+    def test_cached_snapshot_rejects_mutation(self, geo):
+        from repro.errors import FrozenStoreError
+
+        with pytest.raises(FrozenStoreError):
+            geo.store.add(KB.X, KB.instanceOf, KB.Place)
+        with pytest.raises(FrozenStoreError):
+            geo.store.remove(KB.Delaware_Park, KB.near,
+                             KB["Forest_Hotel,_Buffalo,_NY"])
+
+    def test_merged_snapshot_is_frozen_too(self, merged):
+        assert merged.store.frozen
+
+    def test_copy_is_mutable_and_isolated(self, geo):
+        before = len(geo)
+        clone = geo.copy()
+        assert not clone.store.frozen
+        clone.store.add(KB.X, KB.instanceOf, KB.Place)
+        assert len(geo) == before
+        assert len(clone) == before + 1
+
+
 class TestEntityLookup:
     def test_exact_label_match(self, geo):
         matches = geo.lookup("Delaware Park")

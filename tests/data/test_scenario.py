@@ -1,0 +1,126 @@
+"""Scenario packs: the default bundle and the directory loader."""
+
+import json
+
+import pytest
+
+from repro.data.corpus import CORPUS
+from repro.data.scenario import default_pack, load_pack
+from repro.errors import ScenarioPackError
+
+ONTOLOGY_TTL = """\
+@prefix kb: <http://repro.example/kb/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+kb:Place rdfs:label "place" .
+kb:Buffalo kb:instanceOf kb:Place ;
+    rdfs:label "buffalo" .
+"""
+
+PATTERNS = """\
+PATTERN opinion TYPE lexical ANCHOR $x
+filter(LEMMA($x) in V_opinion)
+"""
+
+
+@pytest.fixture
+def pack_dir(tmp_path):
+    root = tmp_path / "mypack"
+    root.mkdir()
+    (root / "base.ttl").write_text(ONTOLOGY_TTL)
+    (root / "patterns.txt").write_text(PATTERNS)
+    vocab_dir = root / "vocabularies"
+    vocab_dir.mkdir()
+    (vocab_dir / "V_opinion.txt").write_text("like\nlove\n# note\n")
+    (root / "corpus.json").write_text(json.dumps([
+        {"id": "q1", "text": "Where do you visit in Buffalo?",
+         "domain": "travel",
+         "gold_general_entities": ["Place", "Buffalo"]},
+    ]))
+    return root
+
+
+class TestDefaultPack:
+    def test_bundles_the_embedded_artifacts(self):
+        pack = default_pack()
+        assert pack.name == "default"
+        assert len(pack.ontology) > 0
+        assert "V_opinion" in pack.vocabularies
+        assert pack.patterns
+        assert pack.corpus == CORPUS
+
+    def test_ontology_is_the_frozen_shared_snapshot(self):
+        assert default_pack().ontology.store.frozen
+
+
+class TestLoadPack:
+    def test_loads_every_artifact(self, pack_dir):
+        pack = load_pack(pack_dir)
+        assert pack.name == "mypack"
+        assert len(pack.ontology) == 3
+        assert list(pack.vocabularies["V_opinion"]) == ["like", "love"]
+        assert [p.name for p in pack.patterns] == ["opinion"]
+        assert pack.corpus[0].id == "q1"
+        assert pack.corpus[0].gold_general_entities == (
+            "Place", "Buffalo",
+        )
+
+    def test_merges_multiple_snapshots(self, pack_dir):
+        (pack_dir / "extra.ttl").write_text(
+            "@prefix kb: <http://repro.example/kb/> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+            'kb:Park rdfs:label "park" .\n'
+        )
+        pack = load_pack(pack_dir)
+        assert len(pack.ontology) == 4
+
+    def test_corpus_and_vocabularies_are_optional(self, pack_dir):
+        (pack_dir / "corpus.json").unlink()
+        for path in (pack_dir / "vocabularies").iterdir():
+            path.unlink()
+        (pack_dir / "vocabularies").rmdir()
+        pack = load_pack(pack_dir)
+        assert pack.corpus == ()
+        assert pack.vocabularies.names() == []
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ScenarioPackError, match="not a pack"):
+            load_pack(tmp_path / "nope")
+
+    def test_missing_ontology(self, pack_dir):
+        (pack_dir / "base.ttl").unlink()
+        with pytest.raises(ScenarioPackError, match=r"no \*\.ttl"):
+            load_pack(pack_dir)
+
+    def test_missing_patterns(self, pack_dir):
+        (pack_dir / "patterns.txt").unlink()
+        with pytest.raises(ScenarioPackError, match="patterns.txt"):
+            load_pack(pack_dir)
+
+    def test_broken_ontology(self, pack_dir):
+        (pack_dir / "base.ttl").write_text("kb:A broken")
+        with pytest.raises(ScenarioPackError, match="cannot load"):
+            load_pack(pack_dir)
+
+    def test_corpus_must_be_a_list(self, pack_dir):
+        (pack_dir / "corpus.json").write_text('{"id": "q1"}')
+        with pytest.raises(ScenarioPackError, match="JSON list"):
+            load_pack(pack_dir)
+
+    def test_corpus_unknown_field(self, pack_dir):
+        (pack_dir / "corpus.json").write_text(json.dumps([
+            {"id": "q1", "text": "t", "domain": "d", "speed": 9},
+        ]))
+        with pytest.raises(ScenarioPackError, match="unknown fields"):
+            load_pack(pack_dir)
+
+    def test_corpus_missing_required_field(self, pack_dir):
+        (pack_dir / "corpus.json").write_text(json.dumps([
+            {"id": "q1", "text": "t"},
+        ]))
+        with pytest.raises(ScenarioPackError, match="missing"):
+            load_pack(pack_dir)
+
+    def test_corpus_unparsable_json(self, pack_dir):
+        (pack_dir / "corpus.json").write_text("{nope")
+        with pytest.raises(ScenarioPackError, match="unreadable"):
+            load_pack(pack_dir)

@@ -90,6 +90,38 @@ class TestMutation:
         assert s.count(None, P, None) == 1
 
 
+class TestFreeze:
+    def test_frozen_store_rejects_add(self, store):
+        from repro.errors import FrozenStoreError
+
+        store.freeze()
+        assert store.frozen
+        with pytest.raises(FrozenStoreError):
+            store.add(C, P, A)
+        assert len(store) == 4
+
+    def test_frozen_store_rejects_remove(self, store):
+        from repro.errors import FrozenStoreError
+
+        store.freeze()
+        with pytest.raises(FrozenStoreError):
+            store.remove(A, P, B)
+        assert (A, P, B) in store
+
+    def test_freeze_returns_self_and_is_idempotent(self, store):
+        assert store.freeze() is store
+        assert store.freeze() is store
+
+    def test_copy_of_frozen_store_is_mutable(self, store):
+        store.freeze()
+        clone = store.copy()
+        assert not clone.frozen
+        assert clone.add(C, P, A) is True
+        # The frozen original is untouched.
+        assert len(store) == 4
+        assert len(clone) == 5
+
+
 class TestPatterns:
     def test_fully_bound(self, store):
         assert list(store.triples(A, P, B)) == [(A, P, B)]

@@ -1,0 +1,188 @@
+"""tools/locklint.py: the ast-based lock-discipline checker."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "locklint",
+    Path(__file__).resolve().parents[1] / "tools" / "locklint.py",
+)
+locklint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(locklint)
+
+MIXED = '''\
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0          # constructor: exempt
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def reset(self):
+        self.value = 0          # bare: the finding
+'''
+
+
+def write(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+class TestFindings:
+    def test_mixed_discipline_is_a_finding(self, tmp_path):
+        findings = locklint.scan_file(write(tmp_path, MIXED))
+        assert len(findings) == 1
+        f = findings[0]
+        assert (f["class"], f["attr"]) == ("Counter", "value")
+        assert f["locked"] == [("bump", 10)]
+        assert f["bare"] == [("reset", 13)]
+        assert not f["allowed"]
+
+    def test_constructor_mutations_are_exempt(self, tmp_path):
+        source = MIXED.replace("    def reset(self):\n"
+                               "        self.value = 0          "
+                               "# bare: the finding\n", "")
+        assert locklint.scan_file(write(tmp_path, source)) == []
+
+    def test_always_bare_is_not_a_finding(self, tmp_path):
+        findings = locklint.scan_file(write(tmp_path, '''\
+class Plain:
+    def set(self, v):
+        self.value = v
+
+    def clear(self):
+        self.value = None
+'''))
+        assert findings == []
+
+    def test_lock_attribute_assignment_is_ignored(self, tmp_path):
+        findings = locklint.scan_file(write(tmp_path, '''\
+import threading
+
+class Swapper:
+    def relock(self):
+        with self._lock:
+            self._lock = threading.Lock()
+
+    def other(self):
+        self._lock = threading.Lock()
+'''))
+        assert findings == []
+
+    def test_tuple_targets_are_unpacked(self, tmp_path):
+        findings = locklint.scan_file(write(tmp_path, '''\
+class Pair:
+    def locked(self):
+        with self._lock:
+            self.a, self.b = 1, 2
+
+    def bare(self):
+        self.a = 0
+'''))
+        assert [f["attr"] for f in findings] == ["a"]
+
+    def test_augassign_and_delete_count(self, tmp_path):
+        findings = locklint.scan_file(write(tmp_path, '''\
+class Acc:
+    def locked(self):
+        with self._lock:
+            self.total += 1
+
+    def bare(self):
+        del self.total
+'''))
+        assert [f["attr"] for f in findings] == ["total"]
+
+    def test_nested_function_does_not_leak_self(self, tmp_path):
+        # The closure's ``self`` is a different object; only the
+        # method-level bare mutation would count, and there is none.
+        findings = locklint.scan_file(write(tmp_path, '''\
+class Host:
+    def locked(self):
+        with self._lock:
+            self.n = 1
+
+    def spawn(self):
+        def helper(self):
+            self.n = 2
+        return helper
+'''))
+        assert findings == []
+
+    def test_nested_lock_attribute_chain_detected(self, tmp_path):
+        findings = locklint.scan_file(write(tmp_path, '''\
+class Deep:
+    def locked(self):
+        with self._state._lock:
+            self.n = 1
+
+    def bare(self):
+        self.n = 2
+'''))
+        assert [f["attr"] for f in findings] == ["n"]
+
+
+class TestCLI:
+    def test_exit_one_on_finding(self, tmp_path, capsys):
+        path = write(tmp_path, MIXED)
+        assert locklint.main([path]) == 1
+        out = capsys.readouterr().out
+        assert "error [lock-discipline]" in out
+        assert "Counter.value" in out
+
+    def test_allowlisted_finding_is_warn_only(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.setitem(
+            locklint.ALLOWLIST, ("Counter", "value"), "test fixture"
+        )
+        path = write(tmp_path, MIXED)
+        assert locklint.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "warning [lock-discipline]" in out
+        assert "allowlisted: test fixture" in out
+
+    def test_report_json(self, tmp_path, capsys):
+        path = write(tmp_path, MIXED)
+        report = tmp_path / "counts.json"
+        locklint.main([path, "--report", str(report)])
+        counts = json.loads(report.read_text())
+        assert counts == {
+            "files": 1,
+            "errors": 1,
+            "warnings": 0,
+            "findings": [{
+                "file": path,
+                "class": "Counter",
+                "attr": "value",
+                "allowed": False,
+            }],
+        }
+
+    def test_directory_scan(self, tmp_path, capsys):
+        write(tmp_path, MIXED, "a.py")
+        write(tmp_path, "x = 1\n", "b.py")
+        assert locklint.main([str(tmp_path)]) == 1
+        assert "2 file(s) scanned: 1 error(s)" in (
+            capsys.readouterr().out
+        )
+
+
+class TestRepoIsClean:
+    def test_concurrent_packages_pass(self, capsys):
+        # The CI gate: the three concurrent packages have no
+        # unallowlisted mixed-discipline attribute.
+        root = Path(__file__).resolve().parents[1]
+        status = locklint.main([
+            str(root / "src" / "repro" / "service"),
+            str(root / "src" / "repro" / "obs"),
+            str(root / "src" / "repro" / "resilience"),
+        ])
+        assert status == 0, capsys.readouterr().out
