@@ -68,6 +68,13 @@ from repro.service import (
     TranslationCache,
     TranslationService,
 )
+from repro.serving import (
+    HashRing,
+    HTTPFrontend,
+    ServingStats,
+    ShardManager,
+    WorkerSpec,
+)
 from repro.ui.interaction import (
     AutoInteraction,
     ConsoleInteraction,
@@ -91,6 +98,11 @@ __all__ = [
     "TranslationService",
     "TranslationCache",
     "ServiceStats",
+    "ShardManager",
+    "HTTPFrontend",
+    "HashRing",
+    "WorkerSpec",
+    "ServingStats",
     "MetricsRegistry",
     "SlowQueryLog",
     "QueryPlanner",

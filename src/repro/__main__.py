@@ -58,6 +58,18 @@ endpoint) and ``--slow-log`` (span trees of slow translations, to
 stderr at exit) observe single-question, interactive and batch modes
 alike.
 
+Sharded serving (see ``docs/serving.md``)::
+
+    python -m repro --serve --port 8080 --shards 4
+    python -m repro --serve --port 0 --shards 2 --max-pending 16
+
+``--serve`` starts the multi-process serving tier: an HTTP/JSON
+front-end (``POST /translate``, ``POST /batch``, ``POST /lint``,
+``GET /stats``, ``GET /healthz``, ``GET /metrics``) over ``--shards``
+worker processes routed by consistent hash of the normalized question.
+SIGTERM/SIGINT drains in-flight requests, prints the final serving
+panel to stderr, flushes ``--metrics-out`` and joins the workers.
+
 Fault tolerance (see ``docs/resilience.md``)::
 
     python -m repro --batch q.txt --retries 3
@@ -153,6 +165,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lint-report", metavar="FILE",
                         help="also write the diagnostic counts of a "
                              "lint run to FILE as JSON")
+    parser.add_argument("--serve", action="store_true",
+                        help="serve translations over HTTP from a "
+                             "multi-process worker tier (see "
+                             "docs/serving.md)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for --serve "
+                             "(default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port for --serve (0 picks a free "
+                             "port, printed to stderr)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker-process count for --serve "
+                             "(default 2)")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="per-shard admission limit for --serve; "
+                             "beyond it requests are shed with "
+                             "HTTP 429 (default 64)")
+    parser.add_argument("--start-method",
+                        choices=("spawn", "fork", "forkserver",
+                                 "thread"),
+                        default="spawn",
+                        help="worker start method for --serve "
+                             "('thread' runs workers in-process — "
+                             "debugging only, no CPU scaling)")
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        metavar="S",
+                        help="per-request front-end deadline for "
+                             "--serve, in seconds (default 30)")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write Prometheus text-format metrics to "
                              "FILE on exit")
@@ -390,6 +430,85 @@ def run_explain(args) -> int:
     return 0
 
 
+def run_serve(args) -> int:
+    """The ``--serve`` loop: tier up, wait for a signal, drain down.
+
+    Shutdown order matters and is the graceful-drain contract: the HTTP
+    server stops accepting and joins its in-flight handlers first (so
+    every accepted request gets its response), the final stats panel
+    and ``--metrics-out`` flush are taken while the workers still
+    answer, and only then are the workers told to shut down and joined.
+    """
+    import signal
+    import threading
+
+    from repro.serving import HTTPFrontend, ShardManager, WorkerSpec
+    from repro.ui.admin import render_serving_stats
+
+    spec = WorkerSpec(
+        planner=args.planner,
+        cache_size=args.cache_size,
+        retries=args.retries,
+        seed=args.seed,
+        faults=args.inject_faults,
+        stage_timeout_ms=args.stage_timeout_ms,
+        slow_log_ms=args.slow_log,
+    )
+    try:
+        manager = ShardManager(
+            max(1, args.shards),
+            spec,
+            start_method=args.start_method,
+            max_pending=args.max_pending,
+            request_timeout=args.request_timeout,
+        )
+    except ReproError as err:
+        print(f"cannot start the worker tier: {err}", file=sys.stderr)
+        return 1
+    frontend = HTTPFrontend(manager, host=args.host, port=args.port)
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
+        signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
+    }
+    print(
+        f"serving {manager.shards} shard(s) on {frontend.address} "
+        f"(SIGTERM or ^C to drain and stop)",
+        file=sys.stderr,
+    )
+    status = 0
+    try:
+        stop.wait()
+    finally:
+        frontend.close()          # stop accepting, drain handlers
+        final = None
+        try:
+            final = manager.stats()
+        except ReproError:        # a shard died during drain
+            status = 1
+        if args.metrics_out:
+            try:
+                Path(args.metrics_out).write_text(
+                    manager.registry.expose(), "utf-8"
+                )
+            except OSError as err:
+                print(
+                    f"cannot write metrics file: {err}", file=sys.stderr
+                )
+                status = 2
+        manager.close()           # workers drain + join last
+        if final is not None:
+            print(render_serving_stats(final), file=sys.stderr)
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -397,6 +516,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_lint(args)
     if args.explain:
         return run_explain(args)
+    if args.serve:
+        return run_serve(args)
 
     interaction = ConsoleInteraction() if args.interactive else None
     ontology = load_merged_ontology()

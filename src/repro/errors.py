@@ -249,6 +249,92 @@ class InjectedFault(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Process-level serving tier
+# ---------------------------------------------------------------------------
+
+class ServingError(ReproError):
+    """Base class for the multi-process serving tier's errors."""
+
+
+class FrameProtocolError(ServingError):
+    """A worker-channel frame violated the length-prefixed JSON protocol.
+
+    Raised for an oversized length prefix, a payload that is not a JSON
+    object, or a reply whose correlation id runs *ahead* of the request
+    counter (replies may lag — a timed-out request's answer is drained
+    and discarded — but never lead).
+    """
+
+
+class ChannelClosedError(ServingError):
+    """The peer closed the worker channel mid-conversation.
+
+    On the dispatcher side this is the crash signal: the worker process
+    died (or exited) with requests outstanding, and the shard manager
+    reacts by restarting the worker and retrying the in-flight request
+    once.
+    """
+
+
+class AdmissionRejected(ServingError):
+    """The front-end shed this request instead of queueing it.
+
+    Carries the shard, the shedding ``reason`` (``"queue_full"`` when
+    the shard's bounded pending queue is at capacity, ``"breaker_open"``
+    when the shard's dispatch circuit breaker is open) and the
+    ``retry_after`` hint in seconds that the HTTP layer surfaces as a
+    ``Retry-After`` header on the 429 response.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        reason: str = "queue_full",
+        retry_after: float = 1.0,
+    ):
+        self.shard = shard
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ShardTimeoutError(ServingError):
+    """A worker did not answer a request within its deadline.
+
+    The worker is *not* assumed dead (slow is not crashed): the reply,
+    when it eventually arrives, is drained and discarded by correlation
+    id, and the shard's circuit breaker records the failure.  Carries
+    the shard and the budget that expired.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        budget: float | None = None,
+    ):
+        self.shard = shard
+        self.budget = budget
+        super().__init__(message)
+
+
+class WorkerCrashedError(ServingError):
+    """A shard's worker process died and the one restart-retry failed.
+
+    The request could not be served; the shard manager has already
+    restarted the worker (or is doing so), so later requests to the
+    same keyspace are expected to succeed.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None):
+        self.shard = shard
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
 # Observability
 # ---------------------------------------------------------------------------
 

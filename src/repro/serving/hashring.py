@@ -1,0 +1,112 @@
+"""Consistent-hash routing of the normalized-question keyspace.
+
+Sharded serving only pays off if each shard's caches stay hot: the
+translation LRU, the planner's plan cache and the engine's memoized
+answers are all keyed (directly or transitively) by the question text,
+so the router must send *the same question to the same shard every
+time*, and must keep doing so when the shard set changes.  A modulo
+router fails the second property — resizing from N to N+1 shards
+remaps ~all keys and cold-starts every cache at once.  A consistent
+hash ring remaps only ~K/N of K keys when one of N shards leaves,
+which is exactly the property the rebalance tests pin down.
+
+The ring hashes each shard onto many *virtual nodes* (``replicas``
+points per shard) so the keyspace splits evenly despite SHA-1's
+lumpiness at small sample sizes; lookups are a binary search over the
+sorted vnode positions.  Hashing is SHA-1 over UTF-8 — deliberately
+**not** Python's process-randomized ``hash()`` — so the front-end and
+any future peer processes agree on the mapping.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["HashRing"]
+
+
+def _position(token: str) -> int:
+    """A vnode's (or key's) position on the ring: 64 bits of SHA-1."""
+    digest = hashlib.sha1(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over an arbitrary set of node ids.
+
+    Args:
+        nodes: initial node ids (any hashable with a stable ``str``;
+            the shard manager uses shard indexes).
+        replicas: virtual nodes per node.  More replicas → more even
+            key distribution and smaller per-removal remap granularity,
+            at the cost of a longer sorted array; 128 keeps the spread
+            within a few percent of fair for single-digit shard
+            counts.
+    """
+
+    def __init__(self, nodes: Iterable[Hashable] = (), replicas: int = 128):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._positions: list[int] = []       # sorted vnode positions
+        self._owners: list[Hashable] = []     # owner of _positions[i]
+        self._nodes: set[Hashable] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ------------------------------------------------------------
+
+    def add(self, node: Hashable) -> None:
+        """Add ``node``'s virtual nodes to the ring (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            position = _position(f"{node}#{replica}")
+            index = bisect.bisect(self._positions, position)
+            self._positions.insert(index, position)
+            self._owners.insert(index, node)
+
+    def remove(self, node: Hashable) -> None:
+        """Remove ``node``; only its own keyspace slices are remapped."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [
+            (position, owner)
+            for position, owner in zip(self._positions, self._owners)
+            if owner != node
+        ]
+        self._positions = [position for position, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._nodes)
+
+    # -- routing ---------------------------------------------------------------
+
+    def lookup(self, key: str) -> Hashable:
+        """The node owning ``key``: the first vnode at or after the
+        key's ring position, wrapping at the top."""
+        if not self._positions:
+            raise ValueError("cannot route on an empty ring")
+        index = bisect.bisect(self._positions, _position(key))
+        if index == len(self._positions):
+            index = 0
+        return self._owners[index]
+
+    def distribution(self, keys: Iterable[str]) -> dict:
+        """Keys-per-node histogram of a sample (testing/ops aid)."""
+        counts: dict = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

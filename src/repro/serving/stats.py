@@ -1,0 +1,273 @@
+"""Cross-shard statistics: serialization, merging, and the global view.
+
+Each worker answers a ``stats`` frame with its own
+:class:`~repro.service.service.ServiceStats` snapshot (internally
+consistent — taken under the worker's service lock).  The shard
+manager stitches those into one :class:`ServingStats`: the per-shard
+snapshots, the merged total, and the front-end-only counters (shed,
+dispatch errors, deadline expiries, restarts) that no worker can know
+about.
+
+The serving-level counter identity extends the service one::
+
+    requests == translated + served_from_cache + deduplicated
+                + errors + shed
+
+``requests`` and ``errors`` are *derived* (worker sums plus front-end
+counters), never sampled independently — so the identity holds in
+every snapshot by construction, provided each worker snapshot is
+internally consistent and the front-end counters are read once.  A
+request that timed out at the front-end but completes in the worker is
+counted by the worker (as whatever outcome it reached) and tracked in
+``deadline_expired`` separately; a worker restart zeroes that shard's
+service counters (the process and its registry are gone), which
+``restarts`` records.
+
+Zero-traffic edges are first-class here: a fresh shard, an all-shed
+interval or an empty manager must merge to a snapshot whose derived
+rates (``mean_translation_ms``, ``batch_throughput_qps``, hit rates)
+are ``0.0``, never a ``ZeroDivisionError`` — the merge tests pin each
+of these down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.service.cache import CacheStats
+from repro.service.service import ServiceStats, StageStat
+
+__all__ = [
+    "ServingStats",
+    "ShardSnapshot",
+    "merge_service_stats",
+    "service_stats_from_dict",
+    "service_stats_to_dict",
+]
+
+#: ServiceStats fields merged by plain summation.
+_SUM_FIELDS = (
+    "requests", "translated", "served_from_cache", "deduplicated",
+    "errors", "batches", "batch_questions", "batch_seconds",
+    "busy_seconds", "workers", "lint_errors", "lint_warnings",
+    "lint_infos", "kb_lint_errors", "kb_lint_warnings", "kb_lint_infos",
+    "slow_queries", "degraded", "retries", "breaker_rejections",
+    "plan_cache_hits", "plan_cache_misses", "plan_cache_invalidations",
+    "plans_compiled",
+)
+
+_CACHE_FIELDS = (
+    "hits", "misses", "evictions", "size", "capacity", "insertions",
+)
+
+
+def empty_service_stats() -> ServiceStats:
+    """An all-zero snapshot (what a dead or brand-new shard reports)."""
+    zeros = {name: 0 for name in _SUM_FIELDS}
+    zeros["batch_seconds"] = 0.0
+    zeros["busy_seconds"] = 0.0
+    return ServiceStats(stages={}, cache=None, **zeros)
+
+
+def service_stats_to_dict(stats: ServiceStats) -> dict:
+    """A JSON-safe rendering of one snapshot (the ``stats`` frame body)."""
+    out = {name: getattr(stats, name) for name in _SUM_FIELDS}
+    out["stages"] = {
+        name: {
+            "total_seconds": stage.total_seconds,
+            "count": stage.count,
+            "leaf": stage.leaf,
+        }
+        for name, stage in stats.stages.items()
+    }
+    out["cache"] = (
+        {name: getattr(stats.cache, name) for name in _CACHE_FIELDS}
+        if stats.cache is not None else None
+    )
+    return out
+
+
+def service_stats_from_dict(payload: dict) -> ServiceStats:
+    """Rebuild a snapshot from a ``stats`` frame body.
+
+    Missing keys default to zero, so a newer front-end reading an older
+    worker's snapshot degrades gracefully instead of crashing.
+    """
+    kwargs = {
+        name: payload.get(name, 0) for name in _SUM_FIELDS
+    }
+    stages = {
+        name: StageStat(
+            total_seconds=float(entry.get("total_seconds", 0.0)),
+            count=int(entry.get("count", 0)),
+            leaf=bool(entry.get("leaf", True)),
+        )
+        for name, entry in (payload.get("stages") or {}).items()
+    }
+    cache_payload = payload.get("cache")
+    cache = (
+        CacheStats(**{
+            name: int(cache_payload.get(name, 0))
+            for name in _CACHE_FIELDS
+        })
+        if cache_payload is not None else None
+    )
+    return ServiceStats(stages=stages, cache=cache, **kwargs)
+
+
+def merge_service_stats(parts: list[ServiceStats]) -> ServiceStats:
+    """Sum per-shard snapshots into one service-level total.
+
+    Counters and accumulated seconds add; per-stage aggregates merge by
+    stage name (self-times still tile each shard's busy time, so the
+    merged stage totals tile the merged ``busy_seconds``).  Cache
+    counters add when *any* shard has a cache — capacity and size sum,
+    which keeps ``hit_rate`` meaningful as the traffic-weighted global
+    rate; with no caches anywhere the merged snapshot has ``cache=None``
+    like a cache-less service.  An empty ``parts`` list merges to the
+    all-zero snapshot, on which every derived rate is ``0.0`` (the
+    guards in :class:`ServiceStats` and :class:`CacheStats` divide only
+    behind non-zero checks — the merge tests cover each property).
+    """
+    totals = {name: 0 for name in _SUM_FIELDS}
+    totals["batch_seconds"] = 0.0
+    totals["busy_seconds"] = 0.0
+    stages: dict[str, StageStat] = {}
+    cache_totals = {name: 0 for name in _CACHE_FIELDS}
+    any_cache = False
+    for part in parts:
+        for name in _SUM_FIELDS:
+            totals[name] += getattr(part, name)
+        for name, stage in part.stages.items():
+            seen = stages.get(name)
+            if seen is None:
+                stages[name] = stage
+            else:
+                stages[name] = StageStat(
+                    total_seconds=seen.total_seconds + stage.total_seconds,
+                    count=seen.count + stage.count,
+                    # A stage that is a leaf in one shard is a leaf in
+                    # all (the pipeline shape is identical); keep the
+                    # first sighting.
+                    leaf=seen.leaf,
+                )
+        if part.cache is not None:
+            any_cache = True
+            for name in _CACHE_FIELDS:
+                cache_totals[name] += getattr(part.cache, name)
+    cache = CacheStats(**cache_totals) if any_cache else None
+    return ServiceStats(stages=stages, cache=cache, **totals)
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """One shard's worker, as the manager saw it at snapshot time.
+
+    ``alive=False`` with zeroed ``stats`` means the stats probe failed
+    (worker crashed or restarting); the shard still participates in the
+    merge with zeros, so the global identity keeps holding.
+    """
+
+    shard: int
+    pid: int | None
+    alive: bool
+    pending: int
+    restarts: int
+    stats: ServiceStats
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "pid": self.pid,
+            "alive": self.alive,
+            "pending": self.pending,
+            "restarts": self.restarts,
+            "stats": service_stats_to_dict(self.stats),
+        }
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """The global serving view: per-shard snapshots + front-end counters.
+
+    Attributes:
+        shards: one :class:`ShardSnapshot` per shard, in shard order.
+        total: the merged :class:`ServiceStats` across shards.
+        shed: requests rejected by admission control (all reasons).
+        shed_queue_full: sheds due to a full per-shard pending queue.
+        shed_breaker_open: sheds due to an open dispatch breaker.
+        dispatch_errors: requests that died at the front-end with no
+            worker outcome (worker crashed and the restart-retry
+            failed, or the manager was closing).
+        deadline_expired: requests whose front-end deadline expired
+            (the worker may still have completed them; they are *not*
+            double-counted as dispatch errors).
+        restarts: worker processes restarted after a crash.
+    """
+
+    shards: tuple[ShardSnapshot, ...]
+    total: ServiceStats
+    shed: int = 0
+    shed_queue_full: int = 0
+    shed_breaker_open: int = 0
+    dispatch_errors: int = 0
+    deadline_expired: int = 0
+    restarts: int = 0
+
+    @property
+    def requests(self) -> int:
+        """All requests the tier accepted responsibility for."""
+        return self.total.requests + self.shed + self.dispatch_errors
+
+    @property
+    def errors(self) -> int:
+        """Worker-side translation errors plus front-end dispatch ones."""
+        return self.total.errors + self.dispatch_errors
+
+    @property
+    def accounted(self) -> int:
+        """The outcome sum; equals :attr:`requests` in every snapshot."""
+        return (
+            self.total.translated + self.total.served_from_cache
+            + self.total.deduplicated + self.errors + self.shed
+        )
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed fraction of all requests (0.0 on a quiet tier)."""
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def alive_shards(self) -> int:
+        return sum(1 for shard in self.shards if shard.alive)
+
+    def to_dict(self) -> dict:
+        """The ``GET /stats`` body: totals, identity, per-shard views."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "accounted": self.accounted,
+            "identity_holds": self.requests == self.accounted,
+            "shed": self.shed,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_breaker_open": self.shed_breaker_open,
+            "shed_rate": self.shed_rate,
+            "dispatch_errors": self.dispatch_errors,
+            "deadline_expired": self.deadline_expired,
+            "restarts": self.restarts,
+            "alive_shards": self.alive_shards,
+            "total": service_stats_to_dict(self.total),
+            "mean_translation_ms": self.total.mean_translation_ms,
+            "batch_throughput_qps": self.total.batch_throughput_qps,
+            "cache_hit_rate": self.total.cache_hit_rate,
+            "plan_cache_hit_rate": self.total.plan_cache_hit_rate,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+
+# Sanity: every summed field name really is a ServiceStats field (guards
+# against silent drift when ServiceStats grows a counter).
+_KNOWN = {f.name for f in fields(ServiceStats)}
+for _name in _SUM_FIELDS:
+    if _name not in _KNOWN:  # pragma: no cover - import-time assertion
+        raise AssertionError(f"unknown ServiceStats field {_name!r}")

@@ -16,10 +16,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
     from repro.rdf.planner import PlanExplain
     from repro.service.service import ServiceStats
+    from repro.serving.stats import ServingStats
 
 __all__ = [
     "render_analysis_report", "render_metrics", "render_plan",
-    "render_service_stats",
+    "render_service_stats", "render_serving_stats",
 ]
 
 # Pipeline order, parents before their children; unknown stages follow
@@ -116,6 +117,57 @@ def render_service_stats(stats: "ServiceStats") -> str:
         lines.append(_rows_to_table(
             ["stage", "kind", "mean ms", "n"], rows
         ))
+    return "\n".join(lines)
+
+
+def render_serving_stats(stats: "ServingStats") -> str:
+    """The sharded-serving admin panel: the tier-level counters and
+    identity check, one row per shard, then the merged service panel.
+
+    This is what ``GET /stats?format=panel`` returns and what the CLI's
+    ``--serve`` mode prints on shutdown.
+    """
+    lines = ["== sharded serving =="]
+    identity = "holds" if stats.requests == stats.accounted else (
+        f"VIOLATED ({stats.accounted} accounted)"
+    )
+    lines.append(
+        f"requests: {stats.requests}  "
+        f"errors: {stats.errors}  "
+        f"shed: {stats.shed} "
+        f"(queue {stats.shed_queue_full} / "
+        f"breaker {stats.shed_breaker_open})  "
+        f"identity: {identity}"
+    )
+    lines.append(
+        f"shards: {stats.alive_shards}/{len(stats.shards)} alive  "
+        f"restarts: {stats.restarts}  "
+        f"dispatch errors: {stats.dispatch_errors}  "
+        f"deadlines expired: {stats.deadline_expired}  "
+        f"shed rate: {stats.shed_rate:.1%}"
+    )
+    if stats.shards:
+        rows = [
+            [
+                str(shard.shard),
+                str(shard.pid) if shard.pid is not None else "-",
+                "up" if shard.alive else "DOWN",
+                str(shard.pending),
+                str(shard.restarts),
+                str(shard.stats.requests),
+                str(shard.stats.served_from_cache),
+                str(shard.stats.errors),
+            ]
+            for shard in stats.shards
+        ]
+        lines.append("")
+        lines.append(_rows_to_table(
+            ["shard", "pid", "state", "pending", "restarts",
+             "requests", "cached", "errors"],
+            rows,
+        ))
+    lines.append("")
+    lines.append(render_service_stats(stats.total))
     return "\n".join(lines)
 
 

@@ -1,0 +1,36 @@
+"""Shared fixtures for the serving-tier tests.
+
+Most tests run the workers with ``start_method="thread"``: the exact
+same ``worker_main`` over the exact same TCP frame protocol, just on
+in-process daemon threads — fast to start, visible to coverage, and
+sufficient for everything except true process isolation (which
+``test_chaos.py`` exercises with real ``spawn`` workers).
+"""
+
+import pytest
+
+from repro.serving import ShardManager, WorkerSpec
+
+#: Questions the packaged corpus supports (stable across the suite).
+SUPPORTED = [
+    "Where do you visit in Buffalo?",
+    "Where should we go out in NYC tonight?",
+    "What are the most interesting places near Forest Hotel, "
+    "Buffalo, we should visit in the fall?",
+]
+
+#: A question verification rejects (no supported pattern).
+UNSUPPORTED = "How should I store coffee?"
+
+
+@pytest.fixture(scope="module")
+def thread_manager():
+    """A 2-shard thread-mode manager shared by read-mostly tests."""
+    manager = ShardManager(
+        shards=2,
+        spec=WorkerSpec(cache_size=32, debug_ops=True),
+        start_method="thread",
+        connect_timeout=60.0,
+    )
+    yield manager
+    manager.close()

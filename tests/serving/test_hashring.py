@@ -1,0 +1,141 @@
+"""Tests for consistent-hash routing: uniformity and rebalance.
+
+The two properties sharded serving depends on:
+
+* the keyspace splits *evenly enough* that no shard becomes a hot
+  spot (uniformity within tolerance);
+* removing one of N shards remaps only that shard's ~K/N slice of K
+  keys — everything else keeps its owner, so the other shards' caches
+  stay hot (the rebalance property).
+
+Both are deterministic: the ring hashes with SHA-1, never the
+process-randomized ``hash()``.
+"""
+
+import random
+
+import pytest
+
+from repro.serving import HashRing
+
+
+def _keys(count, seed=1234):
+    rng = random.Random(seed)
+    return [f"question {rng.getrandbits(64):x} {i}" for i in range(count)]
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        ring = HashRing(["a"])
+        ring.add("a")
+        assert ring.nodes == frozenset({"a"})
+        assert len(ring) == 1
+
+    def test_remove_unknown_is_noop(self):
+        ring = HashRing(["a", "b"])
+        ring.remove("zzz")
+        assert ring.nodes == frozenset({"a", "b"})
+
+    def test_iter_and_len(self):
+        ring = HashRing(range(3))
+        assert sorted(ring) == [0, 1, 2]
+        assert len(ring) == 3
+
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(ValueError):
+            HashRing().lookup("anything")
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+
+class TestDeterminism:
+    def test_same_key_same_node(self):
+        ring = HashRing(range(4))
+        for key in _keys(50):
+            assert ring.lookup(key) == ring.lookup(key)
+
+    def test_independent_rings_agree(self):
+        """Two ring instances over the same nodes route identically —
+        the cross-process agreement the front-end relies on (no
+        process-randomized hashing anywhere)."""
+        first, second = HashRing(range(4)), HashRing(range(4))
+        for key in _keys(200):
+            assert first.lookup(key) == second.lookup(key)
+
+    def test_insertion_order_is_irrelevant(self):
+        forward = HashRing([0, 1, 2, 3])
+        backward = HashRing([3, 2, 1, 0])
+        for key in _keys(200):
+            assert forward.lookup(key) == backward.lookup(key)
+
+
+class TestUniformity:
+    def test_distribution_within_tolerance(self):
+        """With 128 vnodes/shard, every shard's share of a 4000-key
+        sample stays within ±50% of fair — no hot spot, no starved
+        shard."""
+        shards = 4
+        keys = _keys(4000)
+        counts = HashRing(range(shards)).distribution(keys)
+        fair = len(keys) / shards
+        assert set(counts) == set(range(shards))
+        for shard, count in counts.items():
+            assert 0.5 * fair <= count <= 1.5 * fair, (
+                f"shard {shard} owns {count} of {len(keys)} keys "
+                f"(fair share {fair:.0f})"
+            )
+
+    def test_distribution_covers_all_keys(self):
+        keys = _keys(1000)
+        counts = HashRing(range(3)).distribution(keys)
+        assert sum(counts.values()) == len(keys)
+
+
+class TestRebalance:
+    def test_removal_remaps_only_the_removed_keyspace(self):
+        """The consistent-hashing contract: keys NOT owned by the
+        removed shard keep their owner exactly; only the removed
+        shard's slice moves."""
+        shards, keys = 5, _keys(2000)
+        ring = HashRing(range(shards))
+        before = {key: ring.lookup(key) for key in keys}
+        removed = 2
+        ring.remove(removed)
+        moved = 0
+        for key in keys:
+            after = ring.lookup(key)
+            if before[key] == removed:
+                moved += 1
+                assert after != removed
+            else:
+                assert after == before[key], (
+                    f"key owned by shard {before[key]} moved to "
+                    f"{after} when shard {removed} left"
+                )
+        # The moved fraction is the removed shard's share: ~K/N.
+        assert moved == sum(
+            1 for owner in before.values() if owner == removed
+        )
+        assert moved <= len(keys) * (2.0 / shards)
+
+    def test_addition_only_steals_keys(self):
+        """Growing the ring moves keys only *onto* the new shard."""
+        keys = _keys(2000)
+        ring = HashRing(range(4))
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add(4)
+        for key in keys:
+            after = ring.lookup(key)
+            assert after == before[key] or after == 4
+        stolen = sum(1 for key in keys if ring.lookup(key) == 4)
+        assert 0 < stolen <= len(keys) * (2.0 / 5)
+
+    def test_remove_then_readd_restores_routing(self):
+        keys = _keys(500)
+        ring = HashRing(range(4))
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove(1)
+        ring.add(1)
+        assert {key: ring.lookup(key) for key in keys} == before

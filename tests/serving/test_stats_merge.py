@@ -1,0 +1,232 @@
+"""Tests for cross-shard stats merging and its zero-traffic edges.
+
+The satellite this pins down: every derived rate on a merged
+``ServiceStats`` — ``mean_translation_ms``, ``batch_throughput_qps``,
+the cache and plan-cache hit rates — must be ``0.0`` for zero-request
+shards, empty merges and all-shed intervals, never a
+``ZeroDivisionError``; and the serving counter identity must hold on
+every composition of shard snapshots and front-end counters.
+"""
+
+from dataclasses import replace
+
+from repro.service.cache import CacheStats
+from repro.service.service import StageStat
+from repro.serving import (
+    ServingStats,
+    ShardSnapshot,
+    merge_service_stats,
+    service_stats_from_dict,
+    service_stats_to_dict,
+)
+from repro.serving.stats import empty_service_stats
+
+
+def _busy_shard():
+    """A snapshot shaped like a shard that served real traffic."""
+    return replace(
+        empty_service_stats(),
+        requests=10,
+        translated=6,
+        served_from_cache=3,
+        deduplicated=0,
+        errors=1,
+        batches=2,
+        batch_questions=10,
+        batch_seconds=0.5,
+        busy_seconds=0.25,
+        plan_cache_hits=4,
+        plan_cache_misses=2,
+        plans_compiled=2,
+        stages={
+            "nl-parsing": StageStat(
+                total_seconds=0.1, count=9, leaf=True
+            ),
+        },
+        cache=CacheStats(
+            hits=3, misses=7, evictions=0, size=7, capacity=32,
+            insertions=7,
+        ),
+    )
+
+
+class TestZeroTrafficEdges:
+    def test_empty_merge_has_no_division_errors(self):
+        merged = merge_service_stats([])
+        assert merged.requests == 0
+        assert merged.mean_translation_ms == 0.0
+        assert merged.batch_throughput_qps == 0.0
+        assert merged.plan_cache_hit_rate == 0.0
+        assert merged.cache_hit_rate == 0.0
+        assert merged.cache is None
+
+    def test_zero_request_shard_rates_are_zero(self):
+        stats = empty_service_stats()
+        assert stats.mean_translation_ms == 0.0
+        assert stats.batch_throughput_qps == 0.0
+        assert stats.plan_cache_hit_rate == 0.0
+        assert stats.accounted == 0
+
+    def test_zero_shard_does_not_poison_busy_merge(self):
+        """A dead/fresh shard merges as zeros; the busy shard's rates
+        survive untouched."""
+        merged = merge_service_stats([_busy_shard(), empty_service_stats()])
+        assert merged.requests == 10
+        assert merged.mean_translation_ms > 0.0
+        assert merged.batch_throughput_qps > 0.0
+        assert merged.plan_cache_hit_rate == 4 / 6
+        assert merged.cache is not None
+        assert merged.cache.hit_rate == 3 / 10
+
+    def test_zero_cache_stats_hit_rate_guard(self):
+        zero_cache = CacheStats(
+            hits=0, misses=0, evictions=0, size=0, capacity=8,
+            insertions=0,
+        )
+        parts = [replace(empty_service_stats(), cache=zero_cache)] * 2
+        merged = merge_service_stats(parts)
+        assert merged.cache.hit_rate == 0.0
+        assert merged.cache_hit_rate == 0.0
+
+
+class TestMergeArithmetic:
+    def test_counters_sum(self):
+        merged = merge_service_stats([_busy_shard(), _busy_shard()])
+        assert merged.requests == 20
+        assert merged.translated == 12
+        assert merged.served_from_cache == 6
+        assert merged.errors == 2
+        assert merged.batch_seconds == 1.0
+        assert merged.plan_cache_hits == 8
+
+    def test_stages_merge_by_name(self):
+        first = _busy_shard()
+        second = replace(
+            empty_service_stats(),
+            stages={
+                "nl-parsing": StageStat(
+                    total_seconds=0.3, count=1, leaf=True
+                ),
+                "ix-finder": StageStat(
+                    total_seconds=0.2, count=5, leaf=True
+                ),
+            },
+        )
+        merged = merge_service_stats([first, second])
+        assert merged.stages["nl-parsing"].count == 10
+        assert merged.stages["nl-parsing"].total_seconds == 0.4
+        assert merged.stages["ix-finder"].count == 5
+
+    def test_cacheless_merge_keeps_cache_none(self):
+        merged = merge_service_stats(
+            [empty_service_stats(), empty_service_stats()]
+        )
+        assert merged.cache is None
+
+    def test_mixed_cache_presence_keeps_counters(self):
+        merged = merge_service_stats(
+            [_busy_shard(), replace(empty_service_stats(), cache=None)]
+        )
+        assert merged.cache is not None
+        assert merged.cache.capacity == 32
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        original = _busy_shard()
+        rebuilt = service_stats_from_dict(
+            service_stats_to_dict(original)
+        )
+        assert rebuilt == original
+
+    def test_missing_keys_default_to_zero(self):
+        """An older worker's snapshot (fewer counters) must still load."""
+        rebuilt = service_stats_from_dict({"requests": 3, "translated": 3})
+        assert rebuilt.requests == 3
+        assert rebuilt.errors == 0
+        assert rebuilt.stages == {}
+        assert rebuilt.cache is None
+        assert rebuilt.mean_translation_ms == 0.0
+
+    def test_roundtrip_is_json_safe(self):
+        import json
+
+        payload = service_stats_to_dict(_busy_shard())
+        assert json.loads(json.dumps(payload)) == payload
+
+
+def _snapshot(shard, stats, alive=True):
+    return ShardSnapshot(
+        shard=shard, pid=1000 + shard, alive=alive, pending=0,
+        restarts=0, stats=stats,
+    )
+
+
+class TestServingIdentity:
+    def test_identity_holds_with_traffic_and_shed(self):
+        parts = [_busy_shard(), empty_service_stats()]
+        stats = ServingStats(
+            shards=tuple(
+                _snapshot(i, part) for i, part in enumerate(parts)
+            ),
+            total=merge_service_stats(parts),
+            shed=4,
+            shed_queue_full=3,
+            shed_breaker_open=1,
+            dispatch_errors=2,
+            deadline_expired=1,
+            restarts=1,
+        )
+        assert stats.requests == 10 + 4 + 2
+        assert stats.errors == 1 + 2
+        assert stats.accounted == stats.requests
+        assert stats.to_dict()["identity_holds"] is True
+
+    def test_all_shed_interval(self):
+        """Zero worker traffic, everything shed: the identity and the
+        shed rate still behave."""
+        stats = ServingStats(
+            shards=(_snapshot(0, empty_service_stats()),),
+            total=empty_service_stats(),
+            shed=7,
+            shed_queue_full=7,
+        )
+        assert stats.requests == 7
+        assert stats.accounted == 7
+        assert stats.shed_rate == 1.0
+
+    def test_quiet_tier_rates_are_zero(self):
+        stats = ServingStats(
+            shards=(), total=merge_service_stats([])
+        )
+        assert stats.requests == 0
+        assert stats.shed_rate == 0.0
+        assert stats.alive_shards == 0
+        payload = stats.to_dict()
+        assert payload["identity_holds"] is True
+        assert payload["mean_translation_ms"] == 0.0
+        assert payload["batch_throughput_qps"] == 0.0
+
+    def test_dead_shard_counts_in_alive_and_identity(self):
+        stats = ServingStats(
+            shards=(
+                _snapshot(0, _busy_shard()),
+                _snapshot(1, empty_service_stats(), alive=False),
+            ),
+            total=merge_service_stats(
+                [_busy_shard(), empty_service_stats()]
+            ),
+            dispatch_errors=3,
+        )
+        assert stats.alive_shards == 1
+        assert stats.requests == stats.accounted
+
+    def test_to_dict_shard_payloads(self):
+        stats = ServingStats(
+            shards=(_snapshot(0, _busy_shard()),),
+            total=_busy_shard(),
+        )
+        payload = stats.to_dict()
+        assert payload["shards"][0]["shard"] == 0
+        assert payload["shards"][0]["alive"] is True
+        assert payload["shards"][0]["stats"]["requests"] == 10

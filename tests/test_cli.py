@@ -93,6 +93,80 @@ class TestMainFunction:
         assert greedy_out == cost_out
 
 
+class TestServeMode:
+    def test_parser_serve_defaults(self):
+        args = build_parser().parse_args(["--serve"])
+        assert args.serve
+        assert args.port == 8080
+        assert args.host == "127.0.0.1"
+        assert args.shards == 2
+        assert args.max_pending == 64
+        assert args.start_method == "spawn"
+        assert args.request_timeout == 30.0
+
+    def test_run_serve_graceful_signal_shutdown(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        """The --serve loop end to end, in process: serve a request,
+        deliver the (captured) SIGTERM handler, and require the drain
+        order — final panel printed, metrics flushed, exit 0."""
+        import json
+        import signal
+        import threading
+        import urllib.request
+
+        handlers = {}
+        monkeypatch.setattr(
+            signal, "signal",
+            lambda signum, handler: handlers.setdefault(signum, handler),
+        )
+        metrics_file = tmp_path / "final.prom"
+        args = build_parser().parse_args([
+            "--serve", "--port", "0", "--shards", "1",
+            "--start-method", "thread",
+            "--metrics-out", str(metrics_file),
+        ])
+        from repro.__main__ import run_serve
+
+        status = {}
+
+        def serve():
+            status["code"] = run_serve(args)
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            # Wait for the announce line to learn the bound port.
+            address = None
+            for _ in range(600):
+                err = capsys.readouterr().err
+                if " on http://" in err:
+                    address = err.split(" on ")[1].split(" ")[0]
+                    break
+                thread.join(0.1)
+            assert address, "serve loop never announced its address"
+            body = json.dumps(
+                {"question": "Where do you visit in Buffalo?"}
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                address + "/translate", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                assert response.status == 200
+                assert json.loads(response.read())["ok"]
+        finally:
+            handlers[signal.SIGTERM](signal.SIGTERM, None)
+            thread.join(120.0)
+        assert not thread.is_alive()
+        assert status["code"] == 0
+        err = capsys.readouterr().err
+        assert "== sharded serving ==" in err
+        assert "identity: holds" in err
+        exposition = metrics_file.read_text("utf-8")
+        assert "serving_http_requests_total" in exposition
+
+
 class TestSubprocess:
     def test_module_entry_point(self):
         completed = subprocess.run(
