@@ -1,0 +1,143 @@
+"""E9 (follow-up): warm-restart recovery — cache hit rate after a crash.
+
+The warm-restart protocol claims a worker crash costs restart latency,
+not cache locality: before a replacement rejoins the ring, the manager
+replays the shard's hottest (question → query) pairs into its LRU from
+the shadow index.  This bench measures exactly that claim as a recovery
+curve and gates on it:
+
+* Drive the full supported-question trace until every shard's cache is
+  hot and record the **pre-crash hit rate** over one steady-state round.
+* Sever one worker mid-trace; the next request restarts it in place.
+* Replay one more round (the **recovery window** — each distinct
+  question exactly once, so a cold replacement cannot hide behind
+  re-caching) and record the post-restart hit rate.
+* Gate: with warm-up on, the post-restart hit rate must reach at least
+  ``RECOVERY_FLOOR`` of the pre-crash rate inside that window.  The
+  ``warmup_keys=0`` run is the cold baseline reported next to it.
+* Always: query texts are byte-identical across pre-crash, post-crash,
+  warm and cold — recovery is an execution detail, never a semantics
+  change.
+
+Thread-mode workers keep the bench fast and deterministic; the protocol
+is identical to the process tier (``test_chaos.py`` proves the kill -9
+variant).  Results go to ``results/E9-serving-recovery.txt`` and, for
+the CI artifact, ``results/E9-serving-recovery.json``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.data.corpus import supported_questions
+from repro.eval.harness import format_table
+from repro.serving import ShardManager, WorkerSpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Post-restart hit rate must reach this fraction of the pre-crash rate
+#: within one recovery window (warm-up enabled).
+RECOVERY_FLOOR = 0.8
+
+#: Warm-up rounds before the steady-state measurement.
+WARMUP_ROUNDS = 2
+
+
+def _hit_rate(outcomes) -> float:
+    return sum(1 for o in outcomes if o.cached) / len(outcomes)
+
+
+def _run_mode(trace: list[str], warmup_keys: int) -> dict:
+    """One crash/recovery cycle; returns the measured curve points."""
+    with ShardManager(
+        shards=2,
+        spec=WorkerSpec(cache_size=len(trace) * 2, threads=1),
+        start_method="thread",
+        connect_timeout=120.0,
+        warmup_keys=warmup_keys,
+    ) as manager:
+        for _ in range(WARMUP_ROUNDS):
+            warm = [manager.submit(t, timeout=120.0) for t in trace]
+        assert all(o.ok for o in warm)
+        baseline = {o.text: o.query for o in warm}
+        steady = [manager.submit(t, timeout=120.0) for t in trace]
+        pre_rate = _hit_rate(steady)
+
+        victim = manager.route(trace[0])
+        owned = sum(1 for t in trace if manager.route(t) == victim)
+        # Sever the channel mid-trace: the next dispatch to this shard
+        # discovers the crash and restarts (and maybe warms) in place.
+        manager._handles[victim].channel.close()
+
+        recovery = [manager.submit(t, timeout=120.0) for t in trace]
+        post_rate = _hit_rate(recovery)
+        stats = manager.stats()
+
+    assert all(o.ok for o in recovery)
+    assert stats.requests == stats.accounted
+    assert stats.restarts == 1
+    # Byte-identical answers before and after the crash, warm or cold.
+    assert {o.text: o.query for o in recovery} == baseline
+    return {
+        "warmup_keys": warmup_keys,
+        "pre_crash_hit_rate": pre_rate,
+        "post_restart_hit_rate": post_rate,
+        "recovery_ratio": post_rate / pre_rate if pre_rate else 0.0,
+        "window_requests": len(trace),
+        "crashed_shard_keys": owned,
+        "cache_warmups_ok": stats.cache_warmups_ok,
+        "cache_warmup_entries": stats.cache_warmup_entries,
+        "queries": baseline,
+    }
+
+
+def test_bench_warm_restart_recovery(report_writer):
+    trace = [q.text for q in supported_questions()]
+    warm = _run_mode(trace, warmup_keys=len(trace))
+    cold = _run_mode(trace, warmup_keys=0)
+
+    # Identical semantics across the warm/cold axis too.
+    assert warm.pop("queries") == cold.pop("queries")
+
+    rows = [
+        [
+            mode["label"],
+            f"{mode['pre_crash_hit_rate']:.1%}",
+            f"{mode['post_restart_hit_rate']:.1%}",
+            f"{mode['recovery_ratio']:.2f}",
+            str(mode["cache_warmup_entries"]),
+        ]
+        for mode in (
+            {"label": "warm restart", **warm},
+            {"label": "cold restart", **cold},
+        )
+    ]
+    table = format_table(
+        ["mode", "pre-crash hits", "post-restart hits",
+         "recovery", "entries replayed"],
+        rows,
+    )
+    table += (
+        f"\n\ntrace: {len(trace)} distinct questions; one shard of 2 "
+        f"severed mid-trace; recovery window = one round (each "
+        f"question exactly once); floor {RECOVERY_FLOOR:.0%} of the "
+        f"pre-crash rate with warm-up on"
+    )
+    report_writer("E9-serving-recovery", table)
+    (RESULTS_DIR / "E9-serving-recovery.json").write_text(
+        json.dumps(
+            {"floor": RECOVERY_FLOOR, "warm": warm, "cold": cold},
+            indent=2,
+        ) + "\n",
+        "utf-8",
+    )
+
+    assert warm["cache_warmups_ok"] == 1
+    assert warm["recovery_ratio"] >= RECOVERY_FLOOR, (
+        f"warm restart recovered only "
+        f"{warm['recovery_ratio']:.0%} of the pre-crash hit rate "
+        f"(floor {RECOVERY_FLOOR:.0%})"
+    )
+    # The cold baseline proves the gate measures the protocol, not the
+    # window: without warm-up, every key the dead shard owned misses.
+    assert cold["post_restart_hit_rate"] < warm["post_restart_hit_rate"]
+    assert cold["cache_warmup_entries"] == 0

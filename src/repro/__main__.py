@@ -182,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-shard admission limit for --serve; "
                              "beyond it requests are shed with "
                              "HTTP 429 (default 64)")
+    parser.add_argument("--warmup-keys", type=int, default=64,
+                        help="hot cache entries replayed into a "
+                             "restarted worker before it rejoins the "
+                             "ring (default 64; 0 disables warm "
+                             "restarts)")
     parser.add_argument("--start-method",
                         choices=("spawn", "fork", "forkserver",
                                  "thread"),
@@ -461,6 +466,7 @@ def run_serve(args) -> int:
             start_method=args.start_method,
             max_pending=args.max_pending,
             request_timeout=args.request_timeout,
+            warmup_keys=args.warmup_keys,
         )
     except ReproError as err:
         print(f"cannot start the worker tier: {err}", file=sys.stderr)

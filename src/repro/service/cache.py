@@ -36,6 +36,10 @@ class CacheStats:
     ``insertions`` counts entries actually added (refreshing an
     existing key is not an insertion) — it is what
     :meth:`~repro.service.service.TranslationService.warm` reports.
+    ``warmed`` counts entries replayed by :meth:`TranslationCache.seed`
+    (the warm-restart protocol); they are deliberately **not**
+    insertions, so ``warm()`` reporting and insertion rates measure
+    real traffic only.
     """
 
     hits: int
@@ -44,6 +48,7 @@ class CacheStats:
     size: int
     capacity: int
     insertions: int = 0
+    warmed: int = 0
 
     @property
     def lookups(self) -> int:
@@ -73,9 +78,11 @@ class TranslationCache:
         self._misses = 0
         self._evictions = 0
         self._insertions = 0
+        self._warmed = 0
         self._m_lookups = None
         self._m_evictions = None
         self._m_insertions = None
+        self._m_warmed = None
 
     # -- metrics ----------------------------------------------------------------
 
@@ -103,6 +110,12 @@ class TranslationCache:
             "nl2cm_cache_insertions_total",
             "Translation cache entries actually inserted "
             "(refreshes excluded).",
+        )
+        self._m_warmed = registry.counter(
+            "nl2cm_cache_warmed_total",
+            "Entries replayed into the cache by the warm-restart "
+            "protocol (seed); counted separately from insertions so "
+            "traffic rates stay honest.",
         )
         registry.gauge(
             "nl2cm_cache_size",
@@ -183,6 +196,78 @@ class TranslationCache:
                 n += 1
         return n
 
+    # -- warm restarts ------------------------------------------------------------
+
+    def export_hot(self, n: int) -> list[tuple[str, str, str]]:
+        """Up to ``n`` hottest entries as (text, fingerprint, query text).
+
+        Ordered hottest-first (most recently used first), which is the
+        order a seeding peer should replay them in so that, if its cache
+        is smaller, the hottest survive.  Entries whose cached value has
+        no serialized query text (no ``query_text`` attribute, or an
+        empty one) are skipped — they cannot be rebuilt on the far side.
+        Exporting is introspection: it does not touch LRU order or any
+        counter.
+        """
+        if n <= 0:
+            return []
+        out: list[tuple[str, str, str]] = []
+        with self._lock:
+            for (text, fingerprint), result in reversed(
+                self._entries.items()
+            ):
+                query_text = getattr(result, "query_text", None)
+                if not query_text:
+                    continue
+                out.append((text, fingerprint, query_text))
+                if len(out) >= n:
+                    break
+        return out
+
+    def seed(
+        self, entries: Iterable[tuple[str, str, Any]]
+    ) -> tuple[int, int]:
+        """Replay (text, fingerprint, result) triples from a peer.
+
+        The warm-restart counterpart of :meth:`warm`, with stricter
+        accounting and the same refusal rules the live cache path
+        applies: degraded results and results whose lint report carries
+        errors are **refused** (they were never cacheable, so a peer
+        offering one is handing us stale or suspect data).  Seeded
+        entries are counted on their own ``warmed`` counter — never as
+        hits, misses or insertions — so hit rates and ``warm()``
+        reporting keep measuring real traffic.  Existing keys are left
+        untouched (neither warmed nor refused: the live entry wins).
+
+        Returns ``(warmed, refused)``.
+        """
+        warmed = 0
+        refused = 0
+        for text, fingerprint, result in entries:
+            trace = getattr(result, "trace", None)
+            if trace is not None and getattr(trace, "degraded", False):
+                refused += 1
+                continue
+            lint = getattr(result, "lint", None)
+            if lint is not None and getattr(lint, "has_errors", False):
+                refused += 1
+                continue
+            key = self.make_key(text, fingerprint)
+            with self._lock:
+                if key in self._entries:
+                    continue
+                while len(self._entries) >= self.capacity:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+                    if self._m_evictions is not None:
+                        self._m_evictions.inc()
+                self._entries[key] = result
+                self._warmed += 1
+                if self._m_warmed is not None:
+                    self._m_warmed.inc()
+            warmed += 1
+        return warmed, refused
+
     # -- introspection ------------------------------------------------------------
 
     def stats(self) -> CacheStats:
@@ -194,6 +279,7 @@ class TranslationCache:
                 size=len(self._entries),
                 capacity=self.capacity,
                 insertions=self._insertions,
+                warmed=self._warmed,
             )
 
     def clear(self) -> None:
@@ -201,10 +287,10 @@ class TranslationCache:
         with self._lock:
             self._entries.clear()
             self._hits = self._misses = 0
-            self._evictions = self._insertions = 0
+            self._evictions = self._insertions = self._warmed = 0
 
     def reset_counters(self) -> None:
-        """Zero hit/miss/eviction/insertion counters; entries kept.
+        """Zero hit/miss/eviction/insertion/warmed counters; entries kept.
 
         The bound registry's mirrored counters are *not* reset here —
         the service's ``reset_stats`` resets the whole registry, which
@@ -212,7 +298,7 @@ class TranslationCache:
         """
         with self._lock:
             self._hits = self._misses = 0
-            self._evictions = self._insertions = 0
+            self._evictions = self._insertions = self._warmed = 0
 
     def __len__(self) -> int:
         with self._lock:

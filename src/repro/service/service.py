@@ -65,7 +65,8 @@ from repro.service.cache import CacheStats, TranslationCache
 from repro.ui.interaction import AutoInteraction, InteractionProvider
 
 __all__ = [
-    "BatchItem", "ServiceStats", "StageStat", "TranslationService",
+    "BatchItem", "SeededTranslation", "ServiceStats", "StageStat",
+    "TranslationService",
 ]
 
 #: Stage name under which a request's orchestration glue (the root
@@ -207,6 +208,46 @@ class ServiceStats:
     @property
     def cache_hit_rate(self) -> float:
         return self.cache.hit_rate if self.cache else 0.0
+
+
+class _SeededTrace:
+    """The trace stand-in every seeded entry shares: by construction a
+    seeded result is never degraded (degraded results are refused at
+    seed time, as they are at cache time)."""
+
+    degraded = False
+    degraded_events: tuple = ()
+
+
+_SEEDED_TRACE = _SeededTrace()
+
+
+@dataclass(frozen=True)
+class SeededTranslation:
+    """A cache entry rebuilt from a peer's serialized export.
+
+    The warm-restart protocol ships only what survives the wire —
+    the normalized question, the provider fingerprint, and the final
+    OASSIS-QL text — not the dependency graph, IXs or span tree of the
+    original :class:`~repro.core.pipeline.TranslationResult`.  Serving
+    consumers read exactly ``query_text`` and ``trace.degraded`` from a
+    cache hit, so a seeded entry answers repeat traffic byte-identically
+    to the original; anything that needs the full artifact chain (the
+    ``query`` AST, the trace's spans) re-translates instead.
+    """
+
+    text: str
+    query_text: str
+    #: Marks warm-restart provenance for debugging and tests.
+    seeded: bool = True
+
+    @property
+    def trace(self) -> _SeededTrace:
+        return _SEEDED_TRACE
+
+    @property
+    def lint(self) -> None:
+        return None
 
 
 @dataclass
@@ -691,6 +732,69 @@ class TranslationService:
             list(texts), interaction=provider, workers=workers
         )
         return self.cache.stats().insertions - before
+
+    # -- warm-restart protocol -----------------------------------------------------------
+
+    def cache_fingerprint(self) -> str | None:
+        """The default provider's cache identity, or None.
+
+        This is the fingerprint every cache entry made through the
+        default provider carries; peers use it to decide whether their
+        exported entries are usable here.
+        """
+        return self._fingerprint(self._provider(None))
+
+    def export_hot_entries(self, n: int) -> list[dict]:
+        """Up to ``n`` hottest cache entries as JSON-safe dicts.
+
+        Each entry is ``{"text", "fingerprint", "query"}`` — the
+        ``cache_export`` frame body of the warm-restart protocol,
+        hottest first.  An empty list when caching is disabled.
+        """
+        if self.cache is None:
+            return []
+        return [
+            {"text": text, "fingerprint": fingerprint, "query": query}
+            for text, fingerprint, query in self.cache.export_hot(n)
+        ]
+
+    def seed_cache(self, entries: Iterable[dict]) -> tuple[int, int]:
+        """Replay a peer's exported entries into this service's cache.
+
+        The receive side of the warm-restart protocol: each wire dict is
+        rebuilt as a :class:`SeededTranslation` and handed to
+        :meth:`TranslationCache.seed`, which refuses anything the live
+        cache path would refuse and counts the rest on the dedicated
+        ``warmed`` counter (never as hits or insertions).  Malformed
+        entries — wrong shape, empty text/fingerprint/query — count as
+        refused.  Returns ``(warmed, refused)``; ``(0, 0)`` with
+        caching disabled.
+        """
+        if self.cache is None:
+            return (0, 0)
+        refused = 0
+        triples = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                refused += 1
+                continue
+            text = entry.get("text")
+            fingerprint = entry.get("fingerprint")
+            query = entry.get("query")
+            if not (
+                isinstance(text, str) and text
+                and isinstance(fingerprint, str) and fingerprint
+                and isinstance(query, str) and query
+            ):
+                refused += 1
+                continue
+            triples.append((
+                text,
+                fingerprint,
+                SeededTranslation(text=text, query_text=query),
+            ))
+        warmed, bad = self.cache.seed(triples)
+        return warmed, refused + bad
 
     # -- stats ---------------------------------------------------------------------------
 

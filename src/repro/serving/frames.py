@@ -33,7 +33,23 @@ import struct
 
 from repro.errors import ChannelClosedError, FrameProtocolError
 
-__all__ = ["FrameChannel", "MAX_FRAME_BYTES", "decode_frame", "encode_frame"]
+__all__ = [
+    "FrameChannel", "KNOWN_OPS", "MAX_FRAME_BYTES", "decode_frame",
+    "encode_frame",
+]
+
+#: The op vocabulary of the manager↔worker envelope.  ``hello`` flows
+#: worker→manager only (the readiness signal); ``cache_export`` /
+#: ``cache_seed`` are the warm-restart protocol — the manager pulls a
+#: surviving worker's hottest cache entries and replays them into a
+#: freshly restarted one before it rejoins the ring.  Workers answer an
+#: op outside this set with a typed ``FrameProtocolError`` payload
+#: rather than dying, so a newer manager degrades gracefully against an
+#: older worker.
+KNOWN_OPS = frozenset({
+    "hello", "ping", "translate", "batch", "lint", "stats",
+    "cache_export", "cache_seed", "stall", "shutdown",
+})
 
 #: Hard ceiling on one frame's payload.  Big enough for a several-
 #: thousand-question batch or a full stats snapshot; small enough that

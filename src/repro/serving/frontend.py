@@ -256,7 +256,17 @@ class HTTPFrontend:
         except ValueError:
             handler.close_connection = True  # body left unread
             raise _BadRequest("Content-Length must be an integer")
-        if length <= 0:
+        if length < 0:
+            # A negative length must never reach rfile.read(): read(-5)
+            # means read-to-EOF, which on a keep-alive connection blocks
+            # until the client gives up (a request-smuggling/DoS shape).
+            # The declared length is a lie, so the stream position is
+            # unknowable — close instead of draining.
+            handler.close_connection = True
+            raise _BadRequest("Content-Length must be non-negative")
+        if length == 0:
+            # Nothing was declared, so nothing is read — the connection
+            # stays aligned and reusable.
             raise _BadRequest("a JSON request body is required")
         if length > MAX_BODY_BYTES:
             # Refuse without draining; the connection cannot be reused

@@ -25,10 +25,24 @@ keyspace, and one framed channel per worker.  The pieces:
   re-routes to the replacement automatically) and one retry of the
   in-flight request; a second failure surfaces as
   :class:`WorkerCrashedError`.
+* **Warm restarts** — before a replacement worker rejoins the ring,
+  the manager replays the shard's hottest translations into its cache
+  (``cache_seed``): first from a manager-side *shadow index* of
+  recently served (question, query) pairs, topped up by pulling
+  surviving siblings' hottest entries (``cache_export``) — so a crash
+  costs restart latency, not a cold cache.  Warm-up is bounded
+  (``warmup_keys`` entries, one short deadline), best-effort (a
+  failure leaves the worker cold, never down), and happens while only
+  the dead shard's dispatch lock is held — admission control and the
+  other shards are never blocked by it.
 * **Stats** — :meth:`stats` probes every shard and returns a
   :class:`~repro.serving.stats.ServingStats` whose counter identity
   ``requests == translated + served_from_cache + deduplicated +
-  errors + shed`` holds in every snapshot.
+  errors + shed`` holds in every snapshot.  Each shard's view is the
+  sum of a **carry-forward baseline** (counters of its dead
+  predecessors, folded in at restart) and the live worker's last
+  probed snapshot — so the merged counters are monotone non-decreasing
+  across crashes, as Prometheus counter semantics require.
 
 Everything here is stdlib: ``multiprocessing`` for the processes, a
 loopback TCP listener the workers dial back into (spawn-safe on every
@@ -41,9 +55,10 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import multiprocessing
 import socket
@@ -65,6 +80,7 @@ from repro.serving.hashring import HashRing
 from repro.serving.stats import (
     ServingStats,
     ShardSnapshot,
+    carry_baseline,
     empty_service_stats,
     merge_service_stats,
     service_stats_from_dict,
@@ -178,6 +194,54 @@ class _AdmissionGate:
             return self._depth
 
 
+class _ShadowIndex:
+    """The manager's bounded memory of recently served translations.
+
+    A small LRU of ``normalized question -> query text`` fed by every
+    successful, non-degraded outcome that passes through the manager.
+    It exists for exactly one moment: when a worker dies, its
+    replacement is seeded from here (topped up from sibling shards)
+    before rejoining the ring.  Guarded by its own lock — recording on
+    the hot path costs one dict update and never touches a handle lock
+    or the manager lock.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, str] = OrderedDict()
+
+    def record(self, text: str, query: str) -> None:
+        key = TranslationCache.normalize(text)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = query
+                return
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+            self._entries[key] = query
+
+    def hottest(
+        self, n: int, owned: Callable[[str], bool]
+    ) -> list[tuple[str, str]]:
+        """Up to ``n`` hottest (text, query) pairs passing ``owned``."""
+        if n <= 0:
+            return []
+        out: list[tuple[str, str]] = []
+        with self._lock:
+            for key in reversed(self._entries):
+                if owned(key):
+                    out.append((key, self._entries[key]))
+                    if len(out) >= n:
+                        break
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 class _WorkerHandle:
     """One shard's runner, channel and correlation-id counter.
 
@@ -193,6 +257,7 @@ class _WorkerHandle:
         self.channel: FrameChannel | None = None
         self.process = None  # multiprocessing.Process | threading.Thread
         self.pid: int | None = None
+        self.fingerprint: str | None = None
         self.restarts = 0
         self._request_id = 0
 
@@ -224,6 +289,11 @@ class ShardManager:
         breaker_threshold: consecutive dispatch failures that open a
             shard's circuit breaker (0 disables breakers).
         breaker_recovery_ms: open-circuit cool-down before probing.
+        warmup_keys: how many hot cache entries to replay into a
+            restarted worker before it rejoins the ring (0 disables
+            warm restarts *and* the shadow-index bookkeeping feeding
+            them).  Warm-up is best-effort and bounded — a failed or
+            slow seed leaves the replacement cold, never down.
         registry: metrics registry for the ``serving_*`` series; a
             private one is built if omitted.  The HTTP front-end
             shares it so ``/metrics`` covers both layers.
@@ -242,6 +312,7 @@ class ShardManager:
         ring_replicas: int = 128,
         breaker_threshold: int = 8,
         breaker_recovery_ms: float = 2000.0,
+        warmup_keys: int = 64,
         registry: MetricsRegistry | None = None,
     ):
         if shards < 1:
@@ -279,7 +350,21 @@ class ShardManager:
         self._accept_lock = threading.Lock()   # the shared listener
         self._close_lock = threading.Lock()
         self._closed = False
-        self._pending_hellos: dict[int, tuple[FrameChannel, int | None]] = {}
+        self._pending_hellos: dict[
+            int, tuple[FrameChannel, int | None, str | None]
+        ] = {}
+        self.warmup_keys = max(0, warmup_keys)
+        self._shadow = _ShadowIndex(
+            capacity=max(256, self.warmup_keys * shards * 4)
+        ) if self.warmup_keys else None
+        # Per-shard carry-forward stats: the summed counters of a
+        # shard's dead predecessors (gauges zeroed), plus the live
+        # worker's last successfully probed snapshot.  Both are only
+        # written under self._lock; _restart_locked folds last_seen
+        # into carry atomically, so carry[i] + last_seen[i] is monotone
+        # non-decreasing per counter field across restarts.
+        self._carry = [empty_service_stats() for _ in range(shards)]
+        self._last_seen = [empty_service_stats() for _ in range(shards)]
         self._build_metrics(shards)
         self._gates = [
             _AdmissionGate(
@@ -297,9 +382,12 @@ class ShardManager:
             for handle in self._handles:
                 self._launch(handle)
             for handle in self._handles:
-                channel, pid = self._accept_hello(handle.shard)
+                channel, pid, fingerprint = self._accept_hello(
+                    handle.shard
+                )
                 handle.channel = channel
                 handle.pid = pid
+                handle.fingerprint = fingerprint
         except BaseException:
             self.close(timeout=1.0)
             raise
@@ -333,6 +421,22 @@ class ShardManager:
             "Requests whose front-end deadline expired before the "
             "worker answered (the worker may still complete them; "
             "stale replies are drained by correlation id).",
+        ).labels()
+        warmup = r.counter(
+            "serving_cache_warmup_total",
+            "Warm-restart cache replays by outcome: ok (the "
+            "replacement worker was seeded), empty (nothing to "
+            "replay), failed (the seed attempt errored; the worker "
+            "serves cold).",
+            labelnames=("outcome",),
+        )
+        self._c_warmup_ok = warmup.labels(outcome="ok")
+        self._c_warmup_empty = warmup.labels(outcome="empty")
+        self._c_warmup_failed = warmup.labels(outcome="failed")
+        self._c_warmup_entries = r.counter(
+            "serving_cache_warmup_entries_total",
+            "Cache entries replayed into replacement workers by the "
+            "warm-restart protocol.",
         ).labels()
         self._m_pending = r.gauge(
             "serving_pending",
@@ -377,7 +481,7 @@ class ShardManager:
 
     def _accept_hello(
         self, expected_shard: int
-    ) -> tuple[FrameChannel, int | None]:
+    ) -> tuple[FrameChannel, int | None, str | None]:
         """Wait for ``expected_shard``'s ready signal on the listener.
 
         Concurrent restarts share one listener, so a hello for a
@@ -420,12 +524,23 @@ class ShardManager:
                     continue
                 shard = int(hello.get("shard", -1))
                 pid = hello.get("pid")
+                fingerprint = hello.get("fingerprint")
+                if not isinstance(fingerprint, str):
+                    fingerprint = None
                 if shard == expected_shard:
-                    return channel, pid
-                self._pending_hellos[shard] = (channel, pid)
+                    return channel, pid, fingerprint
+                self._pending_hellos[shard] = (channel, pid, fingerprint)
 
     def _restart_locked(self, handle: _WorkerHandle) -> None:
-        """Replace a dead worker in place; the caller holds its lock."""
+        """Replace a dead worker in place; the caller holds its lock.
+
+        Two recovery duties beyond relaunching: the dead worker's last
+        probed counters are folded into the shard's carry-forward
+        baseline (so merged stats never go backwards), and the
+        replacement's cache is seeded with the shard's hottest keys
+        before any request is dispatched to it (so a crash costs
+        latency, not locality).
+        """
         if handle.channel is not None:
             handle.channel.close()
             handle.channel = None
@@ -440,10 +555,147 @@ class ShardManager:
         handle.restarts += 1
         with self._lock:
             self._c_restarts.inc()
+            # Fold the dead worker's history into the baseline.  The
+            # caller holds handle.lock, so no stats probe of this shard
+            # can interleave between the fold and the reset — the sum
+            # carry + last_seen never moves backwards.
+            self._carry[handle.shard] = merge_service_stats([
+                self._carry[handle.shard],
+                carry_baseline(self._last_seen[handle.shard]),
+            ])
+            self._last_seen[handle.shard] = empty_service_stats()
         self._launch(handle)
-        channel, pid = self._accept_hello(handle.shard)
+        channel, pid, fingerprint = self._accept_hello(handle.shard)
         handle.channel = channel
         handle.pid = pid
+        handle.fingerprint = fingerprint
+        self._warm_restart_locked(handle)
+
+    #: Budget for one warm-up exchange (a sibling export pull or the
+    #: replacement seed).  Short on purpose: warm-up rides inside a
+    #: restart that a live request is waiting on.
+    _WARMUP_TIMEOUT = 5.0
+
+    def _warm_restart_locked(self, handle: _WorkerHandle) -> None:
+        """Seed a freshly restarted worker's cache; never raises.
+
+        The caller holds ``handle.lock`` (and nothing else).  Entries
+        come from the shadow index first — the manager's own memory of
+        what this keyspace slice served — topped up from surviving
+        siblings' exports.  Sibling pulls are strictly best-effort:
+        ``lock.acquire(blocking=False)``, so a busy or restarting
+        sibling is skipped rather than waited on (two simultaneous
+        restarts can never deadlock pulling from each other).  Any
+        failure downgrades to a cold start; the worker is already
+        accepting frames either way.
+        """
+        if self.warmup_keys <= 0 or self._shadow is None:
+            return
+        fingerprint = handle.fingerprint
+        try:
+            if fingerprint:
+                entries = self._gather_warmup_entries(handle, fingerprint)
+            else:
+                # The worker runs cache-less or with an uncacheable
+                # provider — there is nothing a seed could do.
+                entries = []
+            if not entries:
+                with self._lock:
+                    self._c_warmup_empty.inc()
+                return
+            request_id = handle.next_id()
+            message = {
+                "op": "cache_seed", "entries": entries, "id": request_id,
+            }
+            handle.channel.send(message)
+            reply = self._await_reply(
+                handle, request_id,
+                time.monotonic() + self._WARMUP_TIMEOUT,
+            )
+            warmed = int(reply.get("warmed", 0)) if reply.get("ok") else 0
+            with self._lock:
+                if reply.get("ok"):
+                    self._c_warmup_ok.inc()
+                    if warmed:
+                        self._c_warmup_entries.inc(warmed)
+                else:
+                    self._c_warmup_failed.inc()
+        except (ReproError, OSError, TimeoutError):
+            # Crucially *not* another restart: the channel may be fine
+            # (a slow seed) or freshly broken (next dispatch handles
+            # it); either way the replacement serves cold.
+            with self._lock:
+                self._c_warmup_failed.inc()
+
+    def _gather_warmup_entries(
+        self, handle: _WorkerHandle, fingerprint: str
+    ) -> list[dict]:
+        """The seed payload for one restarted shard, hottest first."""
+        def owned(key: str) -> bool:
+            return self._ring.lookup(key) == handle.shard
+
+        entries: list[dict] = []
+        seen: set[str] = set()
+        for text, query in self._shadow.hottest(self.warmup_keys, owned):
+            entries.append({
+                "text": text, "fingerprint": fingerprint, "query": query,
+            })
+            seen.add(text)
+        if len(entries) >= self.warmup_keys:
+            return entries
+        for sibling in self._handles:
+            if sibling.shard == handle.shard:
+                continue
+            reply = self._exchange_nowait(
+                sibling,
+                {"op": "cache_export", "n": self.warmup_keys},
+            )
+            if reply is None or not reply.get("ok"):
+                continue
+            for entry in reply.get("entries") or []:
+                if not isinstance(entry, dict):
+                    continue
+                text = entry.get("text")
+                if (
+                    not isinstance(text, str)
+                    or text in seen
+                    or not owned(TranslationCache.normalize(text))
+                    or entry.get("fingerprint") != fingerprint
+                ):
+                    continue
+                entries.append(entry)
+                seen.add(text)
+                if len(entries) >= self.warmup_keys:
+                    return entries
+        return entries
+
+    def _exchange_nowait(
+        self, handle: _WorkerHandle, payload: dict
+    ) -> dict | None:
+        """One best-effort side-channel roundtrip, or None.
+
+        Unlike :meth:`_roundtrip` this never blocks on a busy handle,
+        never restarts a dead one, and never raises — it exists for
+        warm-up's sibling pulls, which must not amplify one shard's
+        crash into cluster-wide lock convoys.
+        """
+        if not handle.lock.acquire(blocking=False):
+            return None
+        try:
+            if handle.channel is None or not handle.alive():
+                return None
+            request_id = handle.next_id()
+            message = dict(payload)
+            message["id"] = request_id
+            handle.channel.send(message)
+            return self._await_reply(
+                handle, request_id,
+                time.monotonic() + self._WARMUP_TIMEOUT,
+            )
+        except (ReproError, OSError, TimeoutError):
+            return None
+        finally:
+            handle.lock.release()
 
     # -- dispatch --------------------------------------------------------------
 
@@ -505,6 +757,21 @@ class ShardManager:
                         shard=handle.shard,
                     ) from err
                 self._note_success(handle.shard)
+                if payload.get("op") == "stats" and reply.get("ok"):
+                    # Refresh the carry-forward bookkeeping while the
+                    # handle lock is still held: a restart's fold
+                    # cannot interleave, so a pre-crash snapshot can
+                    # never land *after* its own epoch was folded (which
+                    # would double-count it).
+                    try:
+                        parsed = service_stats_from_dict(
+                            reply.get("stats") or {}
+                        )
+                    except (TypeError, ValueError, KeyError):
+                        parsed = None  # malformed snapshot: keep the old
+                    if parsed is not None:
+                        with self._lock:
+                            self._last_seen[handle.shard] = parsed
                 return reply
         raise WorkerCrashedError(  # pragma: no cover - loop always exits
             f"shard {handle.shard} dispatch failed: {last_error}",
@@ -537,6 +804,16 @@ class ShardManager:
                 f"reply id {reply_id!r} is ahead of request "
                 f"{request_id} on shard {handle.shard}"
             )
+
+    def _observe_outcome(self, outcome: RemoteOutcome) -> None:
+        """Feed the shadow index; free when warm restarts are off."""
+        if (
+            self._shadow is not None
+            and outcome.ok
+            and not outcome.degraded
+            and outcome.query
+        ):
+            self._shadow.record(outcome.text, outcome.query)
 
     def _note_failure(self, shard: int) -> None:
         breaker = self._breakers[shard]
@@ -604,7 +881,9 @@ class ShardManager:
             raise
         finally:
             gate.exit()
-        return RemoteOutcome.from_payload(text, shard, reply)
+        outcome = RemoteOutcome.from_payload(text, shard, reply)
+        self._observe_outcome(outcome)
+        return outcome
 
     def submit_batch(
         self, texts: Sequence[str], timeout: float | None = None
@@ -659,9 +938,11 @@ class ShardManager:
                 gate.exit()
             items = reply.get("items") or []
             for i, payload in zip(indices, items):
-                outcomes[i] = RemoteOutcome.from_payload(
+                outcome = RemoteOutcome.from_payload(
                     texts[i], shard, payload
                 )
+                self._observe_outcome(outcome)
+                outcomes[i] = outcome
             if len(items) < len(indices):
                 # A worker that answers short is a protocol bug; the
                 # unanswered tail must still be accounted for.
@@ -764,26 +1045,38 @@ class ShardManager:
     def stats(self, timeout: float = 10.0) -> ServingStats:
         """The global view: per-shard snapshots, merged total, and the
         front-end counters; the serving counter identity holds in every
-        snapshot because ``requests`` is derived, never sampled."""
+        snapshot because ``requests`` is derived, never sampled.
+
+        Each shard's view is its carry-forward baseline (dead
+        predecessors' counters) plus the live worker's last probed
+        snapshot — the probe here refreshes the latter (inside
+        :meth:`_roundtrip`, under the handle lock, so it can never race
+        a restart's fold).  The per-shard sums, and therefore the
+        merged total, are **monotone non-decreasing** across worker
+        crashes: a restart folds, never zeroes.
+        """
         self._ensure_open()
         snapshots = []
         for handle in self._handles:
             try:
-                reply = self._roundtrip(handle, {"op": "stats"}, timeout)
-                worker_stats = service_stats_from_dict(
-                    reply.get("stats") or {}
-                )
+                # The reply is consumed inside _roundtrip: a successful
+                # stats probe updates _last_seen under the handle lock.
+                self._roundtrip(handle, {"op": "stats"}, timeout)
                 alive = True
             except ReproError:
-                worker_stats = empty_service_stats()
                 alive = False
+            with self._lock:
+                shard_stats = merge_service_stats([
+                    self._carry[handle.shard],
+                    self._last_seen[handle.shard],
+                ])
             snapshots.append(ShardSnapshot(
                 shard=handle.shard,
                 pid=handle.pid,
                 alive=alive and handle.alive(),
                 pending=self._gates[handle.shard].depth,
                 restarts=handle.restarts,
-                stats=worker_stats,
+                stats=shard_stats,
             ))
         with self._lock:
             shed_queue = int(self._c_shed_queue.value)
@@ -791,6 +1084,10 @@ class ShardManager:
             dispatch_errors = int(self._c_dispatch_errors.value)
             deadline_expired = int(self._c_deadline.value)
             restarts = int(self._c_restarts.value)
+            warmups_ok = int(self._c_warmup_ok.value)
+            warmups_empty = int(self._c_warmup_empty.value)
+            warmups_failed = int(self._c_warmup_failed.value)
+            warmup_entries = int(self._c_warmup_entries.value)
         return ServingStats(
             shards=tuple(snapshots),
             total=merge_service_stats([s.stats for s in snapshots]),
@@ -800,6 +1097,10 @@ class ShardManager:
             dispatch_errors=dispatch_errors,
             deadline_expired=deadline_expired,
             restarts=restarts,
+            cache_warmups_ok=warmups_ok,
+            cache_warmups_empty=warmups_empty,
+            cache_warmups_failed=warmups_failed,
+            cache_warmup_entries=warmup_entries,
         )
 
     # -- shutdown --------------------------------------------------------------
@@ -848,7 +1149,7 @@ class ShardManager:
                         runner.join(2.0)
             if handle.channel is not None:
                 handle.channel.close()
-        for channel, _ in self._pending_hellos.values():
+        for channel, *_ in self._pending_hellos.values():
             channel.close()
         try:
             self._listener.close()

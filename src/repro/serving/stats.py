@@ -19,9 +19,13 @@ every snapshot by construction, provided each worker snapshot is
 internally consistent and the front-end counters are read once.  A
 request that timed out at the front-end but completes in the worker is
 counted by the worker (as whatever outcome it reached) and tracked in
-``deadline_expired`` separately; a worker restart zeroes that shard's
-service counters (the process and its registry are gone), which
-``restarts`` records.
+``deadline_expired`` separately.  A worker restart loses the dead
+process's registry, but the manager keeps per-shard **carry-forward**
+baselines (the last snapshot seen before the crash, gauge fields
+zeroed via :func:`carry_baseline`) and folds them into every later
+snapshot — so the merged counters are monotone non-decreasing across
+restarts, as Prometheus counter semantics require; ``restarts``
+records how often that happened.
 
 Zero-traffic edges are first-class here: a fresh shard, an all-shed
 interval or an empty manager must merge to a snapshot whose derived
@@ -32,7 +36,7 @@ of these down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 
 from repro.service.cache import CacheStats
 from repro.service.service import ServiceStats, StageStat
@@ -40,6 +44,7 @@ from repro.service.service import ServiceStats, StageStat
 __all__ = [
     "ServingStats",
     "ShardSnapshot",
+    "carry_baseline",
     "merge_service_stats",
     "service_stats_from_dict",
     "service_stats_to_dict",
@@ -58,6 +63,15 @@ _SUM_FIELDS = (
 
 _CACHE_FIELDS = (
     "hits", "misses", "evictions", "size", "capacity", "insertions",
+    "warmed",
+)
+
+#: ServiceStats fields that are gauges, not counters: summing them
+#: across a dead worker's baseline and its replacement's live snapshot
+#: would double-count (two capacities for one cache, two kb-lint
+#: reports for one KB).  :func:`carry_baseline` zeroes these.
+_GAUGE_FIELDS = (
+    "workers", "kb_lint_errors", "kb_lint_warnings", "kb_lint_infos",
 )
 
 
@@ -115,6 +129,32 @@ def service_stats_from_dict(payload: dict) -> ServiceStats:
     return ServiceStats(stages=stages, cache=cache, **kwargs)
 
 
+def carry_baseline(stats: ServiceStats) -> ServiceStats:
+    """A dead worker's snapshot, reduced to what must be carried.
+
+    Counters (requests, outcomes, cache hits, accumulated seconds,
+    stage aggregates) are the history a restart must not erase — they
+    carry forward verbatim.  Gauge-like fields describe the *current*
+    process, which no longer exists: the replacement worker reports its
+    own cache size/capacity, fan-out width and KB-lint mirror, so the
+    baseline zeroes them to keep the merged view from double-counting.
+    """
+    cache = stats.cache
+    if cache is not None:
+        cache = CacheStats(
+            hits=cache.hits,
+            misses=cache.misses,
+            evictions=cache.evictions,
+            size=0,
+            capacity=0,
+            insertions=cache.insertions,
+            warmed=cache.warmed,
+        )
+    return replace(
+        stats, cache=cache, **{name: 0 for name in _GAUGE_FIELDS}
+    )
+
+
 def merge_service_stats(parts: list[ServiceStats]) -> ServiceStats:
     """Sum per-shard snapshots into one service-level total.
 
@@ -163,9 +203,12 @@ def merge_service_stats(parts: list[ServiceStats]) -> ServiceStats:
 class ShardSnapshot:
     """One shard's worker, as the manager saw it at snapshot time.
 
-    ``alive=False`` with zeroed ``stats`` means the stats probe failed
-    (worker crashed or restarting); the shard still participates in the
-    merge with zeros, so the global identity keeps holding.
+    ``stats`` is the shard's *lifetime* view: the carry-forward
+    baseline of its dead predecessors plus the live worker's last
+    probed snapshot.  ``alive=False`` means the probe failed (worker
+    crashed or restarting); the shard still participates in the merge
+    with whatever was last known, so the global identity keeps holding
+    and no counter ever moves backwards.
     """
 
     shard: int
@@ -203,6 +246,15 @@ class ServingStats:
             (the worker may still have completed them; they are *not*
             double-counted as dispatch errors).
         restarts: worker processes restarted after a crash.
+        cache_warmups_ok: restarts whose replacement worker was seeded
+            with hot cache entries before rejoining the ring.
+        cache_warmups_empty: restarts with nothing to replay (no hot
+            keys owned by the shard, warm-up disabled at runtime, or
+            no usable fingerprint).
+        cache_warmups_failed: warm-up attempts that errored; the
+            replacement serves cold, admission is never blocked.
+        cache_warmup_entries: cache entries replayed into replacement
+            workers, summed over all warm restarts.
     """
 
     shards: tuple[ShardSnapshot, ...]
@@ -213,6 +265,10 @@ class ServingStats:
     dispatch_errors: int = 0
     deadline_expired: int = 0
     restarts: int = 0
+    cache_warmups_ok: int = 0
+    cache_warmups_empty: int = 0
+    cache_warmups_failed: int = 0
+    cache_warmup_entries: int = 0
 
     @property
     def requests(self) -> int:
@@ -255,6 +311,10 @@ class ServingStats:
             "dispatch_errors": self.dispatch_errors,
             "deadline_expired": self.deadline_expired,
             "restarts": self.restarts,
+            "cache_warmups_ok": self.cache_warmups_ok,
+            "cache_warmups_empty": self.cache_warmups_empty,
+            "cache_warmups_failed": self.cache_warmups_failed,
+            "cache_warmup_entries": self.cache_warmup_entries,
             "alive_shards": self.alive_shards,
             "total": service_stats_to_dict(self.total),
             "mean_translation_ms": self.total.mean_translation_ms,

@@ -19,6 +19,13 @@ batch      many questions through ``translate_batch`` (single-
            routing is consistent-hash in the first place)
 lint       static analysis of a saved query or a question
 stats      the shard's ``ServiceStats`` snapshot, JSON-encoded
+cache_export  the shard's hottest cache entries (text, fingerprint,
+           serialized query text), hottest-first — the donate side
+           of the warm-restart protocol
+cache_seed replay a peer's exported entries into this shard's cache
+           (counted as ``warmed``, never as hits or insertions;
+           degraded/lint-refused entries are rejected) — the receive
+           side of the warm-restart protocol
 stall      diagnostic sleep (only with ``spec.debug_ops``); lets
            tests occupy a shard deterministically
 shutdown   acknowledge, then leave the loop (graceful drain)
@@ -42,7 +49,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ChannelClosedError, ReproError, VerificationError
 from repro.serving.config import WorkerSpec
-from repro.serving.frames import FrameChannel
+from repro.serving.frames import KNOWN_OPS, FrameChannel
 from repro.serving.stats import service_stats_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -180,6 +187,25 @@ def _handle(
             "ok": True,
             "stats": service_stats_to_dict(service.stats()),
         }
+    if op == "cache_export":
+        try:
+            n = int(request.get("n", 0))
+        except (TypeError, ValueError):
+            n = 0
+        return {"ok": True, "entries": service.export_hot_entries(n)}
+    if op == "cache_seed":
+        entries = request.get("entries")
+        if not isinstance(entries, list):
+            return {
+                "ok": False,
+                "error": {
+                    "type": "FrameProtocolError",
+                    "message": "cache_seed needs an 'entries' list",
+                    "repro": True,
+                },
+            }
+        warmed, refused = service.seed_cache(entries)
+        return {"ok": True, "warmed": warmed, "refused": refused}
     if op == "stall" and spec.debug_ops:
         time.sleep(float(request.get("seconds", 0.0)))
         return {"ok": True}
@@ -189,7 +215,10 @@ def _handle(
         "ok": False,
         "error": {
             "type": "FrameProtocolError",
-            "message": f"unknown op {op!r}",
+            "message": (
+                f"unknown op {op!r} (known: "
+                f"{', '.join(sorted(KNOWN_OPS))})"
+            ),
             "repro": True,
         },
     }
@@ -238,12 +267,15 @@ def worker_main(
     channel = FrameChannel(sock)
     try:
         service = spec.build_service()
-        # hello after construction: receiving it means "ready".
+        # hello after construction: receiving it means "ready".  The
+        # fingerprint tells the manager which exported cache entries
+        # this worker can actually use for a warm restart.
         channel.send({
             "op": "hello",
             "shard": shard,
             "token": token,
             "pid": os.getpid(),
+            "fingerprint": service.cache_fingerprint(),
         })
         serve_worker(channel, service, spec)
     finally:

@@ -66,10 +66,12 @@ def render_service_stats(stats: "ServiceStats") -> str:
     )
     if stats.cache is not None:
         c = stats.cache
+        warmed = f"warmed: {c.warmed}  " if c.warmed else ""
         lines.append(
             f"cache: {c.size}/{c.capacity} entries  "
             f"hits: {c.hits}  misses: {c.misses}  "
             f"evictions: {c.evictions}  "
+            f"{warmed}"
             f"hit rate: {c.hit_rate:.1%}"
         )
     else:
@@ -146,6 +148,17 @@ def render_serving_stats(stats: "ServingStats") -> str:
         f"deadlines expired: {stats.deadline_expired}  "
         f"shed rate: {stats.shed_rate:.1%}"
     )
+    warmups = (
+        stats.cache_warmups_ok + stats.cache_warmups_empty
+        + stats.cache_warmups_failed
+    )
+    if warmups:
+        lines.append(
+            f"cache warm-ups: {stats.cache_warmups_ok} ok / "
+            f"{stats.cache_warmups_empty} empty / "
+            f"{stats.cache_warmups_failed} failed  "
+            f"entries replayed: {stats.cache_warmup_entries}"
+        )
     if stats.shards:
         rows = [
             [

@@ -1,12 +1,24 @@
 """Unit tests for the bounded LRU translation cache."""
 
 import threading
+from types import SimpleNamespace
 
 import pytest
 
 from repro.service.cache import TranslationCache
 
 FP = "auto:limit=5:threshold=0.1"
+
+
+def _result(query_text="SELECT VARIABLES", degraded=False,
+            lint_errors=False):
+    """A minimal cached-value stand-in with the duck-typed surface the
+    warm-restart protocol inspects."""
+    return SimpleNamespace(
+        query_text=query_text,
+        trace=SimpleNamespace(degraded=degraded),
+        lint=SimpleNamespace(has_errors=lint_errors),
+    )
 
 
 class TestKeying:
@@ -94,6 +106,98 @@ class TestCounters:
 
     def test_empty_cache_hit_rate_is_zero(self):
         assert TranslationCache(capacity=1).stats().hit_rate == 0.0
+
+
+class TestWarmRestartProtocol:
+    def test_export_hot_is_lru_ordered_hottest_first(self):
+        cache = TranslationCache(capacity=8)
+        for name in ("a", "b", "c"):
+            cache.put(name, FP, _result(query_text=f"Q-{name}"))
+        cache.get("a", FP)  # "a" becomes the hottest
+        exported = cache.export_hot(2)
+        assert [text for text, _, _ in exported] == ["a", "c"]
+        assert exported[0] == ("a", FP, "Q-a")
+
+    def test_export_skips_values_without_query_text(self):
+        cache = TranslationCache(capacity=8)
+        cache.put("plain", FP, "not a result object")
+        cache.put("real", FP, _result(query_text="Q"))
+        assert cache.export_hot(10) == [("real", FP, "Q")]
+
+    def test_export_does_not_touch_counters_or_order(self):
+        cache = TranslationCache(capacity=2)
+        cache.put("old", FP, _result())
+        cache.put("new", FP, _result())
+        cache.export_hot(2)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 0)
+        cache.put("third", FP, _result())  # evicts "old", still LRU
+        assert cache.get("old", FP) is None
+
+    def test_seed_counts_warmed_not_hits_or_insertions(self):
+        cache = TranslationCache(capacity=8)
+        warmed, refused = cache.seed([
+            ("a", FP, _result()), ("b", FP, _result()),
+        ])
+        assert (warmed, refused) == (2, 0)
+        stats = cache.stats()
+        assert stats.warmed == 2
+        assert stats.insertions == 0
+        assert (stats.hits, stats.misses) == (0, 0)
+        assert stats.hit_rate == 0.0
+        assert stats.size == 2
+        # Seeded entries serve real lookups like any other entry.
+        assert cache.get("a", FP).query_text == "SELECT VARIABLES"
+
+    def test_seed_refuses_degraded_and_lint_error_results(self):
+        cache = TranslationCache(capacity=8)
+        warmed, refused = cache.seed([
+            ("bad1", FP, _result(degraded=True)),
+            ("bad2", FP, _result(lint_errors=True)),
+            ("good", FP, _result()),
+        ])
+        assert (warmed, refused) == (1, 2)
+        assert cache.get("bad1", FP) is None
+        assert cache.get("bad2", FP) is None
+        assert cache.get("good", FP) is not None
+
+    def test_seed_never_overwrites_a_live_entry(self):
+        cache = TranslationCache(capacity=8)
+        live = _result(query_text="LIVE")
+        cache.put("q", FP, live)
+        warmed, refused = cache.seed([("q", FP, _result("STALE"))])
+        assert (warmed, refused) == (0, 0)
+        assert cache.get("q", FP) is live
+
+    def test_seed_respects_capacity_and_counts_evictions(self):
+        cache = TranslationCache(capacity=2)
+        warmed, _ = cache.seed([
+            (f"q{i}", FP, _result()) for i in range(5)
+        ])
+        assert warmed == 5
+        assert len(cache) == 2
+        assert cache.stats().evictions == 3
+
+    def test_clear_and_reset_zero_warmed(self):
+        cache = TranslationCache(capacity=4)
+        cache.seed([("a", FP, _result())])
+        cache.reset_counters()
+        assert cache.stats().warmed == 0
+        cache.seed([("b", FP, _result())])
+        cache.clear()
+        assert cache.stats().warmed == 0
+
+    def test_export_seed_roundtrip_between_caches(self):
+        donor = TranslationCache(capacity=8)
+        for name in ("a", "b", "c"):
+            donor.put(name, FP, _result(query_text=f"Q-{name}"))
+        fresh = TranslationCache(capacity=8)
+        warmed, refused = fresh.seed([
+            (text, fp, _result(query_text=query))
+            for text, fp, query in donor.export_hot(10)
+        ])
+        assert (warmed, refused) == (3, 0)
+        assert fresh.get("b", FP).query_text == "Q-b"
 
 
 class TestThreadSafety:

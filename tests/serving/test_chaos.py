@@ -106,6 +106,91 @@ class TestWorkerCrash:
         assert stats.alive_shards == 2
 
 
+class TestWarmRestartChaos:
+    def test_replacement_process_serves_hot_keys_from_cache(
+        self, spawn_manager
+    ):
+        """A real process kill: the replacement's first request for a
+        question served before the crash is a cache hit, and its query
+        text is byte-identical to the pre-crash answer."""
+        manager = spawn_manager
+        question = SUPPORTED[0]
+        first = manager.submit(question, timeout=120.0)
+        assert first.ok
+        victim = manager._handles[first.shard]
+        victim.process.kill()
+        victim.process.join(30.0)
+
+        second = manager.submit(question, timeout=120.0)
+        assert second.ok
+        assert second.cached, "the warm restart must have seeded this key"
+        assert second.query == first.query
+
+        stats = manager.stats(timeout=120.0)
+        assert stats.restarts >= 1
+        assert stats.cache_warmups_ok >= 1
+        assert stats.cache_warmup_entries >= 1
+        assert stats.requests == stats.accounted
+
+    def test_counters_never_decrease_across_a_kill(self, spawn_manager):
+        """Concurrent scrapers racing a process kill each observe a
+        monotone counter sequence — a restart folds the dead worker's
+        history forward, it never zeroes the merged view."""
+        manager = spawn_manager
+
+        def counters(stats):
+            cache = stats.total.cache
+            return (
+                stats.requests,
+                stats.errors,
+                stats.total.translated,
+                stats.total.served_from_cache,
+                stats.shed,
+                stats.restarts,
+                cache.hits if cache is not None else 0,
+            )
+
+        for question in SUPPORTED:
+            manager.submit(question, timeout=120.0)
+        # Probe once so the pre-crash counters are in the manager's
+        # carry-forward bookkeeping before the worker dies.
+        before = counters(manager.stats(timeout=120.0))
+
+        stop = threading.Event()
+        errors: list[AssertionError] = []
+
+        def scrape() -> None:
+            last = before
+            while not stop.is_set():
+                stats = manager.stats(timeout=120.0)
+                try:
+                    assert stats.requests == stats.accounted
+                    seen = counters(stats)
+                    for prev, cur in zip(last, seen):
+                        assert cur >= prev, (last, seen)
+                    last = seen
+                except AssertionError as exc:
+                    errors.append(exc)
+                    return
+
+        scrapers = [threading.Thread(target=scrape) for _ in range(2)]
+        for t in scrapers:
+            t.start()
+        victim = manager._handles[manager.route(SUPPORTED[0])]
+        victim.process.kill()
+        victim.process.join(30.0)
+        assert manager.submit(SUPPORTED[0], timeout=120.0).ok
+        stop.set()
+        for t in scrapers:
+            t.join(180.0)
+            assert not t.is_alive()
+        assert not errors, errors[0]
+
+        after = counters(manager.stats(timeout=120.0))
+        for prev, cur in zip(before, after):
+            assert cur >= prev, (before, after)
+
+
 class TestFaultInjection:
     def test_seeded_faults_inside_spawned_workers(self):
         """A FaultPlan travels through pickling into the spawned worker

@@ -2,10 +2,12 @@
 load shedding over HTTP, and the metrics exposition."""
 
 import json
+import socket
 import threading
 import time
 import urllib.error
 import urllib.request
+from urllib.parse import urlsplit
 
 import pytest
 
@@ -111,6 +113,63 @@ class TestTranslate:
             urllib.request.urlopen(request, timeout=30)
         if isinstance(excinfo.value, urllib.error.HTTPError):
             assert excinfo.value.code == 413
+
+    def test_negative_content_length_is_400_and_closes(self, frontend):
+        """Regression: a negative Content-Length used to flow into
+        ``rfile.read()``, where ``read(-5)`` means read-to-EOF — on a
+        keep-alive connection the stream position becomes unknowable.
+        It must be refused up front and the connection closed."""
+        parts = urlsplit(frontend.address)
+        raw = (
+            "POST /translate HTTP/1.1\r\n"
+            f"Host: {parts.netloc}\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: -5\r\n"
+            "\r\n"
+        ).encode("ascii")
+        with socket.create_connection(
+            (parts.hostname, parts.port), timeout=30
+        ) as sock:
+            sock.sendall(raw)
+            sock.settimeout(10)
+            data = b""
+            closed = False
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        closed = True
+                        break
+                    data += chunk
+            except socket.timeout:
+                closed = False
+        status_line = data.split(b"\r\n", 1)[0]
+        assert b" 400 " in status_line, status_line
+        assert b"non-negative" in data
+        assert closed, "a desynced connection must be closed, not reused"
+
+    def test_non_numeric_content_length_is_400(self, frontend):
+        parts = urlsplit(frontend.address)
+        raw = (
+            "POST /translate HTTP/1.1\r\n"
+            f"Host: {parts.netloc}\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: banana\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        with socket.create_connection(
+            (parts.hostname, parts.port), timeout=30
+        ) as sock:
+            sock.sendall(raw)
+            sock.settimeout(10)
+            data = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+        assert b" 400 " in data.split(b"\r\n", 1)[0]
 
     def test_get_is_405(self, frontend):
         status, _, _ = _request(frontend, "/translate")

@@ -19,7 +19,7 @@ from repro.serving import (
     service_stats_from_dict,
     service_stats_to_dict,
 )
-from repro.serving.stats import empty_service_stats
+from repro.serving.stats import carry_baseline, empty_service_stats
 
 
 def _busy_shard():
@@ -45,8 +45,10 @@ def _busy_shard():
         },
         cache=CacheStats(
             hits=3, misses=7, evictions=0, size=7, capacity=32,
-            insertions=7,
+            insertions=7, warmed=2,
         ),
+        workers=4,
+        kb_lint_warnings=1,
     )
 
 
@@ -153,6 +155,87 @@ class TestSerialization:
 
         payload = service_stats_to_dict(_busy_shard())
         assert json.loads(json.dumps(payload)) == payload
+
+
+class TestCarryBaseline:
+    """The restart fold: what a dead worker's snapshot contributes to
+    the shard's carry-forward baseline."""
+
+    def test_counters_carry_verbatim(self):
+        base = carry_baseline(_busy_shard())
+        assert base.requests == 10
+        assert base.translated == 6
+        assert base.errors == 1
+        assert base.batch_seconds == 0.5
+        assert base.stages["nl-parsing"].count == 9
+        assert base.cache.hits == 3
+        assert base.cache.misses == 7
+        assert base.cache.insertions == 7
+        assert base.cache.warmed == 2
+
+    def test_gauges_are_zeroed(self):
+        """The replacement reports its own fan-out width, KB-lint
+        mirror and cache geometry — summing the dead worker's would
+        double-count."""
+        base = carry_baseline(_busy_shard())
+        assert base.workers == 0
+        assert base.kb_lint_warnings == 0
+        assert base.cache.size == 0
+        assert base.cache.capacity == 0
+
+    def test_cacheless_snapshot_stays_cacheless(self):
+        base = carry_baseline(empty_service_stats())
+        assert base.cache is None
+
+    def test_fold_plus_fresh_epoch_is_monotone(self):
+        """carry + live after a restart never drops below the pre-crash
+        view, and the live worker's gauges are the only ones counted."""
+        pre_crash = _busy_shard()
+        fresh_epoch = replace(
+            empty_service_stats(),
+            requests=2,
+            translated=2,
+            workers=4,
+            cache=CacheStats(
+                hits=1, misses=1, evictions=0, size=2, capacity=32,
+                insertions=1, warmed=1,
+            ),
+        )
+        merged = merge_service_stats(
+            [carry_baseline(pre_crash), fresh_epoch]
+        )
+        assert merged.requests == 12
+        assert merged.cache.hits == 4
+        assert merged.cache.warmed == 3
+        assert merged.workers == 4          # the live worker's, once
+        assert merged.cache.capacity == 32  # ditto
+
+    def test_repeated_folds_accumulate(self):
+        carry = empty_service_stats()
+        for _ in range(3):  # three crashes, same traffic each epoch
+            carry = merge_service_stats(
+                [carry, carry_baseline(_busy_shard())]
+            )
+        assert carry.requests == 30
+        assert carry.cache.hits == 9
+        assert carry.workers == 0
+
+
+class TestWarmedField:
+    def test_warmed_merges_and_roundtrips(self):
+        merged = merge_service_stats([_busy_shard(), _busy_shard()])
+        assert merged.cache.warmed == 4
+        rebuilt = service_stats_from_dict(
+            service_stats_to_dict(merged)
+        )
+        assert rebuilt.cache.warmed == 4
+
+    def test_old_snapshot_without_warmed_defaults_to_zero(self):
+        payload = service_stats_to_dict(_busy_shard())
+        del payload["cache"]["warmed"]
+        rebuilt = service_stats_from_dict(payload)
+        assert rebuilt.cache.warmed == 0
+        assert rebuilt.cache.hits == 3
 
 
 def _snapshot(shard, stats, alive=True):
