@@ -39,7 +39,13 @@ from repro.core.pipeline import NL2CM, TranslationResult
 from repro.core.verification import VerificationResult
 from repro.crowd.model import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
-from repro.data.scenario import ScenarioPack, default_pack, load_pack
+from repro.data.scenario import (
+    ScenarioPack,
+    default_pack,
+    load_builtin_packs,
+    load_pack,
+)
+from repro.eval.accuracy import AccuracyReport, evaluate_accuracy
 from repro.errors import (
     KBLintError,
     QueryLintError,
@@ -128,6 +134,9 @@ __all__ = [
     "ScenarioPack",
     "default_pack",
     "load_pack",
+    "load_builtin_packs",
+    "AccuracyReport",
+    "evaluate_accuracy",
     "ReproError",
     "TranslationError",
     "VerificationError",

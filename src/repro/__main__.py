@@ -33,6 +33,19 @@ status (0 clean, 1 any ERROR diagnostic, 2 unreadable input) and one
 ``--lint-report`` JSON artifact with per-rule counts keyed by analyzer
 family.
 
+Accuracy scoring (see ``docs/scenarios.md``)::
+
+    python -m repro --score                      # every builtin pack
+    python -m repro --score --pack packs/demo    # one pack directory
+    python -m repro --score --json accuracy.json # also write artifact
+
+``--score`` runs the per-domain accuracy harness
+(:mod:`repro.eval.accuracy`) over every builtin scenario pack (or the
+one named by ``--pack``): POS accuracy with a known/unknown split and
+confusion matrix, dependency UAS/LAS, and gold-query translation
+quality — each computed for both the rules tagger and the trained
+perceptron, so the two can be A/B-compared.
+
 Query planning (see ``docs/performance.md``)::
 
     python -m repro --explain query.oql      # join order + cardinalities
@@ -165,6 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lint-report", metavar="FILE",
                         help="also write the diagnostic counts of a "
                              "lint run to FILE as JSON")
+    parser.add_argument("--score", action="store_true",
+                        help="run the per-domain accuracy harness "
+                             "(POS/parse/translation vs. gold) over "
+                             "every builtin scenario pack")
+    parser.add_argument("--pack", metavar="DIR",
+                        help="with --score: score only the scenario "
+                             "pack in DIR instead of the builtin "
+                             "packs")
+    parser.add_argument("--json", metavar="FILE", dest="json_out",
+                        help="with --score: also write the accuracy "
+                             "report to FILE as JSON")
     parser.add_argument("--serve", action="store_true",
                         help="serve translations over HTTP from a "
                              "multi-process worker tier (see "
@@ -386,6 +410,30 @@ def run_lint(args) -> int:
     return outcome.exit_code
 
 
+def run_score(args) -> int:
+    from repro.data.scenario import load_pack
+    from repro.errors import ScenarioPackError
+    from repro.eval.accuracy import evaluate_accuracy
+
+    packs = None
+    if args.pack:
+        try:
+            packs = [load_pack(args.pack)]
+        except ScenarioPackError as err:
+            print(f"cannot load scenario pack: {err}", file=sys.stderr)
+            return 2
+    report = evaluate_accuracy(packs)
+    print(report.format())
+    if args.json_out:
+        try:
+            report.write_json(args.json_out)
+        except OSError as err:
+            print(f"cannot write {args.json_out}: {err}",
+                  file=sys.stderr)
+            return 2
+    return 0
+
+
 def run_explain(args) -> int:
     from repro.oassis.engine import OassisEngine
     from repro.oassisql import parse_oassisql
@@ -520,6 +568,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.lint or args.lint_patterns or args.lint_kb or args.lint_pack:
         return run_lint(args)
+    if args.score:
+        return run_score(args)
     if args.explain:
         return run_explain(args)
     if args.serve:

@@ -213,6 +213,13 @@ class NL2CM:
             statistics-ordered, compiled plans, with per-translator
             cache counters — ``"greedy"`` keeps the seed per-call
             greedy join for A/B comparison.
+        tagger: the POS tagger behind the dependency parser:
+            ``"rules"`` (default) keeps the deterministic rule/lexicon
+            tagger — translation output is byte-identical to earlier
+            releases — while ``"learned"`` swaps in the shared averaged
+            perceptron trained on the builtin packs' gold corpora
+            (:func:`~repro.nlp.learned.default_learned_tagger`), for
+            A/B comparison via the accuracy harness.
         stage_timeout_ms: per-stage time budget.  Each stage span gets a
             :class:`~repro.resilience.Deadline`; a stage that exceeds it
             raises :class:`~repro.errors.DeadlineExceeded` (a typed
@@ -233,6 +240,9 @@ class NL2CM:
     #: Legal values of the ``planner`` constructor argument.
     PLANNER_MODES = ("cost", "greedy")
 
+    #: Legal values of the ``tagger`` constructor argument.
+    TAGGER_MODES = ("rules", "learned")
+
     def __init__(
         self,
         ontology: Ontology | None = None,
@@ -243,6 +253,7 @@ class NL2CM:
         lint: str = "error",
         kb_lint: str = "warn",
         planner: str = "cost",
+        tagger: str = "rules",
         stage_timeout_ms: float | None = None,
     ):
         if lint not in self.LINT_MODES:
@@ -259,6 +270,11 @@ class NL2CM:
                 f"planner must be one of {self.PLANNER_MODES}, "
                 f"got {planner!r}"
             )
+        if tagger not in self.TAGGER_MODES:
+            raise ValueError(
+                f"tagger must be one of {self.TAGGER_MODES}, "
+                f"got {tagger!r}"
+            )
         if stage_timeout_ms is not None and stage_timeout_ms < 0:
             raise ValueError("stage_timeout_ms must be non-negative")
         self.lint_mode = lint
@@ -274,7 +290,18 @@ class NL2CM:
         self.ontology = ontology or load_merged_ontology()
         self.interaction = interaction or AutoInteraction()
         self.verifier = Verifier()
-        self.parser = DependencyParser()
+        self.tagger_mode = tagger
+        if tagger == "learned":
+            # Imported lazily: training (cached per process) pulls in
+            # the scenario-pack loader, which this module must not
+            # depend on at import time.
+            from repro.nlp.learned import default_learned_tagger
+
+            self.parser = DependencyParser(
+                tagger=default_learned_tagger()
+            )
+        else:
+            self.parser = DependencyParser()
         self.finder = IXFinder(patterns, vocabularies)
         self.creator = IXCreator(
             ontology=self.ontology,

@@ -1,0 +1,233 @@
+"""Gold POS/dependency annotations for scenario-pack corpora.
+
+The accuracy harness (:mod:`repro.eval.accuracy`) scores the NLP
+substrate against hand-reviewed annotations stored next to each pack's
+``corpus.json`` as ``gold_nlp.conll``.  The format is a CoNLL-style
+column file, one sentence per block::
+
+    # id = travel-01
+    # text = Where do you visit in Buffalo?
+    1	Where	WRB	4	advmod
+    2	do	VBP	4	aux
+    3	you	PRP	4	nsubj
+    4	visit	VB	0	root
+    5	in	IN	4	prep
+    6	Buffalo	NNP	5	pobj
+    7	?	.	4	punct
+
+Columns are tab-separated: 1-based token index, surface form, Penn
+Treebank tag, head index (``0`` marks the sentence root) and the typed
+dependency label.  Blank lines separate sentences; ``# key = value``
+comment lines carry the sentence id and the raw text.
+
+Everything here is deliberately strict: tags must come from
+:data:`~repro.nlp.postag_lexicon.TAGSET`, labels from
+:data:`~repro.nlp.graph.DEPENDENCY_LABELS`, heads must form a
+single-rooted tree over the sentence.  A malformed file raises
+:class:`~repro.errors.GoldCorpusError` naming the path and line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import GoldCorpusError
+from repro.nlp.graph import DEPENDENCY_LABELS, DepGraph
+from repro.nlp.postag_lexicon import TAGSET
+
+__all__ = [
+    "GoldToken", "GoldSentence", "parse_gold_conll", "load_gold_conll",
+    "render_gold_conll", "sentence_from_graph",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GoldToken:
+    """One annotated token: surface form, tag, head index and label.
+
+    ``head`` is 1-based; ``0`` means the token is the sentence root.
+    """
+
+    form: str
+    tag: str
+    head: int
+    label: str
+
+
+@dataclass(frozen=True)
+class GoldSentence:
+    """One gold-annotated sentence of a pack corpus."""
+
+    text: str
+    tokens: tuple[GoldToken, ...]
+    id: str = ""
+
+    def tags(self) -> tuple[str, ...]:
+        return tuple(t.tag for t in self.tokens)
+
+    def forms(self) -> tuple[str, ...]:
+        return tuple(t.form for t in self.tokens)
+
+
+def _fail(path: Path | None, line_no: int, message: str) -> GoldCorpusError:
+    where = f"{path}:{line_no}" if path is not None else f"line {line_no}"
+    return GoldCorpusError(f"{where}: {message}")
+
+
+def _finish_sentence(
+    rows: list[tuple[int, GoldToken]],
+    meta: dict[str, str],
+    path: Path | None,
+    line_no: int,
+) -> GoldSentence:
+    tokens = tuple(tok for _, tok in rows)
+    n = len(tokens)
+    roots = 0
+    for i, (row_line, tok) in enumerate(rows, start=1):
+        if not 0 <= tok.head <= n:
+            raise _fail(
+                path, row_line,
+                f"head {tok.head} out of range for a {n}-token sentence",
+            )
+        if tok.head == i:
+            raise _fail(path, row_line, f"token {i} is its own head")
+        if tok.head == 0:
+            roots += 1
+            if tok.label != "root":
+                raise _fail(
+                    path, row_line,
+                    f"head 0 requires label 'root', got {tok.label!r}",
+                )
+    if roots != 1:
+        raise _fail(
+            path, line_no,
+            f"sentence must have exactly one root, found {roots}",
+        )
+    text = meta.get("text", "")
+    if not text:
+        text = " ".join(tok.form for tok in tokens)
+    return GoldSentence(text=text, tokens=tokens, id=meta.get("id", ""))
+
+
+def parse_gold_conll(
+    source: str, path: str | Path | None = None
+) -> tuple[GoldSentence, ...]:
+    """Parse gold annotations from ``source`` text.
+
+    Raises:
+        GoldCorpusError: on any structural problem — wrong column
+            count, unknown tag or label, non-contiguous indices, broken
+            tree shape — with ``path`` (when given) and the line number
+            in the message.
+    """
+    where = Path(path) if path is not None else None
+    sentences: list[GoldSentence] = []
+    rows: list[tuple[int, GoldToken]] = []
+    meta: dict[str, str] = {}
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            if rows:
+                sentences.append(
+                    _finish_sentence(rows, meta, where, line_no)
+                )
+                rows, meta = [], {}
+            continue
+        if line.startswith("#"):
+            body = line.lstrip("#").strip()
+            if "=" in body:
+                key, _, value = body.partition("=")
+                meta[key.strip()] = value.strip()
+            continue
+        fields = line.split("\t")
+        if len(fields) != 5:
+            raise _fail(
+                where, line_no,
+                f"expected 5 tab-separated columns, got {len(fields)}",
+            )
+        index_s, form, tag, head_s, label = fields
+        try:
+            index = int(index_s)
+            head = int(head_s)
+        except ValueError:
+            raise _fail(
+                where, line_no,
+                f"non-numeric index/head columns: {index_s!r}/{head_s!r}",
+            ) from None
+        if index != len(rows) + 1:
+            raise _fail(
+                where, line_no,
+                f"token index {index} out of order (expected "
+                f"{len(rows) + 1})",
+            )
+        if not form:
+            raise _fail(where, line_no, "empty token form")
+        if tag not in TAGSET:
+            raise _fail(where, line_no, f"unknown POS tag {tag!r}")
+        if label not in DEPENDENCY_LABELS:
+            raise _fail(
+                where, line_no, f"unknown dependency label {label!r}"
+            )
+        rows.append((line_no, GoldToken(form, tag, head, label)))
+
+    if rows:
+        sentences.append(
+            _finish_sentence(rows, meta, where, line_no)
+        )
+    return tuple(sentences)
+
+
+def load_gold_conll(path: str | Path) -> tuple[GoldSentence, ...]:
+    """Load and parse a ``gold_nlp.conll`` file.
+
+    Raises:
+        GoldCorpusError: when the file is unreadable or malformed (the
+            message names the offending path).
+    """
+    p = Path(path)
+    try:
+        source = p.read_text("utf-8")
+    except OSError as err:
+        raise GoldCorpusError(f"unreadable gold corpus {p}: {err}") from err
+    return parse_gold_conll(source, path=p)
+
+
+def render_gold_conll(sentences: tuple[GoldSentence, ...] | list[GoldSentence]) -> str:
+    """Render sentences back to the column format (round-trip safe)."""
+    blocks: list[str] = []
+    for sentence in sentences:
+        lines: list[str] = []
+        if sentence.id:
+            lines.append(f"# id = {sentence.id}")
+        lines.append(f"# text = {sentence.text}")
+        for i, tok in enumerate(sentence.tokens, start=1):
+            lines.append(
+                f"{i}\t{tok.form}\t{tok.tag}\t{tok.head}\t{tok.label}"
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + ("\n" if blocks else "")
+
+
+def sentence_from_graph(
+    graph: DepGraph, id: str = ""
+) -> GoldSentence:
+    """Convert a parsed :class:`DepGraph` into a gold sentence.
+
+    Used to bootstrap annotation files (the output is then reviewed by
+    hand) and by tests that need a silver standard to compare against.
+    Detached nodes — which the parser never produces — would surface as
+    head ``0`` with a non-root label and fail validation downstream.
+    """
+    tokens = []
+    for node in graph.nodes():
+        edge = graph.parent_edge(node)
+        if edge is None or edge.head.is_root:
+            head, label = 0, "root"
+        else:
+            head, label = edge.head.index + 1, edge.label
+        tokens.append(GoldToken(node.text, node.tag, head, label))
+    return GoldSentence(
+        text=graph.sentence, tokens=tuple(tokens), id=id
+    )

@@ -14,30 +14,47 @@ directories laid out as::
             V_opinion.txt     # one word list per vocabulary, by name
             ...
         corpus.json           # list of CorpusQuestion-shaped objects
+        gold_nlp.conll        # optional gold POS/dependency annotations
 
 ``corpus.json`` entries carry the same fields as
 :class:`~repro.data.corpus.CorpusQuestion`; only ``id``, ``text`` and
-``domain`` are required.
+``domain`` are required.  ``gold_nlp.conll`` (the format is documented
+in :mod:`repro.data.goldnlp`) feeds the per-pack accuracy harness
+(:mod:`repro.eval.accuracy`).
+
+Three *builtin* directory packs ship under ``src/repro/data/packs/``
+(``patients``, ``movies``, ``commerce``), and the embedded demo corpus
+is additionally sliced into per-domain packs (``travel``, ``shopping``,
+``food``, ``health``) so quality is tracked per domain rather than only
+in aggregate — see :func:`load_builtin_packs`.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 
 from repro.core.ixpatterns import IXPattern, parse_patterns
-from repro.data.corpus import CORPUS, CorpusQuestion
+from repro.data.corpus import CORPUS, CorpusQuestion, questions_by_domain
+from repro.data.goldnlp import GoldSentence, load_gold_conll
 from repro.data.ontologies import load_merged_ontology
 from repro.data.vocabularies import (
     Vocabulary,
     VocabularyRegistry,
     load_vocabularies,
 )
-from repro.errors import ReproError, ScenarioPackError
+from repro.errors import GoldCorpusError, ReproError, ScenarioPackError
 from repro.rdf.ontology import Ontology
 
-__all__ = ["ScenarioPack", "default_pack", "load_pack"]
+__all__ = [
+    "ScenarioPack", "default_pack", "load_pack", "domain_pack",
+    "builtin_pack_names", "builtin_packs_dir", "load_builtin_packs",
+]
+
+#: The demo-corpus domains that form per-domain builtin packs.
+DOMAIN_PACKS = ("travel", "shopping", "food", "health")
 
 
 @dataclass
@@ -49,14 +66,25 @@ class ScenarioPack:
     vocabularies: VocabularyRegistry
     patterns: list[IXPattern]
     corpus: tuple[CorpusQuestion, ...] = field(default_factory=tuple)
+    gold_nlp: tuple[GoldSentence, ...] = field(default_factory=tuple)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"ScenarioPack({self.name!r}, {len(self.ontology)} triples, "
             f"{len(self.vocabularies.names())} vocabularies, "
             f"{len(self.patterns)} patterns, "
-            f"{len(self.corpus)} questions)"
+            f"{len(self.corpus)} questions, "
+            f"{len(self.gold_nlp)} gold sentences)"
         )
+
+
+@lru_cache(maxsize=1)
+def _default_gold() -> tuple[GoldSentence, ...]:
+    """The gold annotations of the embedded demo corpus."""
+    path = Path(__file__).resolve().parent / "gold_nlp.conll"
+    if not path.is_file():  # pragma: no cover - packaging error
+        return ()
+    return load_gold_conll(path)
 
 
 def default_pack() -> ScenarioPack:
@@ -69,7 +97,59 @@ def default_pack() -> ScenarioPack:
         vocabularies=load_vocabularies(),
         patterns=load_default_patterns(),
         corpus=CORPUS,
+        gold_nlp=_default_gold(),
     )
+
+
+def domain_pack(domain: str) -> ScenarioPack:
+    """One demo-corpus domain as its own pack (shared KB artifacts).
+
+    Raises:
+        ScenarioPackError: for a domain with no corpus questions.
+    """
+    from repro.core.ixdetect import load_default_patterns
+
+    questions = questions_by_domain(domain)
+    if not questions:
+        raise ScenarioPackError(
+            f"no corpus questions for domain {domain!r}"
+        )
+    ids = {q.id for q in questions}
+    return ScenarioPack(
+        name=domain,
+        ontology=load_merged_ontology(),
+        vocabularies=load_vocabularies(),
+        patterns=load_default_patterns(),
+        corpus=tuple(questions),
+        gold_nlp=tuple(
+            s for s in _default_gold() if s.id in ids
+        ),
+    )
+
+
+def builtin_packs_dir() -> Path:
+    """The directory holding the packaged scenario-pack directories."""
+    return Path(__file__).resolve().parent / "packs"
+
+
+def builtin_pack_names() -> tuple[str, ...]:
+    """Names of every builtin pack: domain slices + packaged dirs."""
+    packaged = tuple(
+        sorted(
+            p.name for p in builtin_packs_dir().iterdir() if p.is_dir()
+        )
+    ) if builtin_packs_dir().is_dir() else ()
+    return DOMAIN_PACKS + packaged
+
+
+def load_builtin_packs() -> tuple[ScenarioPack, ...]:
+    """Every builtin pack, domain slices first, then packaged dirs."""
+    packs = [domain_pack(domain) for domain in DOMAIN_PACKS]
+    if builtin_packs_dir().is_dir():
+        for path in sorted(builtin_packs_dir().iterdir()):
+            if path.is_dir():
+                packs.append(load_pack(path))
+    return tuple(packs)
 
 
 _CORPUS_FIELDS = {
@@ -89,6 +169,7 @@ def _load_corpus(path: Path) -> tuple[CorpusQuestion, ...]:
             f"{path}: expected a JSON list of question objects"
         )
     questions = []
+    seen_ids: set[str] = set()
     for i, entry in enumerate(entries):
         if not isinstance(entry, dict):
             raise ScenarioPackError(
@@ -105,6 +186,12 @@ def _load_corpus(path: Path) -> tuple[CorpusQuestion, ...]:
             raise ScenarioPackError(
                 f"{path}: entry {i} is missing {sorted(missing)}"
             )
+        if entry["id"] in seen_ids:
+            raise ScenarioPackError(
+                f"{path}: entry {i} duplicates question id "
+                f"{entry['id']!r}"
+            )
+        seen_ids.add(entry["id"])
         for tuple_field in ("gold_ix_anchors", "gold_general_entities"):
             if tuple_field in entry:
                 entry[tuple_field] = tuple(entry[tuple_field])
@@ -120,7 +207,8 @@ def load_pack(directory: str | Path) -> ScenarioPack:
 
     Raises:
         ScenarioPackError: when the directory is missing artifacts or
-            an artifact cannot be parsed.
+            an artifact cannot be parsed; the message names the
+            offending file.
     """
     root = Path(directory)
     if not root.is_dir():
@@ -129,15 +217,16 @@ def load_pack(directory: str | Path) -> ScenarioPack:
     ttl_files = sorted(root.glob("*.ttl"))
     if not ttl_files:
         raise ScenarioPackError(f"{root}: no *.ttl ontology snapshot")
-    try:
-        ontologies = [
-            Ontology.from_turtle(path.read_text("utf-8"))
-            for path in ttl_files
-        ]
-    except (OSError, ReproError) as err:
-        raise ScenarioPackError(
-            f"{root}: cannot load ontology: {err}"
-        ) from err
+    ontologies = []
+    for path in ttl_files:
+        try:
+            ontologies.append(
+                Ontology.from_turtle(path.read_text("utf-8"))
+            )
+        except (OSError, ReproError) as err:
+            raise ScenarioPackError(
+                f"{path}: cannot load ontology: {err}"
+            ) from err
     ontology = (
         ontologies[0] if len(ontologies) == 1
         else Ontology.merged(*ontologies)
@@ -150,7 +239,7 @@ def load_pack(directory: str | Path) -> ScenarioPack:
         patterns = parse_patterns(patterns_file.read_text("utf-8"))
     except (OSError, ReproError) as err:
         raise ScenarioPackError(
-            f"{root}: cannot load patterns: {err}"
+            f"{patterns_file}: cannot load patterns: {err}"
         ) from err
 
     vocabularies = VocabularyRegistry()
@@ -162,10 +251,26 @@ def load_pack(directory: str | Path) -> ScenarioPack:
                 for line in path.read_text("utf-8").splitlines()
                 if line.strip() and not line.startswith("#")
             ]
+            if not words:
+                raise ScenarioPackError(
+                    f"{path}: vocabulary file is empty"
+                )
             vocabularies.register(Vocabulary(path.stem, words))
 
     corpus_file = root / "corpus.json"
-    corpus = _load_corpus(corpus_file) if corpus_file.is_file() else ()
+    if not corpus_file.is_file():
+        raise ScenarioPackError(f"{root}: missing corpus.json")
+    corpus = _load_corpus(corpus_file)
+
+    gold_file = root / "gold_nlp.conll"
+    gold_nlp: tuple[GoldSentence, ...] = ()
+    if gold_file.is_file():
+        try:
+            gold_nlp = load_gold_conll(gold_file)
+        except GoldCorpusError as err:
+            raise ScenarioPackError(
+                f"{gold_file}: cannot load gold annotations: {err}"
+            ) from err
 
     return ScenarioPack(
         name=root.name,
@@ -173,4 +278,5 @@ def load_pack(directory: str | Path) -> ScenarioPack:
         vocabularies=vocabularies,
         patterns=patterns,
         corpus=tuple(corpus),
+        gold_nlp=gold_nlp,
     )

@@ -33,6 +33,15 @@ class ParsingError(NLPError):
     """Dependency parsing failed to produce a graph."""
 
 
+class GoldCorpusError(NLPError):
+    """A gold POS/dependency annotation file is malformed.
+
+    Raised by :mod:`repro.data.goldnlp` with the offending path and
+    line number in the message, so a broken ``gold_nlp.conll`` inside a
+    scenario pack surfaces as a typed error rather than a traceback.
+    """
+
+
 # ---------------------------------------------------------------------------
 # RDF substrate
 # ---------------------------------------------------------------------------

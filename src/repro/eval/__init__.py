@@ -20,6 +20,15 @@ from repro.eval.harness import (
     evaluate_verification,
     format_table,
 )
+from repro.eval.accuracy import (
+    AccuracyReport,
+    PackAccuracy,
+    ParseAccuracy,
+    PosAccuracy,
+    TranslationAccuracy,
+    evaluate_accuracy,
+    score_pack,
+)
 
 __all__ = [
     "PrecisionRecall",
@@ -32,4 +41,11 @@ __all__ = [
     "evaluate_verification",
     "evaluate_interaction",
     "format_table",
+    "AccuracyReport",
+    "PackAccuracy",
+    "PosAccuracy",
+    "ParseAccuracy",
+    "TranslationAccuracy",
+    "evaluate_accuracy",
+    "score_pack",
 ]

@@ -16,6 +16,7 @@ Typical use::
 from repro.nlp.tokenizer import Token, Tokenizer, tokenize
 from repro.nlp.lemma import Lemmatizer, lemmatize
 from repro.nlp.postag import PosTagger, TaggedToken, tag
+from repro.nlp.learned import PerceptronTagger, train_from_gold
 from repro.nlp.graph import DepEdge, DepGraph, DepNode
 from repro.nlp.depparse import DependencyParser, parse
 
@@ -28,6 +29,8 @@ __all__ = [
     "PosTagger",
     "TaggedToken",
     "tag",
+    "PerceptronTagger",
+    "train_from_gold",
     "DepEdge",
     "DepGraph",
     "DepNode",

@@ -1,0 +1,293 @@
+"""Trainable statistical POS tagger: a greedy averaged perceptron.
+
+The rule tagger (:class:`~repro.nlp.postag.PosTagger`) is hand-tuned to
+the demo domains; this module provides the trainable alternative the
+ROADMAP's scenario-diversity item calls for.  The design is the classic
+greedy averaged perceptron (Collins 2002): left-to-right decoding with
+the two previous predicted tags as history, contextual word/suffix/shape
+features, and weight averaging over every update for stability on the
+small gold corpora that scenario packs carry.
+
+Everything is stdlib-only and deterministic: training shuffles with a
+seeded ``random.Random``, feature iteration follows dict insertion
+order (itself fixed by the seeded shuffle), and prediction breaks score
+ties by tag name — so two processes training on the same corpus with
+the same seed produce byte-identical taggers.
+
+The class satisfies the same interface as ``PosTagger`` (``tag`` over
+``list[Token] | str``, plus ``known``), so it drops into
+:class:`~repro.nlp.depparse.DependencyParser` and is selectable with
+``NL2CM(tagger="learned")``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from functools import lru_cache
+from random import Random
+from typing import Iterable, Sequence
+
+from repro.errors import TaggingError
+from repro.nlp.postag import TaggedToken
+from repro.nlp.postag_lexicon import TAGSET
+from repro.nlp.tokenizer import Token, tokenize
+
+__all__ = [
+    "PerceptronTagger", "train_from_gold", "default_learned_tagger",
+]
+
+# Words that occur at least this often with a single tag at least this
+# fraction of the time bypass the perceptron entirely.
+_TAGDICT_MIN_COUNT = 3
+_TAGDICT_MIN_RATIO = 0.97
+
+_START = ("-START-", "-START2-")
+_END = ("-END-", "-END2-")
+
+
+def _normalize(word: str) -> str:
+    """Collapse sparse surface forms the way the feature set expects."""
+    if word.isdigit():
+        return "!DIGIT"
+    if any(ch.isdigit() for ch in word) and any(
+        ch in ".,:" for ch in word
+    ):
+        return "!NUM"
+    return word.lower()
+
+
+class PerceptronTagger:
+    """Greedy averaged-perceptron POS tagger (stdlib-only, seeded).
+
+    Args:
+        seed: seed for the per-epoch training shuffle.
+        epochs: training passes over the corpus.
+    """
+
+    def __init__(self, seed: int = 0, epochs: int = 8):
+        self.seed = seed
+        self.epochs = epochs
+        # feature -> tag -> weight (averaged after training).
+        self._weights: dict[str, dict[str, float]] = {}
+        self._tagdict: dict[str, str] = {}
+        self._classes: tuple[str, ...] = ()
+        self._known: frozenset[str] = frozenset()
+        self._trained = False
+
+    # -- public API ----------------------------------------------------------
+
+    def train(
+        self, sentences: Iterable[Sequence[tuple[str, str]]]
+    ) -> None:
+        """Train from ``(word, tag)`` sequences; replaces any old model.
+
+        Raises:
+            TaggingError: on an empty corpus or a tag outside
+                :data:`TAGSET` (gold files are validated upstream, but a
+                hand-built corpus must fail loudly too).
+        """
+        data = [list(sentence) for sentence in sentences]
+        data = [s for s in data if s]
+        if not data:
+            raise TaggingError("cannot train on an empty corpus")
+        tags_seen: set[str] = set()
+        for sentence in data:
+            for word, tag in sentence:
+                if tag not in TAGSET:
+                    raise TaggingError(
+                        f"gold tag {tag!r} for {word!r} is outside "
+                        f"the tag set"
+                    )
+                tags_seen.add(tag)
+        self._classes = tuple(sorted(tags_seen))
+        self._known = frozenset(
+            _normalize(word) for s in data for word, _ in s
+        )
+        self._build_tagdict(data)
+
+        weights: dict[str, dict[str, float]] = {}
+        totals: dict[tuple[str, str], float] = defaultdict(float)
+        stamps: dict[tuple[str, str], int] = defaultdict(int)
+        instances = 0
+        rng = Random(self.seed)
+
+        for _ in range(self.epochs):
+            rng.shuffle(data)
+            for sentence in data:
+                context = self._context([w for w, _ in sentence])
+                prev, prev2 = _START
+                for i, (word, gold) in enumerate(sentence):
+                    instances += 1
+                    guess = self._tagdict.get(_normalize(word))
+                    if guess is None:
+                        feats = self._features(
+                            i, word, context, prev, prev2
+                        )
+                        guess = self._predict(weights, feats)
+                        if guess != gold:
+                            for feat in feats:
+                                table = weights.setdefault(feat, {})
+                                for tag, delta in (
+                                    (gold, 1.0), (guess, -1.0)
+                                ):
+                                    key = (feat, tag)
+                                    totals[key] += (
+                                        instances - stamps[key]
+                                    ) * table.get(tag, 0.0)
+                                    stamps[key] = instances
+                                    table[tag] = (
+                                        table.get(tag, 0.0) + delta
+                                    )
+                    prev2, prev = prev, guess
+
+        # Average: each weight counts for the updates it survived.
+        for feat, table in weights.items():
+            for tag in table:
+                key = (feat, tag)
+                total = totals[key] + (
+                    instances - stamps[key]
+                ) * table[tag]
+                table[tag] = total / instances
+        self._weights = weights
+        self._trained = True
+
+    def tag(self, tokens: list[Token] | str) -> list[TaggedToken]:
+        """Tag a token list (or raw text, which is tokenized first).
+
+        Raises:
+            TaggingError: on empty input or an untrained tagger.
+        """
+        if not self._trained:
+            raise TaggingError(
+                "the perceptron tagger must be trained before tagging"
+            )
+        if isinstance(tokens, str):
+            tokens = tokenize(tokens)
+        if not tokens:
+            raise TaggingError("cannot tag an empty token list")
+        context = self._context([t.text for t in tokens])
+        tagged: list[TaggedToken] = []
+        prev, prev2 = _START
+        for i, token in enumerate(tokens):
+            tag = self._tagdict.get(_normalize(token.text))
+            if tag is None:
+                feats = self._features(
+                    i, token.text, context, prev, prev2
+                )
+                tag = self._predict(self._weights, feats)
+            tagged.append(TaggedToken(token, tag))
+            prev2, prev = prev, tag
+        return tagged
+
+    def known(self, word: str) -> bool:
+        """True when ``word`` was seen during training."""
+        return _normalize(word) in self._known
+
+    # -- internals -----------------------------------------------------------
+
+    def _build_tagdict(
+        self, data: list[list[tuple[str, str]]]
+    ) -> None:
+        counts: dict[str, Counter[str]] = defaultdict(Counter)
+        for sentence in data:
+            for word, tag in sentence:
+                counts[_normalize(word)][tag] += 1
+        self._tagdict = {}
+        for word, tags in counts.items():
+            total = sum(tags.values())
+            tag, count = tags.most_common(1)[0]
+            if total >= _TAGDICT_MIN_COUNT and (
+                count / total >= _TAGDICT_MIN_RATIO
+            ):
+                self._tagdict[word] = tag
+
+    @staticmethod
+    def _context(words: list[str]) -> list[str]:
+        return (
+            list(_START)
+            + [_normalize(w) for w in words]
+            + list(_END)
+        )
+
+    @staticmethod
+    def _features(
+        i: int,
+        word: str,
+        context: list[str],
+        prev: str,
+        prev2: str,
+    ) -> list[str]:
+        """The feature set, in a fixed order (determinism depends on it)."""
+        c = i + len(_START)  # index into the padded context
+        norm = context[c]
+        feats = [
+            "bias",
+            f"suf={norm[-3:]}",
+            f"pre={norm[0]}",
+            f"w={norm}",
+            f"t-1={prev}",
+            f"t-2={prev2}",
+            f"t-1t-2={prev}+{prev2}",
+            f"t-1w={prev}+{norm}",
+            f"w-1={context[c - 1]}",
+            f"suf-1={context[c - 1][-3:]}",
+            f"w-2={context[c - 2]}",
+            f"w+1={context[c + 1]}",
+            f"suf+1={context[c + 1][-3:]}",
+            f"w+2={context[c + 2]}",
+        ]
+        if word[:1].isupper():
+            feats.append("shape=title" if i else "shape=initial-cap")
+        if any(ch.isdigit() for ch in word):
+            feats.append("shape=digit")
+        if "-" in word:
+            feats.append("shape=hyphen")
+        return feats
+
+    def _predict(
+        self, weights: dict[str, dict[str, float]], feats: list[str]
+    ) -> str:
+        scores: dict[str, float] = defaultdict(float)
+        for feat in feats:
+            table = weights.get(feat)
+            if table is None:
+                continue
+            for tag, weight in table.items():
+                scores[tag] += weight
+        # Tie-break by tag name so decoding never depends on dict order.
+        return max(self._classes, key=lambda t: (scores[t], t))
+
+
+def train_from_gold(
+    sentences: Iterable, seed: int = 0, epochs: int = 8
+) -> PerceptronTagger:
+    """Train a tagger from :class:`~repro.data.goldnlp.GoldSentence`s."""
+    tagger = PerceptronTagger(seed=seed, epochs=epochs)
+    tagger.train(
+        [
+            [(tok.form, tok.tag) for tok in sentence.tokens]
+            for sentence in sentences
+        ]
+    )
+    return tagger
+
+
+@lru_cache(maxsize=1)
+def default_learned_tagger() -> PerceptronTagger:
+    """The shared learned tagger, trained on every builtin pack's gold.
+
+    Training is deterministic (seed 0) and cached per process, so
+    ``NL2CM(tagger="learned")`` constructions after the first are free.
+    """
+    from repro.data.scenario import load_builtin_packs
+
+    sentences = []
+    seen: set[str] = set()
+    for pack in load_builtin_packs():
+        for sentence in pack.gold_nlp:
+            key = sentence.id or sentence.text
+            if key in seen:
+                continue
+            seen.add(key)
+            sentences.append(sentence)
+    return train_from_gold(sentences)

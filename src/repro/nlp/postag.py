@@ -119,6 +119,15 @@ class PosTagger:
         """All candidate tags the lexicon lists for ``word`` (may be empty)."""
         return self._lexicon.get(word.lower(), ())
 
+    def known(self, word: str) -> bool:
+        """True when the lexicon (not the guesser) covers ``word``.
+
+        The accuracy harness uses this for its known/unknown-word
+        accuracy split; punctuation counts as known since its tags are
+        table-driven.
+        """
+        return word in _PUNCT_TAGS or word.lower() in self._lexicon
+
     # -- stage 1+2: lexicon and morphology -----------------------------------
 
     def _initial_tag(self, token: Token, position: int) -> TaggedToken:

@@ -129,6 +129,7 @@ def pack_dir(tmp_path):
     vocab = root / "vocabularies"
     vocab.mkdir()
     (vocab / "V_opinion.txt").write_text("like\nlove\n")
+    (root / "corpus.json").write_text("[]")
     return root
 
 

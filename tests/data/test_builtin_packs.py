@@ -1,0 +1,115 @@
+"""The builtin scenario packs: loading, lint cleanliness, gold hygiene.
+
+These are data tests: every pack that ships inside the package must
+load, pass the full lint stack without errors, and carry gold
+annotations that align with the tokenizer — otherwise the accuracy
+harness silently skips sentences.
+"""
+
+import pytest
+
+from repro.analysis.runner import lint_scenario_pack
+from repro.data.scenario import (
+    DOMAIN_PACKS,
+    builtin_pack_names,
+    builtin_packs_dir,
+    domain_pack,
+    load_builtin_packs,
+    load_pack,
+)
+from repro.errors import ScenarioPackError
+from repro.nlp.tokenizer import tokenize
+
+PACKAGED = ("commerce", "movies", "patients")
+
+
+@pytest.fixture(scope="module")
+def packs():
+    return load_builtin_packs()
+
+
+class TestInventory:
+    def test_names_cover_domains_and_packaged_dirs(self):
+        assert builtin_pack_names() == DOMAIN_PACKS + PACKAGED
+
+    def test_load_builtin_packs_matches_the_names(self, packs):
+        assert tuple(p.name for p in packs) == builtin_pack_names()
+
+    def test_every_pack_is_self_contained(self, packs):
+        for pack in packs:
+            assert len(pack.ontology) > 0, pack.name
+            assert pack.patterns, pack.name
+            assert pack.corpus, pack.name
+            assert pack.gold_nlp, pack.name
+            assert pack.vocabularies.names(), pack.name
+
+    def test_domain_pack_rejects_unknown_domain(self):
+        with pytest.raises(ScenarioPackError, match="no corpus"):
+            domain_pack("astronomy")
+
+
+class TestPackagedPacks:
+    @pytest.mark.parametrize("name", PACKAGED)
+    def test_loads_from_its_directory(self, name):
+        pack = load_pack(builtin_packs_dir() / name)
+        assert pack.name == name
+
+    @pytest.mark.parametrize("name", PACKAGED)
+    def test_lints_clean(self, name):
+        pack = load_pack(builtin_packs_dir() / name)
+        outcome = lint_scenario_pack(pack)
+        diagnostics = [
+            (d.rule, d.message)
+            for report in outcome.reports
+            for d in report.diagnostics
+        ]
+        assert not diagnostics, diagnostics
+
+    @pytest.mark.parametrize("name", PACKAGED)
+    def test_has_a_supported_and_an_unsupported_question(self, name):
+        pack = load_pack(builtin_packs_dir() / name)
+        supported = [q for q in pack.corpus if q.supported]
+        rejected = [q for q in pack.corpus if not q.supported]
+        assert len(supported) >= 4
+        assert rejected and all(q.reject_reason for q in rejected)
+
+    @pytest.mark.parametrize("name", PACKAGED)
+    def test_supported_questions_carry_gold_queries(self, name):
+        pack = load_pack(builtin_packs_dir() / name)
+        for question in pack.corpus:
+            if question.supported:
+                assert question.gold_query, question.id
+
+
+class TestGoldHygiene:
+    def test_gold_forms_align_with_the_tokenizer(self, packs):
+        for pack in packs:
+            for sentence in pack.gold_nlp:
+                tokens = tuple(
+                    t.text for t in tokenize(sentence.text)
+                )
+                assert tokens == sentence.forms(), (
+                    pack.name, sentence.id,
+                )
+
+    def test_gold_ids_match_corpus_ids(self, packs):
+        for pack in packs:
+            corpus_ids = {q.id for q in pack.corpus}
+            for sentence in pack.gold_nlp:
+                assert sentence.id in corpus_ids, (
+                    pack.name, sentence.id,
+                )
+
+    def test_gold_ids_are_unique_within_a_pack(self, packs):
+        for pack in packs:
+            ids = [s.id for s in pack.gold_nlp]
+            assert len(ids) == len(set(ids)), pack.name
+
+    def test_every_corpus_question_has_gold_annotations(self, packs):
+        for pack in packs:
+            if pack.name in PACKAGED:
+                gold_ids = {s.id for s in pack.gold_nlp}
+                for question in pack.corpus:
+                    assert question.id in gold_ids, (
+                        pack.name, question.id,
+                    )

@@ -1,0 +1,175 @@
+"""Gold CoNLL corpus: parsing, rendering, validation error paths."""
+
+import pytest
+
+from repro.data.goldnlp import (
+    GoldSentence,
+    GoldToken,
+    load_gold_conll,
+    parse_gold_conll,
+    render_gold_conll,
+    sentence_from_graph,
+)
+from repro.errors import GoldCorpusError, ReproError
+from repro.nlp import parse
+
+SAMPLE = """\
+# id = travel-01
+# text = Where do you visit in Buffalo?
+1\tWhere\tWRB\t4\tadvmod
+2\tdo\tVBP\t4\taux
+3\tyou\tPRP\t4\tnsubj
+4\tvisit\tVB\t0\troot
+5\tin\tIN\t4\tprep
+6\tBuffalo\tNNP\t5\tpobj
+7\t?\t.\t4\tpunct
+
+# id = travel-02
+# text = Where do we go?
+1\tWhere\tWRB\t4\tadvmod
+2\tdo\tVBP\t4\taux
+3\twe\tPRP\t4\tnsubj
+4\tgo\tVB\t0\troot
+5\t?\t.\t4\tpunct
+"""
+
+
+class TestParsing:
+    def test_parses_sentences_and_metadata(self):
+        sentences = parse_gold_conll(SAMPLE)
+        assert len(sentences) == 2
+        first = sentences[0]
+        assert first.id == "travel-01"
+        assert first.text == "Where do you visit in Buffalo?"
+        assert first.forms() == (
+            "Where", "do", "you", "visit", "in", "Buffalo", "?",
+        )
+        assert first.tags() == (
+            "WRB", "VBP", "PRP", "VB", "IN", "NNP", ".",
+        )
+        assert first.tokens[3] == GoldToken("visit", "VB", 0, "root")
+
+    def test_text_defaults_to_joined_forms(self):
+        block = "1\tHello\tUH\t0\troot\n"
+        (sentence,) = parse_gold_conll(block)
+        assert sentence.text == "Hello"
+        assert sentence.id == ""
+
+    def test_empty_source_yields_no_sentences(self):
+        assert parse_gold_conll("") == ()
+        assert parse_gold_conll("# text = nothing\n\n") == ()
+
+
+class TestRoundTrip:
+    def test_parse_render_is_a_fixpoint(self):
+        sentences = parse_gold_conll(SAMPLE)
+        rendered = render_gold_conll(sentences)
+        assert rendered == SAMPLE
+        assert parse_gold_conll(rendered) == sentences
+
+    def test_render_empty_is_empty(self):
+        assert render_gold_conll([]) == ""
+
+    def test_sentence_from_graph_round_trips_through_format(self):
+        graph = parse("Where do you visit in Buffalo?")
+        sentence = sentence_from_graph(graph, id="demo-01")
+        rendered = render_gold_conll([sentence])
+        assert parse_gold_conll(rendered) == (sentence,)
+        # The silver sentence is valid gold: one root, aligned forms.
+        assert sentence.forms() == tuple(
+            n.text for n in graph.nodes()
+        )
+        assert sum(t.head == 0 for t in sentence.tokens) == 1
+
+
+def _expect_error(source, message, line):
+    with pytest.raises(GoldCorpusError, match=message) as exc:
+        parse_gold_conll(source, path="gold.conll")
+    assert f"gold.conll:{line}" in str(exc.value)
+
+
+class TestValidation:
+    def test_error_type_is_a_repro_error(self):
+        assert issubclass(GoldCorpusError, ReproError)
+
+    def test_wrong_column_count(self):
+        _expect_error("1\tHello\tUH\t0\n", "expected 5", 1)
+
+    def test_non_numeric_index(self):
+        _expect_error("x\tHello\tUH\t0\troot\n", "non-numeric", 1)
+
+    def test_out_of_order_index(self):
+        _expect_error(
+            "2\tHello\tUH\t0\troot\n", "out of order", 1
+        )
+
+    def test_empty_form(self):
+        _expect_error("1\t\tUH\t0\troot\n", "empty token form", 1)
+
+    def test_unknown_tag(self):
+        _expect_error("1\tHello\tZZ\t0\troot\n", "unknown POS tag", 1)
+
+    def test_unknown_label(self):
+        _expect_error(
+            "1\tHello\tUH\t0\tzzz\n", "unknown dependency label", 1
+        )
+
+    def test_head_out_of_range(self):
+        _expect_error(
+            "1\tHello\tUH\t5\tdep\n", "out of range", 1
+        )
+
+    def test_token_cannot_head_itself(self):
+        _expect_error(
+            "1\tHello\tUH\t1\tdep\n", "its own head", 1
+        )
+
+    def test_root_requires_root_label(self):
+        _expect_error(
+            "1\tHello\tUH\t0\tdep\n", "requires label 'root'", 1
+        )
+
+    def test_exactly_one_root_required(self):
+        two_roots = (
+            "1\tHello\tUH\t0\troot\n"
+            "2\tthere\tRB\t0\troot\n"
+        )
+        _expect_error(two_roots, "exactly one root", 2)
+        no_root = (
+            "1\tHello\tUH\t2\tdep\n"
+            "2\tthere\tRB\t1\tdep\n"
+        )
+        _expect_error(no_root, "exactly one root", 2)
+
+    def test_line_numbers_count_comments_and_blanks(self):
+        source = (
+            "# id = x\n"
+            "\n"
+            "1\tHello\tZZ\t0\troot\n"
+        )
+        _expect_error(source, "unknown POS tag", 3)
+
+    def test_errors_without_a_path_still_name_the_line(self):
+        with pytest.raises(GoldCorpusError, match="line 1"):
+            parse_gold_conll("1\tHello\tZZ\t0\troot\n")
+
+
+class TestLoading:
+    def test_load_parses_a_file(self, tmp_path):
+        path = tmp_path / "gold_nlp.conll"
+        path.write_text(SAMPLE, "utf-8")
+        sentences = load_gold_conll(path)
+        assert [s.id for s in sentences] == ["travel-01", "travel-02"]
+
+    def test_missing_file_names_the_path(self, tmp_path):
+        missing = tmp_path / "nope.conll"
+        with pytest.raises(GoldCorpusError, match="unreadable") as exc:
+            load_gold_conll(missing)
+        assert str(missing) in str(exc.value)
+
+    def test_malformed_file_names_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.conll"
+        path.write_text("1\tHello\tZZ\t0\troot\n", "utf-8")
+        with pytest.raises(GoldCorpusError) as exc:
+            load_gold_conll(path)
+        assert f"{path}:1" in str(exc.value)

@@ -73,14 +73,25 @@ class TestLoadPack:
         pack = load_pack(pack_dir)
         assert len(pack.ontology) == 4
 
-    def test_corpus_and_vocabularies_are_optional(self, pack_dir):
-        (pack_dir / "corpus.json").unlink()
+    def test_vocabularies_directory_is_optional(self, pack_dir):
         for path in (pack_dir / "vocabularies").iterdir():
             path.unlink()
         (pack_dir / "vocabularies").rmdir()
         pack = load_pack(pack_dir)
-        assert pack.corpus == ()
         assert pack.vocabularies.names() == []
+
+    def test_missing_corpus_is_an_error(self, pack_dir):
+        (pack_dir / "corpus.json").unlink()
+        with pytest.raises(ScenarioPackError, match="corpus.json") as exc:
+            load_pack(pack_dir)
+        assert str(pack_dir) in str(exc.value)
+
+    def test_empty_vocabulary_file_is_an_error(self, pack_dir):
+        empty = pack_dir / "vocabularies" / "V_empty.txt"
+        empty.write_text("# only a comment\n")
+        with pytest.raises(ScenarioPackError, match="V_empty") as exc:
+            load_pack(pack_dir)
+        assert "empty" in str(exc.value)
 
     def test_missing_directory(self, tmp_path):
         with pytest.raises(ScenarioPackError, match="not a pack"):
@@ -124,3 +135,27 @@ class TestLoadPack:
         (pack_dir / "corpus.json").write_text("{nope")
         with pytest.raises(ScenarioPackError, match="unreadable"):
             load_pack(pack_dir)
+
+    def test_corpus_duplicate_question_ids(self, pack_dir):
+        (pack_dir / "corpus.json").write_text(json.dumps([
+            {"id": "q1", "text": "a?", "domain": "d"},
+            {"id": "q1", "text": "b?", "domain": "d"},
+        ]))
+        with pytest.raises(ScenarioPackError, match="duplicates") as exc:
+            load_pack(pack_dir)
+        assert "corpus.json" in str(exc.value)
+        assert "q1" in str(exc.value)
+
+    def test_malformed_ttl_names_the_file(self, pack_dir):
+        bad = pack_dir / "extra.ttl"
+        bad.write_text("kb:A broken turtle")
+        with pytest.raises(ScenarioPackError, match="cannot load") as exc:
+            load_pack(pack_dir)
+        assert str(bad) in str(exc.value)
+
+    def test_malformed_gold_annotations_name_the_file(self, pack_dir):
+        gold = pack_dir / "gold_nlp.conll"
+        gold.write_text("1\tHello\tZZ\t0\troot\n")
+        with pytest.raises(ScenarioPackError, match="gold") as exc:
+            load_pack(pack_dir)
+        assert str(gold) in str(exc.value)

@@ -1,0 +1,373 @@
+"""The per-domain accuracy harness: scorers, report, serialization.
+
+The scorer units run against hand-made gold and a fake tagger so every
+counting rule is pinned exactly; the report tests are golden tables
+(trailing whitespace normalized) so a formatting regression shows up as
+a readable diff.
+"""
+
+import json
+
+import pytest
+
+from repro.data.goldnlp import parse_gold_conll, sentence_from_graph
+from repro.data.scenario import domain_pack
+from repro.eval.accuracy import (
+    TAGGER_MODES,
+    AccuracyReport,
+    PackAccuracy,
+    ParseAccuracy,
+    PosAccuracy,
+    TranslationAccuracy,
+    _make_tagger,
+    evaluate_accuracy,
+    score_pack,
+    score_parse,
+    score_pos,
+    score_translation,
+)
+from repro.eval.harness import (
+    DomainQuality,
+    InteractionReport,
+    TranslationQualityReport,
+    VerificationReport,
+)
+from repro.eval.metrics import PrecisionRecall
+from repro.nlp.depparse import DependencyParser
+from repro.nlp.postag import TaggedToken
+
+
+def _norm(text):
+    return "\n".join(line.rstrip() for line in text.splitlines())
+
+
+GOLD = parse_gold_conll(
+    "# id = g-01\n"
+    "# text = We visit Buffalo.\n"
+    "1\tWe\tPRP\t2\tnsubj\n"
+    "2\tvisit\tVBP\t0\troot\n"
+    "3\tBuffalo\tNNP\t2\tdobj\n"
+    "4\t.\t.\t2\tpunct\n"
+    "\n"
+    "# id = g-02\n"
+    "# text = We go.\n"
+    "1\tWe\tPRP\t2\tnsubj\n"
+    "2\tgo\tVBP\t0\troot\n"
+    "3\t.\t.\t2\tpunct\n"
+)
+
+
+class FixedTagger:
+    """Tags from a lookup table; everything else is NN and unknown."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def tag(self, tokens):
+        return [
+            TaggedToken(t, self.table.get(t.text, "NN"))
+            for t in tokens
+        ]
+
+    def known(self, word):
+        return word in self.table
+
+
+class TestScorePos:
+    def test_perfect_tagger(self):
+        tagger = FixedTagger({
+            "We": "PRP", "visit": "VBP", "Buffalo": "NNP",
+            "go": "VBP", ".": ".",
+        })
+        acc = score_pos(tagger, GOLD)
+        assert (acc.tokens, acc.correct) == (7, 7)
+        assert acc.accuracy == 1.0
+        assert acc.sentence_accuracy == 1.0
+        assert acc.known_tokens == 7
+        assert acc.unknown_tokens == 0
+        assert acc.confusion == {}
+        assert acc.skipped == 0
+
+    def test_mistakes_split_by_known_and_land_in_confusion(self):
+        # "Buffalo" unknown -> NN (wrong); "visit" known but mistagged.
+        tagger = FixedTagger({
+            "We": "PRP", "visit": "VB", "go": "VBP", ".": ".",
+        })
+        acc = score_pos(tagger, GOLD)
+        assert acc.tokens == 7
+        assert acc.correct == 5
+        assert acc.sentences_correct == 1
+        assert acc.known_tokens == 6
+        assert acc.known_correct == 5
+        assert acc.unknown_tokens == 1
+        assert acc.unknown_accuracy == 0.0
+        assert acc.confusion == {
+            ("VBP", "VB"): 1, ("NNP", "NN"): 1,
+        }
+
+    def test_tokenization_mismatch_is_skipped_not_scored(self):
+        broken = parse_gold_conll(
+            "# text = We visit Buffalo.\n"
+            "1\tWe\tPRP\t2\tnsubj\n"
+            "2\tvisit\tVBP\t0\troot\n"
+            "3\tBuffalo.\tNNP\t2\tdobj\n"
+        )
+        acc = score_pos(FixedTagger({}), broken)
+        assert acc.skipped == 1
+        assert acc.tokens == 0
+        assert acc.accuracy == 1.0  # vacuous, not a crash
+
+    def test_add_merges_counts_and_confusion(self):
+        a = PosAccuracy(tokens=4, correct=3, known_tokens=4,
+                        known_correct=3, sentences=1,
+                        confusion={("NNP", "NN"): 1})
+        b = PosAccuracy(tokens=3, correct=3, known_tokens=2,
+                        known_correct=2, sentences=1,
+                        sentences_correct=1,
+                        confusion={("NNP", "NN"): 2, ("JJ", "NN"): 1})
+        a.add(b)
+        assert a.tokens == 7
+        assert a.correct == 6
+        assert a.confusion == {("NNP", "NN"): 3, ("JJ", "NN"): 1}
+
+
+class TestScoreParse:
+    def test_silver_gold_scores_perfectly(self):
+        parser = DependencyParser()
+        silver = tuple(
+            sentence_from_graph(parser.parse(text))
+            for text in ("We visit Buffalo.", "We go.")
+        )
+        acc = score_parse(parser, silver)
+        assert acc.sentences == 2
+        assert acc.uas == 1.0
+        assert acc.las == 1.0
+        assert acc.skipped == 0
+
+    def test_wrong_attachment_counts_against_uas_and_las(self):
+        parser = DependencyParser()
+        silver = sentence_from_graph(parser.parse("We visit Buffalo."))
+        # Re-point one head: gold disagrees with the parser now.
+        from repro.data.goldnlp import GoldSentence, GoldToken
+
+        tokens = list(silver.tokens)
+        nsubj = tokens[0]
+        tokens[0] = GoldToken(nsubj.form, nsubj.tag, 3, "dep")
+        tampered = GoldSentence(
+            text=silver.text, tokens=tuple(tokens), id=silver.id
+        )
+        acc = score_parse(parser, (tampered,))
+        assert acc.tokens == 4
+        assert acc.uas_correct == 3
+        assert acc.las_correct == 3
+
+    def test_label_mismatch_hits_las_only(self):
+        parser = DependencyParser()
+        silver = sentence_from_graph(parser.parse("We visit Buffalo."))
+        from repro.data.goldnlp import GoldSentence, GoldToken
+
+        tokens = list(silver.tokens)
+        nsubj = tokens[0]
+        tokens[0] = GoldToken(nsubj.form, nsubj.tag, nsubj.head, "dep")
+        tampered = GoldSentence(
+            text=silver.text, tokens=tuple(tokens), id=silver.id
+        )
+        acc = score_parse(parser, (tampered,))
+        assert acc.uas == 1.0
+        assert acc.las_correct == acc.tokens - 1
+
+    def test_empty_input_gives_vacuous_scores(self):
+        acc = score_parse(DependencyParser(), ())
+        assert acc.uas == 1.0
+        assert acc.las == 1.0
+
+
+class TestScoreTranslation:
+    @pytest.fixture(scope="class")
+    def shopping(self):
+        return domain_pack("shopping")
+
+    def test_domain_pack_translates_to_its_gold(self, shopping):
+        acc = score_translation(shopping, tagger="rules")
+        assert acc.gold_queries > 0
+        assert acc.exact == acc.gold_queries
+        assert acc.structure_avg == 1.0
+        assert acc.failures == 0
+
+    def test_unsupported_questions_are_not_counted(self, shopping):
+        acc = score_translation(shopping, tagger="rules")
+        supported = [q for q in shopping.corpus if q.supported]
+        assert acc.questions == len(supported)
+
+
+class TestScorePackAndReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return evaluate_accuracy([domain_pack("shopping")])
+
+    def test_score_pack_fills_every_mode(self):
+        result = score_pack(domain_pack("shopping"))
+        for mode in TAGGER_MODES:
+            assert result.pos[mode].tokens > 0
+            assert result.parse[mode].tokens > 0
+            assert result.translation[mode].gold_queries > 0
+
+    def test_totals_aggregate_across_packs(self, report):
+        total = report.totals()
+        assert total.name == "ALL"
+        for mode in report.taggers:
+            assert total.pos[mode].tokens == sum(
+                p.pos[mode].tokens for p in report.packs
+            )
+
+    def test_pack_lookup(self, report):
+        assert report.pack("shopping").name == "shopping"
+        with pytest.raises(KeyError):
+            report.pack("nope")
+
+    def test_make_tagger_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="tagger mode"):
+            _make_tagger("neural")
+
+    def test_json_artifact_shape(self, report, tmp_path):
+        out = tmp_path / "accuracy.json"
+        report.write_json(out)
+        data = json.loads(out.read_text())
+        assert data["experiment"] == "accuracy"
+        assert data["taggers"] == list(TAGGER_MODES)
+        assert set(data["packs"]) == {"shopping"}
+        for surface in ("pos", "parse", "translation"):
+            assert set(data["overall"][surface]) == set(TAGGER_MODES)
+        assert data["overall"]["pos"]["rules"]["tokens"] > 0
+        assert isinstance(data["confusion_rules"], dict)
+
+
+def _demo_report():
+    pos_r = PosAccuracy(
+        tokens=10, correct=9, known_tokens=8, known_correct=8,
+        sentences=2, sentences_correct=1,
+        confusion={("NNP", "NNPS"): 1},
+    )
+    pos_l = PosAccuracy(
+        tokens=10, correct=10, known_tokens=10, known_correct=10,
+        sentences=2, sentences_correct=2,
+    )
+    par_r = ParseAccuracy(
+        tokens=10, uas_correct=9, las_correct=8, sentences=2
+    )
+    par_l = ParseAccuracy(
+        tokens=10, uas_correct=10, las_correct=10, sentences=2
+    )
+    tr_r = TranslationAccuracy(
+        questions=3, gold_queries=3, exact=2, structure_sum=2.5
+    )
+    tr_l = TranslationAccuracy(
+        questions=3, gold_queries=3, exact=3, structure_sum=3.0
+    )
+    pack = PackAccuracy(
+        name="demo",
+        pos={"rules": pos_r, "learned": pos_l},
+        parse={"rules": par_r, "learned": par_l},
+        translation={"rules": tr_r, "learned": tr_l},
+    )
+    return AccuracyReport(packs=[pack])
+
+
+GOLDEN_ACCURACY = """\
+POS tagging accuracy (per pack and tagger)
+pack  tagger   tokens  acc    sent-acc  known  unknown
+----  -------  ------  -----  --------  -----  -------
+demo  rules    10      0.900  0.500     1.000  0.500
+demo  learned  10      1.000  1.000     1.000  1.000
+ALL   rules    10      0.900  0.500     1.000  0.500
+ALL   learned  10      1.000  1.000     1.000  1.000
+
+Dependency attachment (per pack and tagger)
+pack  tagger   tokens  UAS    LAS
+----  -------  ------  -----  -----
+demo  rules    10      0.900  0.800
+demo  learned  10      1.000  1.000
+ALL   rules    10      0.900  0.800
+ALL   learned  10      1.000  1.000
+
+Translation quality vs. gold queries
+pack  tagger   n  exact  structure  failures
+----  -------  -  -----  ---------  --------
+demo  rules    3  2/3    0.83       0
+demo  learned  3  3/3    1.00       0
+ALL   rules    3  2/3    0.83       0
+ALL   learned  3  3/3    1.00       0
+
+Top confusions (rules tagger, all packs)
+gold  predicted  count
+----  ---------  -----
+NNP   NNPS       1"""
+
+
+class TestGoldenTables:
+    def test_accuracy_report_format(self):
+        assert _norm(_demo_report().format()) == GOLDEN_ACCURACY
+
+    def test_accuracy_json_rounds_to_four_places(self):
+        data = _demo_report().to_json()
+        rules = data["overall"]["translation"]["rules"]
+        assert rules["exact_rate"] == 0.6667
+        assert rules["structure_avg"] == 0.8333
+        assert data["confusion_rules"] == {"NNP->NNPS": 1}
+
+    def test_verification_report_format(self):
+        report = VerificationReport(
+            true_accepts=9, false_accepts=1, true_rejects=4,
+            false_rejects=0, reason_correct=3, reject_total=5,
+            tips_covered=4,
+        )
+        assert _norm(report.format()) == (
+            "metric                    value\n"
+            "------------------------  -----\n"
+            "accuracy                  0.93\n"
+            "supported accepted        9/9\n"
+            "unsupported rejected      4/5\n"
+            "rejection reason correct  3/5\n"
+            "rejections with tips      4/5"
+        )
+
+    def test_interaction_report_format(self):
+        report = InteractionReport(
+            counts_by_type={"Confirmation": 4, "Disambiguation": 2},
+            questions=10, questions_with_any=5,
+            disambiguations_first_pass=2,
+            disambiguations_second_pass=1,
+        )
+        expected = (
+            "interaction                                        count\n"
+            "-------------------------------------------------  -----\n"
+            "Confirmation                                       4\n"
+            "Disambiguation                                     2\n"
+            "questions                                          10\n"
+            "questions with interaction                         5\n"
+            "disambiguation dialogs, 1st pass                   2\n"
+            "disambiguation dialogs, 2nd pass (after feedback)  1"
+        )
+        assert _norm(report.format()) == expected
+
+    def test_translation_quality_report_format(self):
+        quality = DomainQuality(
+            questions=2, ix=PrecisionRecall(2, 0, 0), wellformed=2,
+            entity_hits=3, entity_total=4, exact_matches=1,
+            gold_query_count=2, structure_sum=1.8,
+        )
+        report = TranslationQualityReport(
+            per_domain={"travel": quality}, overall=quality,
+            failures=[],
+        )
+        expected = (
+            "domain  n  IX-P  IX-R  IX-F1  wellformed  "
+            "entity-recall  exact  structure\n"
+            "------  -  ----  ----  -----  ----------  "
+            "-------------  -----  ---------\n"
+            "travel  2  1.00  1.00  1.00   2/2         "
+            "0.75           1/2    0.90\n"
+            "ALL     2  1.00  1.00  1.00   2/2         "
+            "0.75           1/2    0.90"
+        )
+        assert _norm(report.format()) == expected

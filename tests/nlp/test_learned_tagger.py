@@ -1,0 +1,151 @@
+"""The averaged-perceptron tagger: training, interface, determinism."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.data.goldnlp import parse_gold_conll
+from repro.errors import TaggingError
+from repro.nlp.learned import (
+    PerceptronTagger,
+    default_learned_tagger,
+    train_from_gold,
+)
+from repro.nlp.postag import TaggedToken
+from repro.nlp.postag_lexicon import TAGSET
+from repro.nlp.tokenizer import tokenize
+
+CORPUS = [
+    [("Where", "WRB"), ("do", "VBP"), ("you", "PRP"),
+     ("visit", "VB"), ("in", "IN"), ("Buffalo", "NNP"), ("?", ".")],
+    [("Where", "WRB"), ("do", "VBP"), ("we", "PRP"),
+     ("go", "VB"), ("hiking", "VBG"), ("?", ".")],
+    [("Which", "WDT"), ("places", "NNS"), ("are", "VBP"),
+     ("interesting", "JJ"), ("?", ".")],
+    [("We", "PRP"), ("visit", "VBP"), ("parks", "NNS"),
+     ("in", "IN"), ("Buffalo", "NNP"), (".", ".")],
+    [("Do", "VBP"), ("you", "PRP"), ("like", "VB"),
+     ("interesting", "JJ"), ("places", "NNS"), ("?", ".")],
+]
+
+
+@pytest.fixture(scope="module")
+def tagger():
+    t = PerceptronTagger(seed=0)
+    t.train(CORPUS)
+    return t
+
+
+class TestTraining:
+    def test_resubstitution_is_exact(self, tagger):
+        for sentence in CORPUS:
+            tokens = tokenize(" ".join(t for t, _ in sentence))
+            assert [t.text for t in tokens] == [t for t, _ in sentence]
+            tagged = tagger.tag(tokens)
+            assert [t.tag for t in tagged] == [g for _, g in sentence]
+
+    def test_tags_are_tagged_tokens(self, tagger):
+        tagged = tagger.tag("Where do you visit in Buffalo?")
+        assert all(isinstance(t, TaggedToken) for t in tagged)
+        assert [t.tag for t in tagged] == [
+            "WRB", "VBP", "PRP", "VB", "IN", "NNP", ".",
+        ]
+
+    def test_unseen_words_get_a_tag_from_the_tagset(self, tagger):
+        tagged = tagger.tag("Zebras frolic quixotically?")
+        assert all(t.tag in TAGSET for t in tagged)
+
+    def test_known_reflects_the_training_vocabulary(self, tagger):
+        assert tagger.known("Buffalo")
+        assert tagger.known("buffalo")  # normalized, case-folded
+        assert not tagger.known("zebra")
+
+    def test_train_from_gold_sentences(self):
+        gold = parse_gold_conll(
+            "1\tWhere\tWRB\t4\tadvmod\n"
+            "2\tdo\tVBP\t4\taux\n"
+            "3\tyou\tPRP\t4\tnsubj\n"
+            "4\tvisit\tVB\t0\troot\n"
+            "5\t?\t.\t4\tpunct\n"
+        )
+        t = train_from_gold(gold)
+        assert [x.tag for x in t.tag("Where do you visit?")] == [
+            "WRB", "VBP", "PRP", "VB", ".",
+        ]
+
+
+class TestErrors:
+    def test_untrained_tagger_refuses_to_tag(self):
+        with pytest.raises(TaggingError, match="trained"):
+            PerceptronTagger().tag("Hello there")
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(TaggingError, match="empty corpus"):
+            PerceptronTagger().train([])
+        with pytest.raises(TaggingError, match="empty corpus"):
+            PerceptronTagger().train([[], []])
+
+    def test_tag_outside_tagset_rejected(self):
+        with pytest.raises(TaggingError, match="outside"):
+            PerceptronTagger().train([[("word", "BOGUS")]])
+
+    def test_empty_input_rejected(self, tagger):
+        with pytest.raises(TaggingError, match="empty"):
+            tagger.tag([])
+
+
+class TestDeterminism:
+    def test_same_seed_trains_identical_models(self):
+        a = PerceptronTagger(seed=0)
+        b = PerceptronTagger(seed=0)
+        a.train(CORPUS)
+        b.train(CORPUS)
+        assert a._weights == b._weights
+        assert a._tagdict == b._tagdict
+        assert a._classes == b._classes
+
+    def test_tagging_is_stable_across_calls(self, tagger):
+        text = "Do zebras visit interesting parks in Buffalo?"
+        first = [(t.text, t.tag) for t in tagger.tag(text)]
+        second = [(t.text, t.tag) for t in tagger.tag(text)]
+        assert first == second
+
+    def test_default_learned_tagger_is_cached(self):
+        assert default_learned_tagger() is default_learned_tagger()
+
+    def test_training_is_byte_identical_across_processes(self, tagger,
+                                                         tmp_path):
+        """A fresh interpreter trains the exact same model.
+
+        Guards against accidental dependence on hash randomization or
+        dict iteration order: the weights must come out identical under
+        a different PYTHONHASHSEED.
+        """
+        script = tmp_path / "train.py"
+        script.write_text(
+            "import json, sys\n"
+            "from repro.nlp.learned import PerceptronTagger\n"
+            "corpus = json.loads(sys.argv[1])\n"
+            "t = PerceptronTagger(seed=0)\n"
+            "t.train([[tuple(p) for p in s] for s in corpus])\n"
+            "print(json.dumps(\n"
+            "    {'weights': t._weights, 'tagdict': t._tagdict},\n"
+            "    sort_keys=True))\n",
+            "utf-8",
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        result = subprocess.run(
+            [sys.executable, str(script), json.dumps(CORPUS)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "12345"},
+        )
+        assert result.returncode == 0, result.stderr
+        remote = json.loads(result.stdout)
+        local = json.loads(json.dumps(
+            {"weights": tagger._weights, "tagdict": tagger._tagdict},
+            sort_keys=True,
+        ))
+        assert remote == local

@@ -178,3 +178,52 @@ class TestSubprocess:
         assert 'Chocolate_Milk hasLabel "good for kids"' in (
             completed.stdout
         )
+
+
+class TestScore:
+    def test_score_single_pack(self, capsys):
+        from repro.data.scenario import builtin_packs_dir
+
+        pack = builtin_packs_dir() / "patients"
+        status = main(["--score", "--pack", str(pack)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "POS tagging accuracy" in out
+        assert "Dependency attachment" in out
+        assert "Translation quality vs. gold queries" in out
+        assert "patients" in out
+        assert "ALL" in out
+
+    def test_score_missing_pack_exits_two(self, tmp_path, capsys):
+        status = main(["--score", "--pack", str(tmp_path / "nope")])
+        assert status == 2
+        assert "cannot load scenario pack" in capsys.readouterr().err
+
+    def test_score_writes_json_artifact(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.data.scenario import builtin_packs_dir
+
+        out_file = tmp_path / "accuracy.json"
+        status = main([
+            "--score", "--pack",
+            str(builtin_packs_dir() / "patients"),
+            "--json", str(out_file),
+        ])
+        assert status == 0
+        data = json_module.loads(out_file.read_text())
+        assert data["experiment"] == "accuracy"
+        assert data["taggers"] == ["rules", "learned"]
+        assert set(data["packs"]) == {"patients"}
+        assert "overall" in data and "confusion_rules" in data
+
+    def test_score_unwritable_json_exits_two(self, tmp_path, capsys):
+        from repro.data.scenario import builtin_packs_dir
+
+        status = main([
+            "--score", "--pack",
+            str(builtin_packs_dir() / "patients"),
+            "--json", str(tmp_path / "missing-dir" / "out.json"),
+        ])
+        assert status == 2
+        assert "cannot write" in capsys.readouterr().err
